@@ -1,0 +1,75 @@
+// Ablation — contention-estimator sensitivity. Two questions the paper
+// leaves open:
+//   (1) how often must the CE probe (probe_interval) for DOSAS to keep its
+//       advantage under *staggered* arrivals (the paper's workload arrives
+//       all at once, hiding this knob);
+//   (2) how robust is the decision to errors in the S_{C,op} estimate
+//       (the CE "estimates" it from probes; what if it is off by ±50%?).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  using namespace dosas::core;
+
+  bench::banner("Ablation: contention estimator",
+                "probe-interval and S-estimate sensitivity (Gaussian, staggered arrivals)");
+
+  // Staggered workload: 32 x 128 MiB arriving every 0.2 s.
+  std::vector<ModelRequest> workload;
+  for (std::size_t i = 0; i < 32; ++i) {
+    workload.push_back({128_MiB, static_cast<Seconds>(i) * 0.2});
+  }
+
+  {
+    Table t({"probe interval (s)", "makespan (s)", "demoted", "interrupted"});
+    for (double interval : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0}) {
+      auto cfg = ModelConfig::gaussian();
+      cfg.probe_interval = interval;
+      const auto r = simulate_scheme(SchemeKind::kDosas, cfg, workload);
+      t.add_row({fmt(interval, 2), fmt(r.makespan), std::to_string(r.demoted),
+                 std::to_string(r.interrupted)});
+    }
+    std::printf("\nProbe-interval sweep:\n");
+    t.print(std::cout);
+  }
+
+  {
+    // The CE believes S is (factor x true S); the simulator uses the true S.
+    Table t({"S estimate error", "makespan (s)", "demoted", "vs oracle %"});
+    auto oracle_cfg = ModelConfig::gaussian();
+    const auto oracle =
+        simulate_scheme(SchemeKind::kDosas, oracle_cfg, uniform_workload(16, 256_MiB));
+    for (double factor : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0}) {
+      // The CE's belief (`bandwidth_mbps`) only enters the *decision*; the
+      // actual link samples from the jitter range. Pinning the jitter range
+      // to the true 118 while scaling the belief by `factor` models a CE
+      // whose cost model is off by that factor. (Since the decision depends
+      // on S relative to bw, a bw misestimate of 1/f is equivalent to an
+      // S misestimate of f.)
+      auto cfg = ModelConfig::gaussian();
+      cfg.bw_jitter_low_mbps = oracle_cfg.bandwidth_mbps;
+      cfg.bw_jitter_high_mbps = oracle_cfg.bandwidth_mbps + 1e-9;
+      cfg.bandwidth_mbps = oracle_cfg.bandwidth_mbps * factor;
+      Rng rng(1);
+      const auto r =
+          simulate_scheme(SchemeKind::kDosas, cfg, uniform_workload(16, 256_MiB), &rng);
+      t.add_row({fmt(factor, 2) + "x", fmt(r.makespan), std::to_string(r.demoted),
+                 fmt(100.0 * (r.makespan / oracle.makespan - 1.0), 1)});
+    }
+    std::printf("\nModel-error sweep (CE's bw belief scaled; true platform fixed):\n");
+    t.print(std::cout);
+    std::printf(
+        "\nReading: over-beliefs (>=1x) leave decisions unchanged here (the queue is\n"
+        "deep in the demote-everything regime). A mildly *pessimistic* bw belief\n"
+        "(0.75x) actually beats the oracle: the paper's Eq. 4 objective is additive\n"
+        "and ignores that storage-side compute and link transfers overlap, so the\n"
+        "nominal decision leaves the storage CPU idle; believing the link is slower\n"
+        "keeps a few kernels active and pipelines both resources. Gross\n"
+        "under-beliefs (<=0.5x) keep everything active and lose badly. This is a\n"
+        "fidelity limit of the published cost model, not of the estimator.\n\n");
+  }
+  return 0;
+}

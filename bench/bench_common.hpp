@@ -1,0 +1,87 @@
+// bench_common.hpp — shared scaffolding for the per-figure/table bench
+// harnesses. Each harness prints a banner identifying the experiment it
+// regenerates, the platform parameters in force, and then the same
+// rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/sim_model.hpp"
+
+namespace dosas::bench {
+
+/// When DOSAS_BENCH_CSV_DIR is set, every printed table is also written as
+/// <dir>/<slug>.csv for downstream plotting.
+inline void maybe_write_csv(const std::string& slug, const core::Table& table) {
+  const char* dir = std::getenv("DOSAS_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + slug + ".csv";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string csv = table.to_csv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
+}
+
+inline void banner(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("DOSAS reproduction — %s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void platform_line(const core::ModelConfig& cfg) {
+  std::printf(
+      "platform: bw=%.0f MB/s  S(storage)=%.0f MB/s  C(client)=%.0f MB/s  "
+      "h(d)>=%llu B\n\n",
+      cfg.bandwidth_mbps, cfg.storage_kernel_mbps, cfg.client_mbps,
+      static_cast<unsigned long long>(cfg.result_size));
+}
+
+/// Run and print one scheme-sweep figure (Figs. 2, 4-10).
+inline void run_sweep_figure(const std::string& experiment, const std::string& description,
+                             const core::ModelConfig& cfg, Bytes request_size, bool with_dosas) {
+  banner(experiment, description);
+  platform_line(cfg);
+  const auto points =
+      core::scheme_sweep(cfg, core::paper_io_counts(), request_size, with_dosas);
+  const auto table = core::sweep_table(points, with_dosas);
+  table.print(std::cout);
+  std::string slug = experiment;
+  for (char& c : slug) c = c == ' ' ? '_' : static_cast<char>(std::tolower(c));
+  maybe_write_csv(slug, table);
+
+  if (with_dosas) {
+    // The paper's §IV-B3 headline deltas.
+    const auto& small = points.front();
+    const auto& large = points.back();
+    std::printf("\nDOSAS vs TS @ %zu I/O:  %+.1f%%   (paper: ~40%% better at small scale)\n",
+                small.ios, 100.0 * (1.0 - small.dosas / small.ts));
+    std::printf("DOSAS vs AS @ %zu I/Os: %+.1f%%   (paper: ~21%% better at large scale)\n",
+                large.ios, 100.0 * (1.0 - large.dosas / large.as));
+  } else {
+    // Report the crossover the figure illustrates.
+    std::size_t crossover = 0;
+    for (const auto& p : points) {
+      if (p.as > p.ts) {
+        crossover = p.ios;
+        break;
+      }
+    }
+    if (crossover != 0) {
+      std::printf("\nAS loses to TS from %zu I/Os per storage node (paper: ~4).\n", crossover);
+    } else {
+      std::printf("\nAS wins at every tested scale (paper Fig. 6 behaviour).\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace dosas::bench

@@ -1,0 +1,97 @@
+// Extension — multi-storage-node scaling. The paper evaluates one storage
+// node ("I/Os per storage node"); real deployments run many behind a shared
+// network. Two questions:
+//
+//   (1) does DOSAS's advantage survive N storage nodes on a shared
+//       backbone, for balanced and skewed (hot-node) placements?
+//   (2) how important is a *bandwidth-aware* Contention Estimator — one
+//       that derates its link estimate by observed backbone contention —
+//       versus the paper's nominal-bandwidth CE?
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/multi_node.hpp"
+
+int main() {
+  using namespace dosas;
+  using namespace dosas::core;
+
+  bench::banner("Extension: multi-node scaling",
+                "TS / AS / DOSAS across storage-node counts, shared 118 MB/s backbone");
+
+  {
+    Table t({"nodes", "per-node IOs", "TS (s)", "AS (s)", "DOSAS (s)", "DOSAS demoted"});
+    for (std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+      for (std::size_t per_node : {2u, 8u}) {
+        MultiNodeConfig cfg;
+        cfg.node = ModelConfig::gaussian();
+        cfg.storage_nodes = nodes;
+        const auto workload = balanced_workload(nodes, per_node, 128_MiB);
+        const auto ts = simulate_multi_node(SchemeKind::kTraditional, cfg, workload);
+        const auto as = simulate_multi_node(SchemeKind::kActive, cfg, workload);
+        const auto dosas = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+        t.add_row({std::to_string(nodes), std::to_string(per_node), fmt(ts.makespan),
+                   fmt(as.makespan), fmt(dosas.makespan), std::to_string(dosas.demoted)});
+      }
+    }
+    std::printf("\nBalanced placement (Gaussian, 128 MiB per I/O):\n");
+    t.print(std::cout);
+    bench::maybe_write_csv("ext_multinode_balanced", t);
+    std::printf(
+        "\nReading: at scale the shared backbone throttles TS (N nodes' raw data on\n"
+        "one link) while AS's per-node compute runs in parallel — offloading gets\n"
+        "MORE valuable with node count, and DOSAS keeps tracking the winner.\n");
+  }
+
+  {
+    Table t({"CE bandwidth model", "nodes", "per-node IOs", "DOSAS (s)", "demoted"});
+    for (bool aware : {false, true}) {
+      for (std::uint32_t nodes : {4u, 8u}) {
+        MultiNodeConfig cfg;
+        cfg.node = ModelConfig::gaussian();
+        cfg.storage_nodes = nodes;
+        cfg.ce_bandwidth_aware = aware;
+        const auto workload = balanced_workload(nodes, 4, 128_MiB);
+        const auto dosas = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+        t.add_row({aware ? "contention-aware" : "nominal (paper)", std::to_string(nodes),
+                   "4", fmt(dosas.makespan), std::to_string(dosas.demoted)});
+      }
+    }
+    std::printf("\nAblation: bandwidth-aware CE on the shared backbone:\n");
+    t.print(std::cout);
+    bench::maybe_write_csv("ext_multinode_ce_awareness", t);
+    std::printf(
+        "\nReading: with the paper's nominal-bandwidth cost model, each node's CE\n"
+        "sees a small local queue and demotes — N nodes then dump their raw data\n"
+        "onto one link and DOSAS degenerates to (congested) TS. Probing available\n"
+        "bandwidth, the same scheduler keeps kernels active and matches AS. The\n"
+        "CE must estimate the NETWORK, not just the CPU, once nodes share links.\n");
+  }
+
+  {
+    Table t({"skew", "TS (s)", "AS (s)", "DOSAS (s)", "hot-node active", "demoted"});
+    Rng rng(99);
+    for (double skew : {0.0, 1.0, 2.0}) {
+      MultiNodeConfig cfg;
+      cfg.node = ModelConfig::gaussian();
+      cfg.storage_nodes = 4;
+      cfg.shared_link = false;  // isolate the placement effect
+      Rng wrng = rng.fork();
+      const auto workload = skewed_workload(4, 24, 128_MiB, skew, wrng);
+      const auto ts = simulate_multi_node(SchemeKind::kTraditional, cfg, workload);
+      const auto as = simulate_multi_node(SchemeKind::kActive, cfg, workload);
+      const auto dosas = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+      t.add_row({fmt(skew, 1), fmt(ts.makespan), fmt(as.makespan), fmt(dosas.makespan),
+                 std::to_string(dosas.per_node_active[0]), std::to_string(dosas.demoted)});
+    }
+    std::printf("\nSkewed placement (24 x 128 MiB over 4 nodes, dedicated links):\n");
+    t.print(std::cout);
+    bench::maybe_write_csv("ext_multinode_skew", t);
+    std::printf(
+        "\nReading: skew concentrates queueing on the hot node; per-node DOSAS\n"
+        "demotes there while cold nodes keep offloading — the per-node decision\n"
+        "is exactly what a global static policy cannot express.\n\n");
+  }
+  return 0;
+}

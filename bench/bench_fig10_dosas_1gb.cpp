@@ -1,0 +1,10 @@
+// Figure 10 — performance of DOSAS compared with AS and TS, each I/O
+// requesting 1 GB of data (2D Gaussian Filter workload).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  bench::run_sweep_figure("Figure 10", "DOSAS vs AS vs TS, Gaussian filter, 1 GiB per I/O",
+                          core::ModelConfig::gaussian(), 1_GiB, /*with_dosas=*/true);
+  return 0;
+}

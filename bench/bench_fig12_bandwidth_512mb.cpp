@@ -1,0 +1,16 @@
+// Figure 12 — aggregate bandwidth achieved by each scheme with each I/O
+// requesting 512 MB data (2D Gaussian Filter workload).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  const auto cfg = core::ModelConfig::gaussian();
+  bench::banner("Figure 12", "Aggregate bandwidth of TS / AS / DOSAS, 512 MiB per I/O");
+  bench::platform_line(cfg);
+  const auto points = core::bandwidth_sweep(cfg, core::paper_io_counts(), 512_MiB);
+  core::bandwidth_table(points).print(std::cout);
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 2 — motivation: execution time of the Gaussian filter under
+// Traditional Storage (TS) and Active Storage (AS) as the number of I/Os
+// per storage node increases. TS overtakes AS past ~4 concurrent requests.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  bench::run_sweep_figure(
+      "Figure 2",
+      "Gaussian filter, TS vs AS, increasing I/Os per storage node (128 MiB each)",
+      core::ModelConfig::gaussian(), 128_MiB, /*with_dosas=*/false);
+  return 0;
+}

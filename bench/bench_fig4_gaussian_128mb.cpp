@@ -1,0 +1,10 @@
+// Figure 4 — execution time of the 2D Gaussian Filter under AS and TS with
+// increasing I/O requests, each I/O requesting 128 MB.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  bench::run_sweep_figure("Figure 4", "2D Gaussian Filter, AS vs TS, 128 MiB per I/O",
+                          core::ModelConfig::gaussian(), 128_MiB, /*with_dosas=*/false);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 5 — execution time of the 2D Gaussian Filter under AS and TS with
+// increasing I/O requests, each I/O requesting 512 MB.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  bench::run_sweep_figure("Figure 5", "2D Gaussian Filter, AS vs TS, 512 MiB per I/O",
+                          core::ModelConfig::gaussian(), 512_MiB, /*with_dosas=*/false);
+  return 0;
+}

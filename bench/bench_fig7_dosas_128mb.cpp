@@ -1,0 +1,10 @@
+// Figure 7 — performance of DOSAS compared with AS and TS, each I/O
+// requesting 128 MB of data (2D Gaussian Filter workload).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  bench::run_sweep_figure("Figure 7", "DOSAS vs AS vs TS, Gaussian filter, 128 MiB per I/O",
+                          core::ModelConfig::gaussian(), 128_MiB, /*with_dosas=*/true);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 8 — performance of DOSAS compared with AS and TS, each I/O
+// requesting 256 MB of data (2D Gaussian Filter workload).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  bench::run_sweep_figure("Figure 8", "DOSAS vs AS vs TS, Gaussian filter, 256 MiB per I/O",
+                          core::ModelConfig::gaussian(), 256_MiB, /*with_dosas=*/true);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 9 — performance of DOSAS compared with AS and TS, each I/O
+// requesting 512 MB of data (2D Gaussian Filter workload).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dosas;
+  bench::run_sweep_figure("Figure 9", "DOSAS vs AS vs TS, Gaussian filter, 512 MiB per I/O",
+                          core::ModelConfig::gaussian(), 512_MiB, /*with_dosas=*/true);
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Micro-benchmarks of the substrate hot paths: DES event queue, fluid
+// resource membership churn, PFS layout math and read path, checkpoint
+// codec, channel throughput, and kernel consume loops.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "common/channel.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "kernels/gaussian2d.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/topk.hpp"
+#include "kernels/sum.hpp"
+#include "pfs/client.hpp"
+#include "pfs/file_system.hpp"
+#include "sim/fluid_resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dosas;
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleFire)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FluidResourceChurn(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::FluidResource link(s, {.capacity = 100.0, .per_job_cap = 1.0});
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      s.schedule_at(static_cast<double>(i) * 0.01, [&link, &done] {
+        link.submit(1.0, [&done](sim::Time) { ++done; });
+      });
+    }
+    s.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_FluidResourceChurn)->Arg(100)->Arg(1000);
+
+void BM_LayoutMapExtent(benchmark::State& state) {
+  pfs::Layout layout({.strip_size = 64_KiB, .server_count = 8, .first_server = 3});
+  Rng rng(5);
+  for (auto _ : state) {
+    const Bytes off = rng.uniform_index(1_GiB);
+    auto segs = layout.map_extent(off, 16_MiB);
+    benchmark::DoNotOptimize(segs.data());
+  }
+}
+BENCHMARK(BM_LayoutMapExtent);
+
+void BM_PfsReadPath(benchmark::State& state) {
+  const auto size = static_cast<Bytes>(state.range(0));
+  pfs::FileSystem fs(4, 64_KiB);
+  pfs::Client client(fs);
+  std::vector<std::uint8_t> data(size, 0x5A);
+  auto meta = pfs::write_file(client, "/bench", data);
+  for (auto _ : state) {
+    auto out = client.read_all(meta.value());
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_PfsReadPath)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  Checkpoint ck;
+  ck.set_string("kernel", "gaussian2d");
+  ck.set_i64("consumed", 1234567);
+  ck.set_f64("sum", 3.14);
+  ck.set_blob("rows", std::vector<std::uint8_t>(static_cast<std::size_t>(state.range(0)), 7));
+  for (auto _ : state) {
+    auto bytes = ck.encode();
+    auto back = Checkpoint::decode(bytes);
+    benchmark::DoNotOptimize(back.is_ok());
+  }
+}
+BENCHMARK(BM_CheckpointRoundTrip)->Arg(1024)->Arg(65536);
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Channel<int> ch;
+    for (int i = 0; i < 1000; ++i) ch.send(i);
+    int sum = 0;
+    while (auto v = ch.try_receive()) sum += *v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelThroughput);
+
+void BM_SumKernelConsume(benchmark::State& state) {
+  kernels::SumKernel k;
+  std::vector<std::uint8_t> chunk(1_MiB, 0x3C);
+  for (auto _ : state) {
+    k.reset();
+    k.consume(chunk);
+    benchmark::DoNotOptimize(k.consumed());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_SumKernelConsume);
+
+void BM_GaussianKernelConsume(benchmark::State& state) {
+  kernels::Gaussian2dKernel k(1024);
+  std::vector<std::uint8_t> chunk(1_MiB, 0x3C);
+  for (auto _ : state) {
+    k.reset();
+    k.consume(chunk);
+    benchmark::DoNotOptimize(k.consumed());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_GaussianKernelConsume);
+
+void BM_PipelineConsume(benchmark::State& state) {
+  const auto reg = kernels::Registry::with_builtins();
+  auto pipe = reg.create("pipe:ops=scale;a=2;b=1|sum");
+  std::vector<std::uint8_t> chunk(1_MiB, 0x3C);
+  for (auto _ : state) {
+    pipe.value()->reset();
+    pipe.value()->consume(chunk);
+    benchmark::DoNotOptimize(pipe.value()->consumed());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_PipelineConsume);
+
+void BM_TopKConsume(benchmark::State& state) {
+  kernels::TopKKernel k(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> values(128 * 1024);
+  Rng rng(7);
+  for (auto& v : values) v = rng.uniform();
+  std::vector<std::uint8_t> chunk(values.size() * sizeof(double));
+  std::memcpy(chunk.data(), values.data(), chunk.size());
+  for (auto _ : state) {
+    k.reset();
+    k.consume(chunk);
+    benchmark::DoNotOptimize(k.consumed());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_TopKConsume)->Arg(10)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

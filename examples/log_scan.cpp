@@ -1,0 +1,118 @@
+// log_scan — unstructured-data active storage: scan server logs for error
+// signatures without moving the logs.
+//
+// Eight synthetic service logs are placed one-per-storage-node (round
+// robin) across a 4-node volume. Concurrent scanners count "ERROR" and
+// "TIMEOUT" occurrences via the bytegrep kernel; the match counts (16 B)
+// come back instead of the multi-megabyte logs. This is the Riedel-style
+// search workload active disks were originally proposed for.
+//
+//   ./examples/log_scan
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "kernels/byte_grep.hpp"
+
+namespace {
+
+std::string synth_log(std::size_t service, std::size_t lines, dosas::Rng& rng) {
+  static const char* kLevels[] = {"INFO", "INFO", "INFO", "WARN", "ERROR"};
+  std::string log;
+  log.reserve(lines * 48);
+  for (std::size_t i = 0; i < lines; ++i) {
+    const char* level = kLevels[rng.uniform_index(5)];
+    log += "2012-09-2";
+    log += static_cast<char>('0' + (i % 8));
+    log += " svc";
+    log += std::to_string(service);
+    log += " [";
+    log += level;
+    log += "] request ";
+    log += std::to_string(i);
+    if (rng.chance(0.03)) log += " TIMEOUT after 30s";
+    log += '\n';
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dosas;
+
+  core::ClusterConfig config;
+  config.storage_nodes = 4;
+  config.scheme = core::SchemeKind::kDosas;
+  core::Cluster cluster(config);
+
+  Rng rng(90210);
+  constexpr std::size_t kServices = 8;
+  constexpr std::size_t kLines = 100'000;
+  std::vector<Bytes> log_sizes(kServices);
+  for (std::size_t s = 0; s < kServices; ++s) {
+    pfs::StripingParams striping;
+    striping.strip_size = cluster.fs().default_strip_size();
+    striping.server_count = 1;  // whole log on one node
+    striping.base_server = static_cast<pfs::ServerId>(s % 4);
+    auto meta = cluster.pfs_client().create("/logs/svc" + std::to_string(s), striping);
+    if (!meta.is_ok()) {
+      std::fprintf(stderr, "create failed: %s\n", meta.status().to_string().c_str());
+      return 1;
+    }
+    const std::string log = synth_log(s, kLines, rng);
+    auto written = cluster.pfs_client().write(
+        meta.value(), 0,
+        std::span(reinterpret_cast<const std::uint8_t*>(log.data()), log.size()));
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "write failed\n");
+      return 1;
+    }
+    log_sizes[s] = written.value().size;
+  }
+
+  struct ScanResult {
+    std::uint64_t errors = 0;
+    std::uint64_t timeouts = 0;
+    bool ok = false;
+  };
+  std::vector<ScanResult> results(kServices);
+  std::vector<std::thread> scanners;
+  for (std::size_t s = 0; s < kServices; ++s) {
+    scanners.emplace_back([&, s] {
+      auto meta = cluster.pfs_client().open("/logs/svc" + std::to_string(s));
+      if (!meta.is_ok()) return;
+      auto errors =
+          cluster.asc().read_ex(meta.value(), 0, meta.value().size, "bytegrep:pat=ERROR");
+      auto timeouts =
+          cluster.asc().read_ex(meta.value(), 0, meta.value().size, "bytegrep:pat=TIMEOUT");
+      if (!errors.is_ok() || !timeouts.is_ok()) return;
+      auto e = kernels::ByteGrepResult::decode(errors.value());
+      auto t = kernels::ByteGrepResult::decode(timeouts.value());
+      if (!e.is_ok() || !t.is_ok()) return;
+      results[s] = {e.value().matches, t.value().matches, true};
+    });
+  }
+  for (auto& t : scanners) t.join();
+
+  std::printf("service  log size    ERROR lines  TIMEOUTs\n");
+  std::printf("-------------------------------------------\n");
+  for (std::size_t s = 0; s < kServices; ++s) {
+    std::printf("svc%zu     %-10s  %11llu  %8llu%s\n", s, format_bytes(log_sizes[s]).c_str(),
+                static_cast<unsigned long long>(results[s].errors),
+                static_cast<unsigned long long>(results[s].timeouts),
+                results[s].ok ? "" : "  (scan failed)");
+  }
+
+  const auto cs = cluster.asc().stats();
+  Bytes total_logs = 0;
+  for (Bytes b : log_sizes) total_logs += b;
+  std::printf("\nlogs scanned twice each (%s total); raw bytes moved: %s\n",
+              format_bytes(2 * total_logs).c_str(), format_bytes(cs.raw_bytes_read).c_str());
+  std::printf("note: bytegrep has no rate-table entry, so the CE leaves it active —\n"
+              "the match counts travelled instead of the logs.\n");
+  return 0;
+}

@@ -1,0 +1,368 @@
+#include "client/active_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+
+#include "common/logging.hpp"
+#include "pfs/layout.hpp"
+
+namespace dosas::client {
+
+ActiveClient::ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
+                           std::vector<server::StorageServer*> servers, Config config)
+    : pfs_(pfs), registry_(registry), servers_(std::move(servers)), config_(config) {
+  assert(!servers_.empty());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    assert(servers_[i] != nullptr);
+    assert(servers_[i]->server_id() == i && "servers must be indexed by data-server id");
+  }
+}
+
+std::vector<ActiveClient::ServerExtent> ActiveClient::server_extents(const pfs::FileMeta& meta,
+                                                                     Bytes offset,
+                                                                     Bytes length) const {
+  const pfs::Layout layout(meta.striping);
+  std::map<pfs::ServerId, ServerExtent> per_server;
+  for (const auto& seg : layout.map_extent(offset, length)) {
+    auto [it, inserted] = per_server.try_emplace(
+        seg.server, ServerExtent{seg.server, seg.object_offset, seg.length});
+    if (!inserted) {
+      // Object strips of one file extent are dense per server, so the
+      // union stays contiguous: just extend.
+      assert(seg.object_offset == it->second.object_offset + it->second.length);
+      it->second.length += seg.length;
+    }
+  }
+  std::vector<ServerExtent> out;
+  out.reserve(per_server.size());
+  for (auto& [server, ext] : per_server) out.push_back(ext);
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::read(const pfs::FileMeta& meta, Bytes offset,
+                                                     Bytes length) {
+  auto data = pfs_.read(meta, offset, length);
+  if (data.is_ok()) {
+    {
+      std::lock_guard lock(mu_);
+      stats_.raw_bytes_read += data.value().size();
+    }
+    if (config_.network != nullptr) config_.network->acquire(data.value().size());
+  }
+  return data;
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::read_ex(const pfs::FileMeta& meta, Bytes offset,
+                                                        Bytes length,
+                                                        const std::string& operation) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.reads_ex;
+  }
+
+  // Clamp at EOF like a normal read.
+  auto fresh = pfs_.file_system().meta().lookup_handle(meta.handle);
+  if (!fresh.is_ok()) return fresh.status();
+  const Bytes size = fresh.value().size;
+  if (offset >= size) length = 0;
+  length = std::min(length, size > offset ? size - offset : 0);
+
+  auto probe = registry_.create(operation);
+  if (!probe.is_ok()) return probe.status();
+
+  if (length == 0) {
+    probe.value()->reset();
+    return probe.value()->finalize();
+  }
+
+  const auto extents = server_extents(meta, offset, length);
+  assert(!extents.empty());
+
+  if (extents.size() == 1) {
+    return resolve_extent(meta, extents[0], operation);
+  }
+
+  // Multi-server extent. Fan out per server and merge when the kernel
+  // supports it and item boundaries align with strip boundaries.
+  const bool aligned = meta.striping.strip_size % sizeof(double) == 0 &&
+                       offset % sizeof(double) == 0;
+  if (config_.allow_striped_fanout && probe.value()->mergeable() && aligned) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.striped_fanouts;
+    }
+    auto master = probe.value()->clone();
+    master->reset();
+    for (const auto& ext : extents) {
+      auto partial = resolve_extent(meta, ext, operation);
+      if (!partial.is_ok()) return partial.status();
+      Status st = master->merge(partial.value());
+      if (!st.is_ok()) return st;
+    }
+    return master->finalize();
+  }
+
+  // Non-mergeable (or misaligned) kernels need the bytes in logical file
+  // order: plain normal I/O plus one local kernel pass (the TS path).
+  return local_kernel(meta, offset, length, operation);
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::resolve_extent(const pfs::FileMeta& meta,
+                                                               const ServerExtent& ext,
+                                                               const std::string& operation) {
+  if (ext.server >= servers_.size()) {
+    return error(ErrorCode::kInternal, "no storage server for data server id " +
+                                           std::to_string(ext.server));
+  }
+  server::StorageServer& server = *servers_[ext.server];
+
+  server::ActiveIoRequest req;
+  req.handle = meta.handle;
+  req.object_offset = ext.object_offset;
+  req.length = ext.length;
+  req.operation = operation;
+  return resolve_response(server, meta, ext, operation, server.serve_active(req));
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
+    server::StorageServer& server, const pfs::FileMeta& meta, const ServerExtent& ext,
+    const std::string& operation, server::ActiveIoResponse resp, bool allow_resubmit) {
+  switch (resp.outcome) {
+    case server::ActiveOutcome::kCompleted: {
+      std::lock_guard lock(mu_);
+      ++stats_.completed_remote;
+      stats_.result_bytes_received += resp.result.size();
+      return resp.result;
+    }
+
+    case server::ActiveOutcome::kRejected: {
+      // Paper §III-C case 1: "For new arrival active I/O requests, R just
+      // set completed argument to 0 ... The request is now changed to be a
+      // normal I/O and will be processed by ASC."
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.demoted;
+        ++stats_.local_kernel_runs;
+      }
+      auto kernel = registry_.create(operation);
+      if (!kernel.is_ok()) return kernel.status();
+      kernel.value()->reset();
+      return finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
+    }
+
+    case server::ActiveOutcome::kInterrupted: {
+      // Extension: offer the checkpoint back to the storage node once (the
+      // spike that caused the interruption may have passed). Whatever the
+      // second round returns, accumulated kernel progress is never lost:
+      // every fallback resumes from the freshest checkpoint.
+      if (config_.resubmit_interrupted && allow_resubmit) {
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.resubmitted;
+        }
+        server::ActiveIoRequest again;
+        again.handle = meta.handle;
+        again.object_offset = ext.object_offset;
+        again.length = ext.length;
+        again.operation = operation;
+        again.resume_checkpoint = resp.checkpoint;
+        again.resume_from = resp.resume_offset;
+        auto second = server.serve_active(again);
+        if (second.outcome == server::ActiveOutcome::kCompleted) {
+          std::lock_guard lock(mu_);
+          ++stats_.completed_remote;
+          stats_.result_bytes_received += second.result.size();
+          return second.result;
+        }
+        // Rejected (no progress since the first checkpoint) keeps the
+        // original state; a second interruption carries fresher state.
+        if (second.outcome == server::ActiveOutcome::kInterrupted) {
+          resp = std::move(second);
+        }
+        // Fall through to local completion from resp's checkpoint.
+      }
+      // Paper §III-C case 2: restore the shipped variable dump and finish
+      // the remaining bytes locally.
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.resumed_local;
+        ++stats_.local_kernel_runs;
+        stats_.result_bytes_received += resp.checkpoint.size();
+      }
+      auto decoded = Checkpoint::decode(resp.checkpoint);
+      if (!decoded.is_ok()) return decoded.status();
+      auto kernel = registry_.create(operation);
+      if (!kernel.is_ok()) return kernel.status();
+      Status st = kernel.value()->restore(decoded.value());
+      if (!st.is_ok()) return st;
+      return finish_locally(server, meta, ext, resp.resume_offset, *kernel.value());
+    }
+
+    case server::ActiveOutcome::kFailed: {
+      // Resilience: a transient server-side failure (e.g. a data-server
+      // brownout mid-kernel) is retried once as plain normal I/O + a local
+      // kernel. A persistent fault will fail that retry and propagate.
+      if (resp.status.code() == ErrorCode::kNotFound ||
+          resp.status.code() == ErrorCode::kInvalidArgument) {
+        return resp.status;  // not transient: bad operation or missing file
+      }
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.failed_remote_retries;
+        ++stats_.local_kernel_runs;
+      }
+      auto kernel = registry_.create(operation);
+      if (!kernel.is_ok()) return kernel.status();
+      kernel.value()->reset();
+      auto retried = finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
+      if (!retried.is_ok()) return resp.status;  // persistent: surface the original error
+      return retried;
+    }
+  }
+  return error(ErrorCode::kInternal, "unreachable active outcome");
+}
+
+std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
+    const std::vector<BatchItem>& items) {
+  std::vector<std::optional<Result<std::vector<std::uint8_t>>>> results(items.size());
+
+  struct PendingItem {
+    std::size_t index;
+    ServerExtent ext;
+  };
+  std::map<pfs::ServerId, std::vector<PendingItem>> groups;
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.reads_ex;
+    }
+    auto fresh = pfs_.file_system().meta().lookup_handle(item.meta.handle);
+    if (!fresh.is_ok()) {
+      results[i] = fresh.status();
+      continue;
+    }
+    const Bytes size = fresh.value().size;
+    Bytes length = item.length;
+    if (item.offset >= size) length = 0;
+    length = std::min(length, size > item.offset ? size - item.offset : 0);
+
+    auto probe = registry_.create(item.operation);
+    if (!probe.is_ok()) {
+      results[i] = probe.status();
+      continue;
+    }
+    if (length == 0) {
+      probe.value()->reset();
+      results[i] = probe.value()->finalize();
+      continue;
+    }
+    const auto extents = server_extents(item.meta, item.offset, length);
+    if (extents.size() == 1) {
+      groups[extents[0].server].push_back({i, extents[0]});
+    } else {
+      // Striped items take the individual path (fan-out + merge). Undo the
+      // double-counted reads_ex bump from read_ex itself.
+      {
+        std::lock_guard lock(mu_);
+        --stats_.reads_ex;
+      }
+      results[i] = read_ex(item.meta, item.offset, length, item.operation);
+    }
+  }
+
+  // One batched submission per storage node: the node's CE decides over
+  // the whole group at once.
+  for (auto& [server_id, pending] : groups) {
+    server::StorageServer& server = *servers_[server_id];
+    std::vector<server::ActiveIoRequest> reqs;
+    reqs.reserve(pending.size());
+    for (const auto& p : pending) {
+      server::ActiveIoRequest req;
+      req.handle = items[p.index].meta.handle;
+      req.object_offset = p.ext.object_offset;
+      req.length = p.ext.length;
+      req.operation = items[p.index].operation;
+      reqs.push_back(std::move(req));
+    }
+    auto responses = server.serve_active_batch(std::move(reqs));
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      const auto& p = pending[j];
+      results[p.index] = resolve_response(server, items[p.index].meta, p.ext,
+                                          items[p.index].operation, std::move(responses[j]));
+    }
+  }
+
+  std::vector<Result<std::vector<std::uint8_t>>> out;
+  out.reserve(items.size());
+  for (auto& r : results) {
+    out.push_back(r.has_value() ? std::move(*r)
+                                : Result<std::vector<std::uint8_t>>(
+                                      error(ErrorCode::kInternal, "batch item unresolved")));
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::finish_locally(server::StorageServer& server,
+                                                               const pfs::FileMeta& meta,
+                                                               const ServerExtent& ext,
+                                                               Bytes from,
+                                                               kernels::Kernel& kernel) {
+  Bytes pos = from;
+  const Bytes end = ext.object_offset + ext.length;
+  while (pos < end) {
+    const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
+    auto chunk = server.serve_normal(meta.handle, pos, n);
+    if (!chunk.is_ok()) return chunk.status();
+    if (chunk.value().empty()) break;
+    {
+      std::lock_guard lock(mu_);
+      stats_.raw_bytes_read += chunk.value().size();
+    }
+    kernel.consume(chunk.value());
+    const bool short_read = chunk.value().size() < n;
+    pos += chunk.value().size();
+    if (short_read) break;
+  }
+  return kernel.finalize();
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::local_kernel(const pfs::FileMeta& meta,
+                                                             Bytes offset, Bytes length,
+                                                             const std::string& operation) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.local_kernel_runs;
+  }
+  auto kernel = registry_.create(operation);
+  if (!kernel.is_ok()) return kernel.status();
+  kernel.value()->reset();
+  Bytes pos = offset;
+  const Bytes end = offset + length;
+  while (pos < end) {
+    const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
+    auto chunk = pfs_.read(meta, pos, n);
+    if (!chunk.is_ok()) return chunk.status();
+    if (chunk.value().empty()) break;
+    {
+      std::lock_guard lock(mu_);
+      stats_.raw_bytes_read += chunk.value().size();
+    }
+    if (config_.network != nullptr) config_.network->acquire(chunk.value().size());
+    kernel.value()->consume(chunk.value());
+    const bool short_read = chunk.value().size() < n;
+    pos += chunk.value().size();
+    if (short_read) break;
+  }
+  return kernel.value()->finalize();
+}
+
+ActiveClient::Stats ActiveClient::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace dosas::client

@@ -1,0 +1,149 @@
+// active_client.hpp — the Active Storage Client (ASC).
+//
+// Paper §III-B: the ASC runs on compute nodes with two jobs: (1) the
+// application-facing API for active I/O, and (2) finishing active I/O that
+// storage nodes hand back — either rejected at arrival (the client reads
+// the raw data and runs the kernel locally) or interrupted mid-kernel (the
+// client restores the shipped checkpoint and processes only the remaining
+// bytes). Both paths are transparent to the application: read_ex() always
+// returns the finished kernel result.
+//
+// Striped files: when the extent spans several storage nodes and the
+// kernel is mergeable, the ASC fans the request out per node and merges
+// the partial results (the striped-file support of Piernas et al. that the
+// paper cites); non-mergeable kernels (gaussian2d) fall back to normal
+// reads plus one local kernel pass.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/token_bucket.hpp"
+#include "kernels/registry.hpp"
+#include "pfs/client.hpp"
+#include "server/storage_server.hpp"
+
+namespace dosas::client {
+
+/// ActiveClient construction options (namespace-scope so it is complete
+/// where member declarations use it as a default argument).
+struct ActiveClientConfig {
+  Bytes chunk_size = 4_MiB;          ///< local kernel streaming granularity
+  bool allow_striped_fanout = true;  ///< per-server partials + merge
+  /// Cooperative resumption (extension): when a kernel is interrupted,
+  /// resubmit it once WITH its checkpoint instead of finishing locally —
+  /// useful when the client is compute-poor and the storage spike was
+  /// transient. A second interruption/rejection falls back to local
+  /// completion as usual.
+  bool resubmit_interrupted = false;
+  /// Shared link model (usually the cluster's): bytes pulled through the
+  /// direct PFS paths (read(), striped local fallback) are charged here;
+  /// server-side paths charge themselves. May be null.
+  std::shared_ptr<TokenBucket> network;
+};
+
+class ActiveClient {
+ public:
+  using Config = ActiveClientConfig;
+
+  struct Stats {
+    std::uint64_t reads_ex = 0;             ///< read_ex() calls
+    std::uint64_t completed_remote = 0;     ///< served fully on storage nodes
+    std::uint64_t demoted = 0;              ///< rejected -> full local fallback
+    std::uint64_t resumed_local = 0;        ///< interrupted -> checkpoint resume
+    std::uint64_t local_kernel_runs = 0;    ///< kernels executed on this client
+    std::uint64_t striped_fanouts = 0;      ///< multi-server merged requests
+    std::uint64_t failed_remote_retries = 0;  ///< server failures retried locally
+    std::uint64_t resubmitted = 0;            ///< interrupted kernels re-offloaded
+    Bytes raw_bytes_read = 0;               ///< raw data pulled over "the network"
+    Bytes result_bytes_received = 0;        ///< kernel results/checkpoints received
+  };
+
+  /// `servers[i]` must be the Active Storage Server wrapping PFS data
+  /// server i of the same file system `pfs` operates on.
+  ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
+               std::vector<server::StorageServer*> servers, Config config = {});
+
+  /// The enhanced read: run `operation` over file bytes
+  /// [offset, offset+length) and return the encoded kernel result.
+  /// Equivalent to the paper's MPI_File_read_ex() with the ASC's
+  /// completion duties folded in.
+  Result<std::vector<std::uint8_t>> read_ex(const pfs::FileMeta& meta, Bytes offset,
+                                            Bytes length, const std::string& operation);
+
+  /// Normal read (the unmodified PFS path), for symmetry with read_ex.
+  Result<std::vector<std::uint8_t>> read(const pfs::FileMeta& meta, Bytes offset, Bytes length);
+
+  /// One active read in a batch.
+  struct BatchItem {
+    pfs::FileMeta meta;
+    Bytes offset = 0;
+    Bytes length = 0;
+    std::string operation;
+  };
+
+  /// Collective active read: items whose extents live on a single storage
+  /// node are submitted together per node via the server's batch endpoint,
+  /// so each node's CE makes ONE decision over the whole batch (no
+  /// admit-then-interrupt churn). Striped/multi-node items fall back to
+  /// individual read_ex calls. Results align positionally with `items`.
+  std::vector<Result<std::vector<std::uint8_t>>> read_ex_batch(
+      const std::vector<BatchItem>& items);
+
+  Stats stats() const;
+  pfs::Client& pfs() { return pfs_; }
+  const kernels::Registry& registry() const { return registry_; }
+
+ private:
+  struct ServerExtent {
+    pfs::ServerId server = 0;
+    Bytes object_offset = 0;
+    Bytes length = 0;
+  };
+
+  /// Decompose a file extent into one contiguous object range per server.
+  std::vector<ServerExtent> server_extents(const pfs::FileMeta& meta, Bytes offset,
+                                           Bytes length) const;
+
+  /// Run the kernel locally over a file extent (the TS path).
+  Result<std::vector<std::uint8_t>> local_kernel(const pfs::FileMeta& meta, Bytes offset,
+                                                 Bytes length, const std::string& operation);
+
+  /// Dispatch one server extent as an active request and fully resolve it
+  /// (handling rejection, interruption, and server failure). Returns the
+  /// kernel result for that extent.
+  Result<std::vector<std::uint8_t>> resolve_extent(const pfs::FileMeta& meta,
+                                                   const ServerExtent& ext,
+                                                   const std::string& operation);
+
+  /// Resolve an already-received server response for one extent (the
+  /// completion/demotion/resume/retry state machine shared by the single
+  /// and batch paths).
+  Result<std::vector<std::uint8_t>> resolve_response(server::StorageServer& server,
+                                                     const pfs::FileMeta& meta,
+                                                     const ServerExtent& ext,
+                                                     const std::string& operation,
+                                                     server::ActiveIoResponse resp,
+                                                     bool allow_resubmit = true);
+
+  /// Stream object bytes [from, ext end) through `kernel` via the server's
+  /// normal-I/O path and finalize. The demoted / resumed / retried
+  /// completion loop.
+  Result<std::vector<std::uint8_t>> finish_locally(server::StorageServer& server,
+                                                   const pfs::FileMeta& meta,
+                                                   const ServerExtent& ext, Bytes from,
+                                                   kernels::Kernel& kernel);
+
+  pfs::Client& pfs_;
+  const kernels::Registry& registry_;
+  std::vector<server::StorageServer*> servers_;
+  Config config_;
+
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace dosas::client

@@ -1,0 +1,114 @@
+#include "client/mpiio.hpp"
+
+namespace dosas::mpiio {
+
+Status file_open(client::ActiveClient& asc, const std::string& path, File& fh) {
+  auto meta = asc.pfs().open(path);
+  if (!meta.is_ok()) return meta.status();
+  fh.meta = meta.value();
+  fh.position = 0;
+  fh.asc = &asc;
+  return Status::ok();
+}
+
+Status file_read(File& fh, std::vector<std::uint8_t>& buf, std::size_t count,
+                 std::size_t datatype_size) {
+  if (!fh.valid()) return error(ErrorCode::kInvalidArgument, "file not open");
+  const Bytes want = static_cast<Bytes>(count) * datatype_size;
+  auto data = fh.asc->read(fh.meta, fh.position, want);
+  if (!data.is_ok()) return data.status();
+  buf = std::move(data).value();
+  fh.position += buf.size();
+  return Status::ok();
+}
+
+Status file_read_ex(File& fh, ResultBuf* result, std::size_t count, std::size_t datatype_size,
+                    const char* operation) {
+  if (!fh.valid()) return error(ErrorCode::kInvalidArgument, "file not open");
+  if (result == nullptr) return error(ErrorCode::kInvalidArgument, "null result buffer");
+  if (operation == nullptr) return error(ErrorCode::kInvalidArgument, "null operation");
+  result->completed = false;
+  result->buf.clear();
+
+  const Bytes want = static_cast<Bytes>(count) * datatype_size;
+  auto out = fh.asc->read_ex(fh.meta, fh.position, want, operation);
+  if (!out.is_ok()) return out.status();
+
+  // Advance by what was actually covered (clamped at EOF like file_read).
+  auto fresh = fh.asc->pfs().file_system().meta().lookup_handle(fh.meta.handle);
+  const Bytes size = fresh.is_ok() ? fresh.value().size : fh.meta.size;
+  const Bytes covered = fh.position >= size ? 0 : std::min(want, size - fh.position);
+  fh.position += covered;
+
+  result->completed = true;
+  result->buf = std::move(out).value();
+  result->offset = fh.position;
+  return Status::ok();
+}
+
+Status file_read_ex_all(std::vector<File*> files, std::vector<ResultBuf>& results,
+                        const std::vector<std::size_t>& counts, std::size_t datatype_size,
+                        const char* operation) {
+  if (operation == nullptr) return error(ErrorCode::kInvalidArgument, "null operation");
+  if (files.size() != counts.size()) {
+    return error(ErrorCode::kInvalidArgument, "files/counts size mismatch");
+  }
+  if (files.empty()) {
+    results.clear();
+    return Status::ok();
+  }
+  client::ActiveClient* asc = nullptr;
+  std::vector<client::ActiveClient::BatchItem> items;
+  items.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i] == nullptr || !files[i]->valid()) {
+      return error(ErrorCode::kInvalidArgument,
+                   "file " + std::to_string(i) + " not open");
+    }
+    if (asc == nullptr) asc = files[i]->asc;
+    if (files[i]->asc != asc) {
+      return error(ErrorCode::kInvalidArgument, "files span different clients");
+    }
+    client::ActiveClient::BatchItem item;
+    item.meta = files[i]->meta;
+    item.offset = files[i]->position;
+    item.length = static_cast<Bytes>(counts[i]) * datatype_size;
+    item.operation = operation;
+    items.push_back(std::move(item));
+  }
+
+  auto outs = asc->read_ex_batch(items);
+  results.assign(files.size(), ResultBuf{});
+  Status first_error = Status::ok();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!outs[i].is_ok()) {
+      if (first_error.is_ok()) first_error = outs[i].status();
+      continue;
+    }
+    auto fresh = asc->pfs().file_system().meta().lookup_handle(files[i]->meta.handle);
+    const Bytes size = fresh.is_ok() ? fresh.value().size : files[i]->meta.size;
+    const Bytes want = items[i].length;
+    const Bytes covered =
+        files[i]->position >= size ? 0 : std::min(want, size - files[i]->position);
+    files[i]->position += covered;
+    results[i].completed = true;
+    results[i].buf = std::move(outs[i]).value();
+    results[i].offset = files[i]->position;
+  }
+  return first_error;
+}
+
+Status file_seek(File& fh, Bytes offset) {
+  if (!fh.valid()) return error(ErrorCode::kInvalidArgument, "file not open");
+  fh.position = offset;
+  return Status::ok();
+}
+
+Result<Bytes> file_size(const File& fh) {
+  if (!fh.valid()) return error(ErrorCode::kInvalidArgument, "file not open");
+  auto fresh = fh.asc->pfs().file_system().meta().lookup_handle(fh.meta.handle);
+  if (!fresh.is_ok()) return fresh.status();
+  return fresh.value().size;
+}
+
+}  // namespace dosas::mpiio

@@ -1,0 +1,79 @@
+// mpiio.hpp — the enhanced MPI-IO-shaped facade (paper Table I).
+//
+// The paper extends exactly one MPI-IO call:
+//
+//   MPI_File_read_ex(MPI_File fh, struct result *buf, int count,
+//                    MPI_Datatype, char *operation, MPI_Status *status);
+//
+// with `struct result { bool completed; void *buf; MPI_File fh;
+// long offset; }`. This facade reproduces that shape over the ASC without
+// requiring an MPI installation: `File` is the file handle, `ResultBuf` is
+// `struct result`, and `file_read_ex` takes (count, datatype_size,
+// operation). Since the ASC transparently finishes demoted/interrupted
+// requests, `completed` is true on return and `buf` holds the finished
+// kernel result; `offset` reports the file position after the call. The
+// unmodified `file_read` is the normal-I/O path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/active_client.hpp"
+
+namespace dosas::mpiio {
+
+/// Datatype sizes, in the spirit of MPI_Datatype for this facade.
+inline constexpr std::size_t kDouble = sizeof(double);
+inline constexpr std::size_t kByte = 1;
+
+/// An open file handle (MPI_File analogue). Tracks an independent file
+/// pointer per handle, like MPI's individual file pointer.
+struct File {
+  pfs::FileMeta meta;
+  Bytes position = 0;
+  client::ActiveClient* asc = nullptr;
+
+  bool valid() const { return asc != nullptr; }
+};
+
+/// The paper's `struct result`.
+struct ResultBuf {
+  bool completed = false;             ///< 1 once the operation's result is final
+  std::vector<std::uint8_t> buf;      ///< kernel result payload
+  Bytes offset = 0;                   ///< file position after the read
+};
+
+/// MPI_File_open analogue (read-only).
+Status file_open(client::ActiveClient& asc, const std::string& path, File& fh);
+
+/// MPI_File_read analogue: read count*datatype_size bytes at the current
+/// file pointer into `buf` (resized), advancing the pointer. Short reads
+/// at EOF shrink `buf`.
+Status file_read(File& fh, std::vector<std::uint8_t>& buf, std::size_t count,
+                 std::size_t datatype_size);
+
+/// The enhanced call (paper Table I): run `operation` server-side over the
+/// next count*datatype_size bytes; the ASC finishes any demoted or
+/// interrupted work, so on success `result.completed` is true and
+/// `result.buf` holds the kernel output. Advances the file pointer.
+Status file_read_ex(File& fh, ResultBuf* result, std::size_t count, std::size_t datatype_size,
+                    const char* operation);
+
+/// Collective form (MPI_File_read_all spirit): every rank's active read is
+/// submitted in one batch so each storage node's Contention Estimator makes
+/// a single decision over the whole group — the cure for the
+/// admit-then-interrupt churn that per-arrival scheduling suffers when many
+/// ranks hit the same node simultaneously. `files`, `counts`, and `results`
+/// are positionally aligned; each file's pointer advances on success.
+Status file_read_ex_all(std::vector<File*> files, std::vector<ResultBuf>& results,
+                        const std::vector<std::size_t>& counts, std::size_t datatype_size,
+                        const char* operation);
+
+/// MPI_File_seek analogue (absolute).
+Status file_seek(File& fh, Bytes offset);
+
+/// MPI_File_get_size analogue.
+Result<Bytes> file_size(const File& fh);
+
+}  // namespace dosas::mpiio

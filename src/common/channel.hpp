@@ -1,0 +1,108 @@
+// channel.hpp — bounded blocking MPMC channel.
+//
+// The paper's R <-> kernel communication is "shared memory ... widely used
+// for inter-process communication within a given compute node" (§III-E).
+// Our runtime is in-process, so the equivalent is a bounded queue with
+// blocking send/receive and a close() for shutdown. Used for:
+//   * request dispatch from the storage server to its kernel workers,
+//   * interrupt signals from the runtime to a running kernel,
+//   * compute-node clients talking to storage servers in the real runtime.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dosas {
+
+template <typename T>
+class Channel {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full. Returns false if the channel was
+  /// closed (the item is dropped).
+  bool send(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send; returns false if full or closed.
+  bool try_send(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || full_locked()) return false;
+      queue_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the channel is closed *and*
+  /// drained; nullopt means closed-and-empty.
+  std::optional<T> receive() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    std::unique_lock lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// After close(), sends fail and receivers drain remaining items then get
+  /// nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  bool full_locked() const { return capacity_ != 0 && queue_.size() >= capacity_; }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dosas

@@ -1,0 +1,26 @@
+// logging.hpp — minimal leveled logger.
+//
+// Single global sink guarded by a mutex; default level is kWarn so tests
+// and benches stay quiet. Enable kDebug to trace scheduler decisions.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dosas {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style log statement; no-op below the global level.
+void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define DOSAS_LOG_DEBUG(...) ::dosas::log(::dosas::LogLevel::kDebug, __VA_ARGS__)
+#define DOSAS_LOG_INFO(...) ::dosas::log(::dosas::LogLevel::kInfo, __VA_ARGS__)
+#define DOSAS_LOG_WARN(...) ::dosas::log(::dosas::LogLevel::kWarn, __VA_ARGS__)
+#define DOSAS_LOG_ERROR(...) ::dosas::log(::dosas::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dosas

@@ -1,0 +1,88 @@
+#include "common/serialize.hpp"
+
+namespace dosas {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xD05A5CE0;  // "DOSAS checkpoint"
+}
+
+std::vector<std::uint8_t> Checkpoint::encode() const {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u32(static_cast<std::uint32_t>(field_count()));
+  for (const auto& [name, v] : i64_) {
+    w.put_string(name);
+    w.put_u8(static_cast<std::uint8_t>(FieldType::kI64));
+    w.put_i64(v);
+  }
+  for (const auto& [name, v] : f64_) {
+    w.put_string(name);
+    w.put_u8(static_cast<std::uint8_t>(FieldType::kF64));
+    w.put_f64(v);
+  }
+  for (const auto& [name, v] : str_) {
+    w.put_string(name);
+    w.put_u8(static_cast<std::uint8_t>(FieldType::kString));
+    w.put_string(v);
+  }
+  for (const auto& [name, v] : blob_) {
+    w.put_string(name);
+    w.put_u8(static_cast<std::uint8_t>(FieldType::kBlob));
+    w.put_blob(v);
+  }
+  return w.take();
+}
+
+Result<Checkpoint> Checkpoint::decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t count = 0;
+  if (!r.get_u32(magic) || magic != kMagic) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint: bad magic");
+  }
+  if (!r.get_u32(count)) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint: truncated header");
+  }
+  Checkpoint ck;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::uint8_t tag = 0;
+    if (!r.get_string(name) || !r.get_u8(tag)) {
+      return error(ErrorCode::kInvalidArgument, "checkpoint: truncated field");
+    }
+    switch (static_cast<FieldType>(tag)) {
+      case FieldType::kI64: {
+        std::int64_t v = 0;
+        if (!r.get_i64(v)) return error(ErrorCode::kInvalidArgument, "checkpoint: bad i64");
+        ck.set_i64(name, v);
+        break;
+      }
+      case FieldType::kF64: {
+        double v = 0;
+        if (!r.get_f64(v)) return error(ErrorCode::kInvalidArgument, "checkpoint: bad f64");
+        ck.set_f64(name, v);
+        break;
+      }
+      case FieldType::kString: {
+        std::string v;
+        if (!r.get_string(v)) return error(ErrorCode::kInvalidArgument, "checkpoint: bad string");
+        ck.set_string(name, std::move(v));
+        break;
+      }
+      case FieldType::kBlob: {
+        std::vector<std::uint8_t> v;
+        if (!r.get_blob(v)) return error(ErrorCode::kInvalidArgument, "checkpoint: bad blob");
+        ck.set_blob(name, std::move(v));
+        break;
+      }
+      default:
+        return error(ErrorCode::kInvalidArgument, "checkpoint: unknown field type");
+    }
+  }
+  if (!r.exhausted()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint: trailing bytes");
+  }
+  return ck;
+}
+
+}  // namespace dosas

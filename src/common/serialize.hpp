@@ -1,0 +1,159 @@
+// serialize.hpp — the checkpoint wire format used when the Active I/O
+// Runtime interrupts a running kernel and ships its state to the client.
+//
+// Paper §III-E: "When a kernel receives a terminating signal from the R, it
+// will write the shared memory with its status, including the values of all
+// variables in the form <variable name, variable type, value>". We implement
+// exactly that: a Checkpoint is an ordered set of typed named fields, with a
+// compact little-endian binary encoding so its size can be charged to the
+// network model.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dosas {
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof(v)); }
+
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put_raw(s.data(), s.size());
+  }
+
+  void put_blob(const std::vector<std::uint8_t>& b) {
+    put_u32(static_cast<std::uint32_t>(b.size()));
+    put_raw(b.data(), b.size());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over an encoded buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  bool get_u8(std::uint8_t& v) { return get_raw(&v, sizeof(v)); }
+  bool get_u32(std::uint32_t& v) { return get_raw(&v, sizeof(v)); }
+  bool get_u64(std::uint64_t& v) { return get_raw(&v, sizeof(v)); }
+  bool get_i64(std::int64_t& v) { return get_raw(&v, sizeof(v)); }
+  bool get_f64(double& v) { return get_raw(&v, sizeof(v)); }
+
+  bool get_string(std::string& s) {
+    std::uint32_t n = 0;
+    if (!get_u32(n) || pos_ + n > buf_.size()) return false;
+    s.assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  bool get_blob(std::vector<std::uint8_t>& b) {
+    std::uint32_t n = 0;
+    if (!get_u32(n) || pos_ + n > buf_.size()) return false;
+    b.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  bool get_raw(void* p, std::size_t n) {
+    if (pos_ + n > buf_.size()) return false;
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Field type tags in a checkpoint record.
+enum class FieldType : std::uint8_t {
+  kI64 = 1,
+  kF64 = 2,
+  kString = 3,
+  kBlob = 4,
+};
+
+/// A kernel checkpoint: named, typed fields (paper's <name, type, value>
+/// records). Kernels write their loop indices, partial aggregates, and any
+/// carried buffers (e.g. the Gaussian filter's boundary rows) into one of
+/// these; the client restores from it and resumes.
+class Checkpoint {
+ public:
+  void set_i64(const std::string& name, std::int64_t v) { i64_[name] = v; }
+  void set_f64(const std::string& name, double v) { f64_[name] = v; }
+  void set_string(const std::string& name, std::string v) { str_[name] = std::move(v); }
+  void set_blob(const std::string& name, std::vector<std::uint8_t> v) { blob_[name] = std::move(v); }
+
+  bool has_i64(const std::string& name) const { return i64_.count(name) != 0; }
+  bool has_f64(const std::string& name) const { return f64_.count(name) != 0; }
+  bool has_string(const std::string& name) const { return str_.count(name) != 0; }
+  bool has_blob(const std::string& name) const { return blob_.count(name) != 0; }
+
+  std::int64_t get_i64(const std::string& name, std::int64_t fallback = 0) const {
+    auto it = i64_.find(name);
+    return it == i64_.end() ? fallback : it->second;
+  }
+  double get_f64(const std::string& name, double fallback = 0.0) const {
+    auto it = f64_.find(name);
+    return it == f64_.end() ? fallback : it->second;
+  }
+  std::string get_string(const std::string& name, std::string fallback = {}) const {
+    auto it = str_.find(name);
+    return it == str_.end() ? std::move(fallback) : it->second;
+  }
+  const std::vector<std::uint8_t>* get_blob(const std::string& name) const {
+    auto it = blob_.find(name);
+    return it == blob_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t field_count() const {
+    return i64_.size() + f64_.size() + str_.size() + blob_.size();
+  }
+  bool empty() const { return field_count() == 0; }
+
+  /// Encoded size in bytes — charged to the network when a checkpoint is
+  /// shipped from storage node to compute node.
+  std::size_t encoded_size() const { return encode().size(); }
+
+  std::vector<std::uint8_t> encode() const;
+  static Result<Checkpoint> decode(const std::vector<std::uint8_t>& bytes);
+
+  bool operator==(const Checkpoint& other) const {
+    return i64_ == other.i64_ && f64_ == other.f64_ && str_ == other.str_ &&
+           blob_ == other.blob_;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> i64_;
+  std::map<std::string, double> f64_;
+  std::map<std::string, std::string> str_;
+  std::map<std::string, std::vector<std::uint8_t>> blob_;
+};
+
+}  // namespace dosas

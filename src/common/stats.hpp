@@ -1,0 +1,109 @@
+// stats.hpp — streaming statistics accumulators used by the contention
+// estimator (utilization smoothing), the metrics layer, and the benches
+// (reporting mean/stddev/percentiles of repeated runs).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dosas {
+
+/// Welford streaming mean/variance/min/max. O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially-weighted moving average, the smoother the contention
+/// estimator applies to noisy utilization probes (paper §III-D: the CE
+/// "periodically probes the system state").
+class Ewma {
+ public:
+  /// alpha in (0,1]: weight of the newest sample.
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!primed_) {
+      value_ = x;
+      primed_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool primed() const { return primed_; }
+  double value() const { return value_; }
+  void reset() { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Stores samples and answers percentile queries; used by benches.
+class Samples {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return data_.size(); }
+
+  double mean() const {
+    if (data_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : data_) s += x;
+    return s / static_cast<double>(data_.size());
+  }
+
+  /// p in [0,100]; nearest-rank percentile.
+  double percentile(double p) {
+    if (data_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(data_.begin(), data_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(data_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, data_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+  }
+
+  double median() { return percentile(50.0); }
+  const std::vector<double>& raw() const { return data_; }
+
+ private:
+  std::vector<double> data_;
+  bool sorted_ = false;
+};
+
+}  // namespace dosas

@@ -1,0 +1,30 @@
+#include "common/status.hpp"
+
+namespace dosas {
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kRejected: return "REJECTED";
+    case ErrorCode::kInterrupted: return "INTERRUPTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string s = error_code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace dosas

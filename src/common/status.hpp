@@ -1,0 +1,93 @@
+// status.hpp — lightweight error handling for DOSAS.
+//
+// The I/O stack (PFS client/server, active runtime) reports recoverable
+// failures as values, not exceptions: a storage server refusing an active
+// request is normal control flow in this system (it is *the* mechanism the
+// paper's scheduler is built on). `Status` carries an error code + message;
+// `Result<T>` is a Status-or-value sum type.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dosas {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // no such file / object / kernel
+  kAlreadyExists,   // create of an existing file
+  kInvalidArgument, // malformed request
+  kOutOfRange,      // read past EOF, bad stripe index
+  kUnavailable,     // server refused (overloaded / draining)
+  kRejected,        // active request demoted to normal I/O by policy
+  kInterrupted,     // active request interrupted mid-kernel; checkpoint attached
+  kInternal,        // invariant violation
+};
+
+/// Human-readable name for an error code ("NOT_FOUND", ...).
+const char* error_code_name(ErrorCode c);
+
+/// A success/failure outcome with an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NOT_FOUND: no such file".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status error(ErrorCode code, std::string message) {
+  return Status{code, std::move(message)};
+}
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.is_ok() && "Result constructed from OK status without a value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return is_ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+}  // namespace dosas

@@ -1,0 +1,55 @@
+// thread_pool.hpp — fixed-size worker pool.
+//
+// Storage servers in the real runtime run their kernels on a pool sized to
+// the node's core count (2 in the paper's testbed), which is what makes the
+// contention the paper studies *real* in our integration tests: queueing a
+// fifth kernel behind two busy cores is observable behaviour, not a model.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/channel.hpp"
+
+namespace dosas {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { shutdown(); }
+
+  /// Enqueue work. Returns false after shutdown().
+  bool submit(std::function<void()> task) { return tasks_.send(std::move(task)); }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Stop accepting work, drain the queue, join all workers. Idempotent.
+  void shutdown() {
+    tasks_.close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+ private:
+  void run() {
+    while (auto task = tasks_.receive()) {
+      (*task)();
+    }
+  }
+
+  Channel<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dosas

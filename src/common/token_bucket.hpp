@@ -1,0 +1,87 @@
+// token_bucket.hpp — byte-rate limiter for the real runtime's network model.
+//
+// When integration tests/examples want the in-process cluster to *exhibit*
+// the paper's bandwidth ceiling (118 MB/s shared 1 GbE) rather than just
+// account for it, each transfer acquires bytes from a shared TokenBucket.
+// Virtual mode accrues the wait analytically (no sleeping) and reports it;
+// real mode actually blocks, so wall-clock measurements show the contention.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/units.hpp"
+
+namespace dosas {
+
+class TokenBucket {
+ public:
+  enum class Mode {
+    kVirtual,  // account delay, never sleep (fast; used by tests)
+    kReal,     // sleep to enforce the rate in wall-clock time
+  };
+
+  /// rate: sustained bytes/sec. burst: bucket depth in bytes (how much can
+  /// pass instantaneously). rate <= 0 disables limiting.
+  TokenBucket(BytesPerSec rate, Bytes burst, Mode mode = Mode::kVirtual)
+      : rate_(rate), burst_(static_cast<double>(burst)), mode_(mode),
+        tokens_(static_cast<double>(burst)),
+        last_(Clock::now()) {}
+
+  /// Acquire `n` bytes of budget. Returns the delay this transfer incurred
+  /// (virtual mode) or actually slept (real mode), in seconds.
+  Seconds acquire(Bytes n) {
+    if (rate_ <= 0.0) return 0.0;
+    Seconds wait = 0.0;
+    {
+      std::lock_guard lock(mu_);
+      refill_locked();
+      tokens_ -= static_cast<double>(n);
+      if (tokens_ < 0.0) {
+        wait = -tokens_ / rate_;
+        // Model the deficit as time the caller spends waiting; the bucket
+        // itself advances so concurrent acquirers queue behind this one.
+        virtual_debt_ += wait;
+        tokens_ = 0.0;
+        last_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(wait));
+      }
+    }
+    if (mode_ == Mode::kReal && wait > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
+    return wait;
+  }
+
+  /// Total virtual waiting accrued so far (both modes).
+  Seconds accrued_delay() const {
+    std::lock_guard lock(mu_);
+    return virtual_debt_;
+  }
+
+  BytesPerSec rate() const { return rate_; }
+  Mode mode() const { return mode_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void refill_locked() {
+    const auto now = Clock::now();
+    if (now <= last_) return;
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    last_ = now;
+  }
+
+  const BytesPerSec rate_;
+  const double burst_;
+  const Mode mode_;
+
+  mutable std::mutex mu_;
+  double tokens_;
+  Clock::time_point last_;
+  Seconds virtual_debt_ = 0.0;
+};
+
+}  // namespace dosas

@@ -1,0 +1,37 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dosas {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 5> suffix = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(b);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < suffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[48];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, suffix[i]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffix[i]);
+  }
+  return buf;
+}
+
+std::string format_seconds(Seconds s) {
+  char buf[48];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace dosas

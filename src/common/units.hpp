@@ -1,0 +1,49 @@
+// units.hpp — byte-size and rate units used throughout DOSAS.
+//
+// The paper's cost model (Eq. 1-7) works in data sizes, bandwidths and
+// processing rates; keeping these as distinct vocabulary types makes the
+// model code read like the equations and prevents MB-vs-bytes mistakes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dosas {
+
+/// Data size in bytes. All sizes in the code base are carried in bytes;
+/// the helpers below construct them from human units.
+using Bytes = std::uint64_t;
+
+/// Seconds of (virtual or wall) time, always double precision.
+using Seconds = double;
+
+/// Throughput in bytes per second (network bandwidth, kernel processing
+/// rate, disk rate). Double so derated/estimated capacities are exact.
+using BytesPerSec = double;
+
+inline constexpr Bytes operator""_B(unsigned long long v) { return Bytes{v}; }
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v} << 10; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v} << 20; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v} << 30; }
+
+/// The paper reports sizes in decimal-ish "MB" but measures bandwidth with
+/// binary-sized buffers; we standardise on binary units (128 MB == 128 MiB).
+inline constexpr Bytes kilobytes(double v) { return static_cast<Bytes>(v * 1024.0); }
+inline constexpr Bytes megabytes(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0); }
+inline constexpr Bytes gigabytes(double v) { return static_cast<Bytes>(v * 1024.0 * 1024.0 * 1024.0); }
+
+/// Bandwidths quoted in MB/s (paper: 118 MB/s Ethernet, 860 MB/s SUM rate).
+inline constexpr BytesPerSec mb_per_sec(double v) { return v * 1024.0 * 1024.0; }
+
+/// Convert a byte count to MiB as a double (for reporting).
+inline constexpr double to_mib(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+/// Convert a rate to MiB/s as a double (for reporting).
+inline constexpr double to_mib_per_sec(BytesPerSec r) { return r / (1024.0 * 1024.0); }
+
+/// Render a byte count with an appropriate unit suffix, e.g. "512.0 MiB".
+std::string format_bytes(Bytes b);
+
+/// Render a duration, e.g. "12.34 s" or "8.21 ms".
+std::string format_seconds(Seconds s);
+
+}  // namespace dosas

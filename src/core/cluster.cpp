@@ -1,0 +1,46 @@
+#include "core/cluster.hpp"
+
+namespace dosas::core {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      fs_(config_.storage_nodes, config_.strip_size),
+      pfs_client_(fs_),
+      registry_(kernels::Registry::with_builtins()) {
+  const std::string optimizer = config_.optimizer_override.empty()
+                                    ? scheme_optimizer(config_.scheme)
+                                    : config_.optimizer_override;
+  if (config_.network_rate > 0.0) {
+    network_ = std::make_shared<TokenBucket>(config_.network_rate, /*burst=*/1_MiB,
+                                             config_.network_mode);
+  }
+  servers_.reserve(config_.storage_nodes);
+  for (std::uint32_t i = 0; i < config_.storage_nodes; ++i) {
+    server::ContentionEstimator::Config ce;
+    ce.bandwidth = config_.bandwidth;
+    ce.optimizer = optimizer;
+    server::StorageServer::Config sc;
+    sc.cores = config_.cores_per_node;
+    sc.chunk_size = config_.server_chunk_size;
+    sc.interrupt_min_remaining = config_.interrupt_min_remaining;
+    sc.result_cache_entries = config_.result_cache_entries;
+    servers_.push_back(std::make_unique<server::StorageServer>(
+        fs_, i, kernels::Registry::with_builtins(), ce, config_.rates, sc));
+    servers_.back()->set_network(network_);
+  }
+
+  std::vector<server::StorageServer*> raw;
+  raw.reserve(servers_.size());
+  for (auto& s : servers_) raw.push_back(s.get());
+  client::ActiveClient::Config cc;
+  cc.chunk_size = config_.client_chunk_size;
+  cc.resubmit_interrupted = config_.resubmit_interrupted;
+  cc.network = network_;
+  asc_ = std::make_unique<client::ActiveClient>(pfs_client_, registry_, std::move(raw), cc);
+}
+
+void Cluster::probe_all() {
+  for (auto& s : servers_) s->probe();
+}
+
+}  // namespace dosas::core

@@ -1,0 +1,157 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+
+namespace dosas::core {
+
+std::vector<std::size_t> paper_io_counts() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+std::vector<SweepPoint> scheme_sweep(const ModelConfig& config,
+                                     const std::vector<std::size_t>& ios_list,
+                                     Bytes request_size, bool with_dosas) {
+  std::vector<SweepPoint> out;
+  out.reserve(ios_list.size());
+  for (std::size_t n : ios_list) {
+    const auto workload = uniform_workload(n, request_size);
+    SweepPoint p;
+    p.ios = n;
+    p.ts = simulate_scheme(SchemeKind::kTraditional, config, workload).makespan;
+    p.as = simulate_scheme(SchemeKind::kActive, config, workload).makespan;
+    if (with_dosas) {
+      p.dosas_stats = simulate_scheme(SchemeKind::kDosas, config, workload);
+      p.dosas = p.dosas_stats.makespan;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+Table sweep_table(const std::vector<SweepPoint>& points, bool with_dosas) {
+  std::vector<std::string> headers = {"IOs/node", "TS (s)", "AS (s)"};
+  if (with_dosas) {
+    headers.push_back("DOSAS (s)");
+    headers.push_back("winner");
+  } else {
+    headers.push_back("winner");
+  }
+  Table t(headers);
+  for (const auto& p : points) {
+    std::vector<std::string> row = {std::to_string(p.ios), fmt(p.ts), fmt(p.as)};
+    if (with_dosas) {
+      row.push_back(fmt(p.dosas));
+      const Seconds best = std::min({p.ts, p.as, p.dosas});
+      // DOSAS "wins" when it matches the best static scheme (its whole
+      // point is tracking the winner); charge it only for real gaps.
+      row.push_back(p.dosas <= best * 1.005 ? "DOSAS" : (p.as <= p.ts ? "AS" : "TS"));
+    } else {
+      row.push_back(p.as <= p.ts ? "AS" : "TS");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+std::vector<BandwidthPoint> bandwidth_sweep(const ModelConfig& config,
+                                            const std::vector<std::size_t>& ios_list,
+                                            Bytes request_size) {
+  std::vector<BandwidthPoint> out;
+  out.reserve(ios_list.size());
+  for (std::size_t n : ios_list) {
+    const auto workload = uniform_workload(n, request_size);
+    BandwidthPoint p;
+    p.ios = n;
+    p.ts_mbps =
+        simulate_scheme(SchemeKind::kTraditional, config, workload).aggregate_bandwidth_mbps;
+    p.as_mbps = simulate_scheme(SchemeKind::kActive, config, workload).aggregate_bandwidth_mbps;
+    p.dosas_mbps =
+        simulate_scheme(SchemeKind::kDosas, config, workload).aggregate_bandwidth_mbps;
+    out.push_back(p);
+  }
+  return out;
+}
+
+Table bandwidth_table(const std::vector<BandwidthPoint>& points) {
+  Table t({"IOs/node", "TS (MiB/s)", "AS (MiB/s)", "DOSAS (MiB/s)"});
+  for (const auto& p : points) {
+    t.add_row({std::to_string(p.ios), fmt(p.ts_mbps), fmt(p.as_mbps), fmt(p.dosas_mbps)});
+  }
+  return t;
+}
+
+AccuracyReport scheduler_accuracy(std::uint64_t seed) {
+  AccuracyReport report;
+  Rng rng(seed);
+
+  const std::vector<Bytes> sizes = {128_MiB, 256_MiB, 512_MiB, 1_GiB};
+  struct KernelCase {
+    const char* name;
+    ModelConfig config;
+  };
+  std::vector<KernelCase> kernels = {{"sum", ModelConfig::sum()},
+                                     {"gaussian2d", ModelConfig::gaussian()}};
+  for (auto& k : kernels) {
+    // Actual bandwidth varies 111–120 MB/s (paper §IV-B2); the CE's model
+    // stays at the nominal 118. Storage capacity additionally jitters by
+    // ±15% (OS/task-scheduling noise — the second misjudgment source the
+    // paper names).
+    k.config.bw_jitter_low_mbps = 111.0;
+    k.config.bw_jitter_high_mbps = 120.0;
+    k.config.storage_rate_jitter = 0.15;
+  }
+
+  std::size_t correct = 0;
+  for (const auto& kc : kernels) {
+    for (Bytes size : sizes) {
+      for (std::size_t n : paper_io_counts()) {
+        // The CE's decision on the initial queue snapshot.
+        sched::CostModel model;
+        model.bandwidth = mb_per_sec(kc.config.bandwidth_mbps);
+        model.storage_rate = mb_per_sec(kc.config.storage_kernel_mbps);
+        model.compute_rate = mb_per_sec(kc.config.client_mbps);
+        std::vector<sched::ActiveRequest> reqs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          reqs[i] = {i + 1, size, kc.config.result_bytes(size), kc.name};
+        }
+        const auto policy = sched::ExhaustiveOptimizer{}.optimize(model, reqs);
+        const bool majority_active = policy.active_count() * 2 >= n;
+
+        // "Practice": the faster static scheme under the jittered truth.
+        Rng run_rng = rng.fork();
+        const auto workload = uniform_workload(n, size);
+        Rng rng_ts = run_rng.fork();
+        Rng rng_as = run_rng.fork();
+        const Seconds ts =
+            simulate_scheme(SchemeKind::kTraditional, kc.config, workload, &rng_ts).makespan;
+        const Seconds as =
+            simulate_scheme(SchemeKind::kActive, kc.config, workload, &rng_as).makespan;
+        const bool practice_active = as <= ts;
+
+        AccuracyCase c;
+        c.kernel = kc.name;
+        c.ios = n;
+        c.request_size = size;
+        c.decision = majority_active ? "Active" : "Normal";
+        c.practice = practice_active ? "Active" : "Normal";
+        c.correct = majority_active == practice_active;
+        correct += c.correct;
+        report.cases.push_back(std::move(c));
+      }
+    }
+  }
+  report.accuracy =
+      report.cases.empty() ? 0.0 : static_cast<double>(correct) / report.cases.size();
+  return report;
+}
+
+Table accuracy_table(const AccuracyReport& report) {
+  Table t({"#", "kernel", "IOs", "size", "Algorithm Decision", "Practice", "Judgment"});
+  std::size_t i = 1;
+  for (const auto& c : report.cases) {
+    t.add_row({std::to_string(i++), c.kernel, std::to_string(c.ios),
+               fmt_bytes_short(c.request_size), c.decision, c.practice,
+               c.correct ? "TRUE" : "FALSE"});
+  }
+  return t;
+}
+
+}  // namespace dosas::core

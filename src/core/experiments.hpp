@@ -1,0 +1,74 @@
+// experiments.hpp — reusable drivers for the paper's evaluation sweeps.
+//
+// The bench binaries (one per table/figure) are thin wrappers over these:
+//   * scheme_sweep      — Figs. 2, 4–10: execution time of TS/AS/DOSAS as
+//                         the number of I/Os per storage node grows;
+//   * bandwidth_sweep   — Figs. 11–12: aggregate bandwidth of each scheme;
+//   * accuracy_table    — Table IV: CE decision vs best-in-practice under
+//                         bandwidth jitter (the paper's 111–120 MB/s range).
+#pragma once
+
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/sim_model.hpp"
+
+namespace dosas::core {
+
+/// The paper's request-count axis: 1..64 I/Os per storage node.
+std::vector<std::size_t> paper_io_counts();
+
+struct SweepPoint {
+  std::size_t ios = 0;
+  Seconds ts = 0.0;
+  Seconds as = 0.0;
+  Seconds dosas = 0.0;  ///< NaN-free: 0 when DOSAS not requested
+  RunStats dosas_stats;
+};
+
+/// Execution time of the schemes for `ios_list` × one request size.
+/// DOSAS is included when `with_dosas` is set. Deterministic (no jitter).
+std::vector<SweepPoint> scheme_sweep(const ModelConfig& config,
+                                     const std::vector<std::size_t>& ios_list,
+                                     Bytes request_size, bool with_dosas);
+
+/// Render a scheme sweep as the paper's figure series.
+Table sweep_table(const std::vector<SweepPoint>& points, bool with_dosas);
+
+struct BandwidthPoint {
+  std::size_t ios = 0;
+  double ts_mbps = 0.0;
+  double as_mbps = 0.0;
+  double dosas_mbps = 0.0;
+};
+
+/// Aggregate bandwidth (Σ data / makespan) of the schemes (Figs. 11–12).
+std::vector<BandwidthPoint> bandwidth_sweep(const ModelConfig& config,
+                                            const std::vector<std::size_t>& ios_list,
+                                            Bytes request_size);
+
+Table bandwidth_table(const std::vector<BandwidthPoint>& points);
+
+struct AccuracyCase {
+  std::string kernel;       ///< "sum" or "gaussian2d"
+  std::size_t ios = 0;
+  Bytes request_size = 0;
+  std::string decision;     ///< CE majority decision: "Active" / "Normal"
+  std::string practice;     ///< faster static scheme in the jittered run
+  bool correct = false;
+};
+
+struct AccuracyReport {
+  std::vector<AccuracyCase> cases;
+  double accuracy = 0.0;  ///< fraction of correct judgments
+};
+
+/// Paper Table IV: evaluate the scheduling algorithm's decision against
+/// the simulated best across {SUM, Gaussian} × io counts × request sizes,
+/// with actual bandwidth jittered in [111, 120] MB/s while the CE assumes
+/// the nominal 118 (the paper's stated misjudgment source).
+AccuracyReport scheduler_accuracy(std::uint64_t seed = 2012);
+
+Table accuracy_table(const AccuracyReport& report);
+
+}  // namespace dosas::core

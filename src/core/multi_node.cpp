@@ -1,0 +1,241 @@
+#include "core/multi_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "sim/fluid_resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace dosas::core {
+
+std::vector<MultiNodeRequest> balanced_workload(std::uint32_t nodes, std::size_t per_node,
+                                                Bytes size) {
+  std::vector<MultiNodeRequest> out;
+  out.reserve(nodes * per_node);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    for (std::size_t i = 0; i < per_node; ++i) out.push_back({size, 0.0, n});
+  }
+  return out;
+}
+
+std::vector<MultiNodeRequest> skewed_workload(std::uint32_t nodes, std::size_t total,
+                                              Bytes size, double skew, Rng& rng) {
+  assert(nodes >= 1);
+  // Zipf-style weights w_n = 1/(n+1)^skew, sampled per request.
+  std::vector<double> cumulative(nodes);
+  double acc = 0.0;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    acc += 1.0 / std::pow(static_cast<double>(n + 1), skew);
+    cumulative[n] = acc;
+  }
+  std::vector<MultiNodeRequest> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double u = rng.uniform(0.0, acc);
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const auto node = static_cast<std::uint32_t>(it - cumulative.begin());
+    out.push_back({size, 0.0, std::min(node, nodes - 1)});
+  }
+  return out;
+}
+
+namespace {
+
+enum class MState {
+  kNotArrived,
+  kPending,
+  kActiveCpu,
+  kInFlight,  // any link/client phase after the decision
+  kDone,
+};
+
+struct MTrack {
+  MultiNodeRequest req;
+  MState state = MState::kNotArrived;
+  sim::FluidResource::JobId cpu_job = 0;
+};
+
+}  // namespace
+
+MultiNodeStats simulate_multi_node(SchemeKind scheme, const MultiNodeConfig& config,
+                                   const std::vector<MultiNodeRequest>& requests, Rng* rng) {
+  MultiNodeStats out;
+  out.per_node_active.assign(config.storage_nodes, 0);
+  if (requests.empty()) return out;
+  const auto& mc = config.node;
+
+  sim::Simulator s;
+
+  double actual_bw = mc.bandwidth_mbps;
+  if (rng != nullptr && mc.bw_jitter_high_mbps > mc.bw_jitter_low_mbps) {
+    actual_bw = rng->uniform(mc.bw_jitter_low_mbps, mc.bw_jitter_high_mbps);
+  }
+
+  // Links: one shared backbone, or one per storage node.
+  std::vector<std::unique_ptr<sim::FluidResource>> links;
+  const std::size_t link_count = config.shared_link ? 1 : config.storage_nodes;
+  for (std::size_t i = 0; i < link_count; ++i) {
+    links.push_back(std::make_unique<sim::FluidResource>(
+        s, sim::FluidResource::Config{.capacity = mb_per_sec(actual_bw),
+                                      .per_job_cap = 0.0,
+                                      .name = "link" + std::to_string(i)}));
+  }
+  auto link_for = [&](std::uint32_t node) -> sim::FluidResource& {
+    return config.shared_link ? *links[0] : *links[node];
+  };
+
+  // Per-node storage CPUs.
+  std::vector<std::unique_ptr<sim::FluidResource>> cpus;
+  for (std::uint32_t n = 0; n < config.storage_nodes; ++n) {
+    cpus.push_back(std::make_unique<sim::FluidResource>(
+        s, sim::FluidResource::Config{.capacity = mb_per_sec(mc.storage_kernel_mbps),
+                                      .per_job_cap = mb_per_sec(mc.storage_core_mbps),
+                                      .name = "cpu" + std::to_string(n)}));
+  }
+
+  const BytesPerSec client_rate = mb_per_sec(mc.client_mbps);
+  std::vector<MTrack> st(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) st[i].req = requests[i];
+
+  std::size_t remaining = requests.size();
+  Seconds sum_completion = 0.0;
+  Seconds last_completion = 0.0;
+
+  auto done = [&](std::size_t i) {
+    st[i].state = MState::kDone;
+    sum_completion += s.now();
+    last_completion = std::max(last_completion, s.now());
+    --remaining;
+  };
+
+  auto start_normal = [&](std::size_t i, double move_bytes, double compute_bytes) {
+    st[i].state = MState::kInFlight;
+    link_for(st[i].req.node).submit(move_bytes, [&, i, compute_bytes](sim::Time) {
+      s.schedule_after(compute_bytes / client_rate, [&, i] { done(i); });
+    });
+  };
+
+  auto start_active = [&](std::size_t i) {
+    st[i].state = MState::kActiveCpu;
+    const Bytes d = st[i].req.size;
+    const std::uint32_t node = st[i].req.node;
+    st[i].cpu_job = cpus[node]->submit(static_cast<double>(d), [&, i, d, node](sim::Time) {
+      ++out.served_active;
+      ++out.per_node_active[node];
+      st[i].state = MState::kInFlight;
+      link_for(node).submit(static_cast<double>(mc.result_bytes(d)),
+                            [&, i](sim::Time) { done(i); });
+    });
+  };
+
+  // Per-node DOSAS evaluation: each node's CE sees only its own queue.
+  auto evaluate_node = [&](std::uint32_t node) {
+    std::vector<std::size_t> idx;
+    std::vector<sched::ActiveRequest> snapshot;
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (st[i].req.node != node) continue;
+      if (st[i].state == MState::kPending) {
+        snapshot.push_back({i, st[i].req.size, mc.result_bytes(st[i].req.size), "op"});
+        idx.push_back(i);
+      } else if (st[i].state == MState::kActiveCpu) {
+        const auto rem = static_cast<Bytes>(cpus[node]->remaining(st[i].cpu_job));
+        snapshot.push_back({i, rem, mc.result_bytes(st[i].req.size), "op"});
+        idx.push_back(i);
+      }
+    }
+    if (snapshot.empty()) return;
+
+    // Bandwidth estimate: on a shared backbone a probing CE sees that
+    // other nodes' traffic will contend, and derates accordingly.
+    double bw_estimate = mc.bandwidth_mbps;
+    if (config.shared_link && config.ce_bandwidth_aware) {
+      std::vector<bool> busy(config.storage_nodes, false);
+      for (const auto& t : st) {
+        if (t.state == MState::kPending || t.state == MState::kActiveCpu ||
+            t.state == MState::kInFlight) {
+          busy[t.req.node] = true;
+        }
+      }
+      std::size_t busy_nodes = 0;
+      for (bool b : busy) busy_nodes += b;
+      bw_estimate /= static_cast<double>(std::max<std::size_t>(1, busy_nodes));
+    }
+
+    sched::CostModel model;
+    model.bandwidth = mb_per_sec(bw_estimate);
+    model.storage_rate = mb_per_sec(mc.storage_kernel_mbps);
+    model.compute_rate = mb_per_sec(mc.client_mbps);
+    auto optimizer = sched::make_optimizer(mc.optimizer);
+    assert(optimizer != nullptr);
+    const auto policy = optimizer->optimize(model, snapshot);
+
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      const std::size_t i = idx[j];
+      if (st[i].state == MState::kPending) {
+        if (policy.active[j]) {
+          start_active(i);
+        } else {
+          ++out.demoted;
+          const auto d = static_cast<double>(st[i].req.size);
+          start_normal(i, d, d);
+        }
+      } else if (st[i].state == MState::kActiveCpu && !policy.active[j] &&
+                 mc.allow_interrupt) {
+        const double rem = cpus[node]->remaining(st[i].cpu_job);
+        if (rem <= mc.interrupt_min_remaining * static_cast<double>(st[i].req.size)) {
+          continue;
+        }
+        cpus[node]->cancel(st[i].cpu_job);
+        ++out.interrupted;
+        ++out.demoted;
+        start_normal(i, rem + static_cast<double>(mc.checkpoint_size), rem);
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    assert(st[i].req.node < config.storage_nodes);
+    s.schedule_at(st[i].req.arrival, [&, i] {
+      switch (scheme) {
+        case SchemeKind::kTraditional: {
+          ++out.demoted;
+          const auto d = static_cast<double>(st[i].req.size);
+          start_normal(i, d, d);
+          break;
+        }
+        case SchemeKind::kActive:
+          start_active(i);
+          break;
+        case SchemeKind::kDosas:
+          st[i].state = MState::kPending;
+          evaluate_node(st[i].req.node);
+          break;
+      }
+    });
+  }
+
+  // Periodic probes tick every node.
+  std::function<void()> tick = [&] {
+    if (remaining == 0) return;
+    for (std::uint32_t n = 0; n < config.storage_nodes; ++n) evaluate_node(n);
+    s.schedule_after(mc.probe_interval, tick);
+  };
+  if (scheme == SchemeKind::kDosas && mc.probe_interval > 0.0) {
+    s.schedule_after(mc.probe_interval, tick);
+  }
+
+  s.run();
+  assert(remaining == 0);
+
+  out.makespan = last_completion;
+  out.mean_completion = sum_completion / static_cast<double>(requests.size());
+  Bytes total = 0;
+  for (const auto& r : requests) total += r.size;
+  out.aggregate_bandwidth_mbps = out.makespan > 0.0 ? to_mib(total) / out.makespan : 0.0;
+  return out;
+}
+
+}  // namespace dosas::core

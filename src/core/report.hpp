@@ -1,0 +1,43 @@
+// report.hpp — fixed-width table rendering for the bench harnesses.
+//
+// Every bench prints the same rows/series the paper's tables and figures
+// report; this keeps the output uniform and diffable (EXPERIMENTS.md embeds
+// the printed tables verbatim).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dosas::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Comma-separated rendering (cells containing commas or quotes are
+  /// quoted) for downstream plotting.
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34" style fixed-precision formatting.
+std::string fmt(double value, int precision = 2);
+
+/// "128 MiB" / "1.0 GiB" for a request size.
+std::string fmt_bytes_short(Bytes b);
+
+}  // namespace dosas::core

@@ -1,0 +1,45 @@
+#include "core/runner.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace dosas::core {
+
+WorkloadReport run_workload(Cluster& cluster, const std::vector<WorkloadRequest>& requests) {
+  using Clock = std::chrono::steady_clock;
+  WorkloadReport report;
+  report.outcomes.resize(requests.size());
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    threads.emplace_back([&, i] {
+      const auto& req = requests[i];
+      auto& out = report.outcomes[i];
+      const auto t0 = Clock::now();
+
+      auto meta = cluster.pfs_client().open(req.path);
+      if (!meta.is_ok()) {
+        out.error = meta.status().to_string();
+        out.latency = std::chrono::duration<double>(Clock::now() - t0).count();
+        return;
+      }
+      const Bytes length = req.length != 0 ? req.length : meta.value().size;
+      auto result = cluster.asc().read_ex(meta.value(), req.offset, length, req.operation);
+      out.latency = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (result.is_ok()) {
+        out.ok = true;
+        out.result = std::move(result).value();
+      } else {
+        out.error = result.status().to_string();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  report.wall_time = std::chrono::duration<double>(Clock::now() - start).count();
+  for (const auto& o : report.outcomes) report.failures += o.ok ? 0 : 1;
+  return report;
+}
+
+}  // namespace dosas::core

@@ -1,0 +1,41 @@
+// runner.hpp — drive concurrent active-I/O workloads through the real
+// in-process cluster (integration testing and the examples' workhorse).
+//
+// Spawns one application thread per request (one MPI rank per I/O in the
+// paper's setup), issues read_ex through the shared ASC, and gathers
+// per-request outcomes plus wall-clock timing and the server/client
+// counters that show *where* each kernel actually ran.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace dosas::core {
+
+struct WorkloadRequest {
+  std::string path;       ///< file to read
+  Bytes offset = 0;
+  Bytes length = 0;       ///< 0 = whole file
+  std::string operation;  ///< kernel operation string
+};
+
+struct WorkloadOutcome {
+  bool ok = false;
+  std::string error;
+  std::vector<std::uint8_t> result;
+  Seconds latency = 0.0;
+};
+
+struct WorkloadReport {
+  std::vector<WorkloadOutcome> outcomes;
+  Seconds wall_time = 0.0;
+  std::size_t failures = 0;
+};
+
+/// Run all requests concurrently (one thread each) against the cluster's
+/// shared ASC. Blocks until every request resolves.
+WorkloadReport run_workload(Cluster& cluster, const std::vector<WorkloadRequest>& requests);
+
+}  // namespace dosas::core

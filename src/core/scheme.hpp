@@ -1,0 +1,45 @@
+// scheme.hpp — the three evaluated analysis schemes (paper §IV-A3).
+//
+//   TS    Traditional Storage: servers do normal I/O only; kernels run at
+//         the clients. Realized by the "all-normal" scheduling policy
+//         (every active request is demoted).
+//   AS    Normal Active Storage: kernels always run at the storage nodes
+//         ("all-active" policy).
+//   DOSAS Dynamic Operation Scheduling Active Storage: the CE's optimizer
+//         decides per request.
+//
+// Expressing the baselines as degenerate CE policies means all three
+// schemes exercise the *same* code path end to end — the only difference
+// is the scheduling decision, exactly the paper's experimental design.
+#pragma once
+
+#include <string>
+
+namespace dosas::core {
+
+enum class SchemeKind {
+  kTraditional,  // TS
+  kActive,       // AS
+  kDosas,        // DOSAS
+};
+
+inline const char* scheme_name(SchemeKind s) {
+  switch (s) {
+    case SchemeKind::kTraditional: return "TS";
+    case SchemeKind::kActive: return "AS";
+    case SchemeKind::kDosas: return "DOSAS";
+  }
+  return "?";
+}
+
+/// The CE optimizer that realizes each scheme.
+inline std::string scheme_optimizer(SchemeKind s) {
+  switch (s) {
+    case SchemeKind::kTraditional: return "all-normal";
+    case SchemeKind::kActive: return "all-active";
+    case SchemeKind::kDosas: return "exhaustive";
+  }
+  return "exhaustive";
+}
+
+}  // namespace dosas::core

@@ -1,0 +1,305 @@
+#include "core/sim_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "sim/fluid_resource.hpp"
+#include "sim/server_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace dosas::core {
+
+ModelConfig ModelConfig::gaussian() {
+  ModelConfig c;
+  c.storage_kernel_mbps = 80.0;
+  c.storage_core_mbps = 80.0;
+  c.client_mbps = 80.0;
+  return c;
+}
+
+ModelConfig ModelConfig::sum() {
+  ModelConfig c;
+  c.storage_kernel_mbps = 860.0;
+  c.storage_core_mbps = 860.0;
+  c.client_mbps = 860.0;
+  return c;
+}
+
+Result<ModelConfig> ModelConfig::from_rates(const server::RateTable& rates,
+                                            const std::string& op) {
+  auto entry = rates.get(op);
+  if (!entry.is_ok()) return entry.status();
+  ModelConfig c;
+  c.storage_kernel_mbps = to_mib_per_sec(entry.value().storage_max);
+  c.storage_core_mbps = c.storage_kernel_mbps;
+  c.client_mbps = to_mib_per_sec(entry.value().compute);
+  return c;
+}
+
+std::vector<ModelRequest> uniform_workload(std::size_t n, Bytes size) {
+  return std::vector<ModelRequest>(n, ModelRequest{size, 0.0});
+}
+
+std::vector<ModelRequest> poisson_workload(std::size_t n, Bytes size, Seconds mean_gap,
+                                           Rng& rng) {
+  std::vector<ModelRequest> out(n);
+  Seconds t = 0.0;
+  for (auto& r : out) {
+    r.size = size;
+    r.arrival = t;
+    // Exponential inter-arrival via inverse CDF.
+    t += -mean_gap * std::log(1.0 - rng.uniform());
+  }
+  return out;
+}
+
+namespace {
+
+enum class ReqState {
+  kNotArrived,     // scheduled for a future arrival time
+  kPending,        // arrived, awaiting a DOSAS decision
+  kActiveCpu,      // kernel running on the storage node
+  kResultXfer,     // kernel done; result crossing the link
+  kNormalXfer,     // demoted; raw data crossing the link
+  kClientCompute,  // client running the kernel
+  kDone,
+};
+
+struct ReqTrack {
+  ModelRequest req;
+  ReqState state = ReqState::kNotArrived;
+  sim::FluidResource::JobId cpu_job = 0;
+  bool on_disk = false;  ///< active request still staging through the disk
+};
+
+/// Uniform facade over the two storage-CPU disciplines (fluid processor
+/// sharing vs FCFS run-to-completion).
+struct CpuAdapter {
+  sim::FluidResource* fluid = nullptr;
+  sim::ServerPool* pool = nullptr;
+
+  std::uint64_t submit(double work, std::function<void(sim::Time)> done) {
+    return fluid != nullptr ? fluid->submit(work, std::move(done))
+                            : pool->submit(work, std::move(done));
+  }
+  double remaining(std::uint64_t id) const {
+    return fluid != nullptr ? fluid->remaining(id) : pool->remaining(id);
+  }
+  double cancel(std::uint64_t id) {
+    return fluid != nullptr ? fluid->cancel(id) : pool->cancel(id);
+  }
+};
+
+}  // namespace
+
+RunStats simulate_scheme(SchemeKind scheme, const ModelConfig& config,
+                         const std::vector<ModelRequest>& requests, Rng* rng) {
+  RunStats out;
+  if (requests.empty()) return out;
+
+  sim::Simulator s;
+
+  // Actual link bandwidth: jittered if configured (the CE always assumes
+  // the nominal value — see header comment).
+  double actual_bw_mbps = config.bandwidth_mbps;
+  if (rng != nullptr && config.bw_jitter_high_mbps > config.bw_jitter_low_mbps) {
+    actual_bw_mbps = rng->uniform(config.bw_jitter_low_mbps, config.bw_jitter_high_mbps);
+  }
+  // Actual storage capacity: jittered by unmodeled OS/task-scheduling
+  // noise; the CE's model below always assumes the nominal rate.
+  double rate_factor = 1.0;
+  if (rng != nullptr && config.storage_rate_jitter > 0.0) {
+    rate_factor =
+        rng->uniform(1.0 - config.storage_rate_jitter, 1.0 + config.storage_rate_jitter);
+  }
+
+  sim::FluidResource link(
+      s, {.capacity = mb_per_sec(actual_bw_mbps), .per_job_cap = 0.0, .name = "link"});
+
+  // Storage CPU under the configured discipline.
+  std::unique_ptr<sim::FluidResource> cpu_fluid;
+  std::unique_ptr<sim::ServerPool> cpu_pool;
+  CpuAdapter cpu;
+  if (config.fcfs_cpu) {
+    const auto cores = static_cast<std::size_t>(std::max(
+        1.0, std::round(config.storage_kernel_mbps / config.storage_core_mbps)));
+    cpu_pool = std::make_unique<sim::ServerPool>(
+        s, sim::ServerPool::Config{cores, mb_per_sec(config.storage_core_mbps * rate_factor),
+                                   "storage-cpu"});
+    cpu.pool = cpu_pool.get();
+  } else {
+    cpu_fluid = std::make_unique<sim::FluidResource>(
+        s, sim::FluidResource::Config{
+               .capacity = mb_per_sec(config.storage_kernel_mbps * rate_factor),
+               .per_job_cap = mb_per_sec(config.storage_core_mbps * rate_factor),
+               .name = "storage-cpu"});
+    cpu.fluid = cpu_fluid.get();
+  }
+  // Optional disk tier: requests stage their data through the node disk
+  // before network transfer (demoted) or kernel execution (active).
+  std::unique_ptr<sim::FluidResource> disk;
+  if (config.disk_mbps > 0.0) {
+    disk = std::make_unique<sim::FluidResource>(
+        s, sim::FluidResource::Config{.capacity = mb_per_sec(config.disk_mbps),
+                                      .per_job_cap = 0.0,
+                                      .name = "disk"});
+  }
+  const BytesPerSec client_rate = mb_per_sec(config.client_mbps);
+
+  std::vector<ReqTrack> st(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) st[i].req = requests[i];
+
+  std::size_t remaining = requests.size();
+  Seconds sum_completion = 0.0;
+  Seconds last_completion = 0.0;
+
+  auto done = [&](std::size_t i) {
+    st[i].state = ReqState::kDone;
+    sum_completion += s.now();
+    last_completion = std::max(last_completion, s.now());
+    --remaining;
+  };
+
+  // Stage `bytes` through the disk tier (if modelled) before `then` runs.
+  auto stage_disk = [&](double bytes, std::function<void()> then) {
+    if (disk == nullptr) {
+      then();
+    } else {
+      disk->submit(bytes, [then = std::move(then)](sim::Time) { then(); });
+    }
+  };
+
+  // Demoted / TS path: stage from disk, move `move_bytes` over the link,
+  // then the client computes `compute_bytes` on its dedicated core.
+  auto start_normal = [&](std::size_t i, double move_bytes, double compute_bytes) {
+    st[i].state = ReqState::kNormalXfer;
+    out.bytes_over_link += static_cast<Bytes>(move_bytes);
+    stage_disk(move_bytes, [&, i, move_bytes, compute_bytes] {
+      link.submit(move_bytes, [&, i, compute_bytes](sim::Time) {
+        st[i].state = ReqState::kClientCompute;
+        s.schedule_after(compute_bytes / client_rate, [&, i] { done(i); });
+      });
+    });
+  };
+
+  // Active / AS path: stage from disk, kernel on the storage CPU, then the
+  // result transfer.
+  auto start_active = [&](std::size_t i) {
+    st[i].state = ReqState::kActiveCpu;
+    const Bytes d = st[i].req.size;
+    st[i].on_disk = disk != nullptr;
+    stage_disk(static_cast<double>(d), [&, i, d] {
+      st[i].on_disk = false;
+      st[i].cpu_job = cpu.submit(static_cast<double>(d), [&, i, d](sim::Time) {
+        ++out.served_active;
+        st[i].state = ReqState::kResultXfer;
+        const Bytes h = config.result_bytes(d);
+        out.bytes_over_link += h;
+        link.submit(static_cast<double>(h), [&, i](sim::Time) { done(i); });
+      });
+    });
+  };
+
+  // The DOSAS CE: re-optimize the unfinished snapshot with nominal rates.
+  auto evaluate = [&] {
+    std::vector<std::size_t> idx;
+    std::vector<sched::ActiveRequest> snapshot;
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (st[i].state == ReqState::kPending) {
+        snapshot.push_back({i, st[i].req.size, config.result_bytes(st[i].req.size), "op"});
+        idx.push_back(i);
+      } else if (st[i].state == ReqState::kActiveCpu) {
+        // Disk-staging requests count as full-size committed work (the CE
+        // must see them or it admits unboundedly); they just can't be
+        // interrupted until the kernel actually runs.
+        const auto rem = st[i].on_disk
+                             ? st[i].req.size
+                             : static_cast<Bytes>(cpu.remaining(st[i].cpu_job));
+        snapshot.push_back({i, rem, config.result_bytes(st[i].req.size), "op"});
+        idx.push_back(i);
+      }
+    }
+    if (snapshot.empty()) return;
+
+    sched::CostModel model;
+    model.bandwidth = mb_per_sec(config.bandwidth_mbps);  // nominal, not actual
+    model.storage_rate = mb_per_sec(config.storage_kernel_mbps);
+    model.compute_rate = mb_per_sec(config.client_mbps);
+    auto optimizer = sched::make_optimizer(config.optimizer);
+    assert(optimizer != nullptr);
+    const auto policy = optimizer->optimize(model, snapshot);
+
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      const std::size_t i = idx[j];
+      if (st[i].state == ReqState::kPending) {
+        if (policy.active[j]) {
+          start_active(i);
+        } else {
+          ++out.demoted;
+          const auto d = static_cast<double>(st[i].req.size);
+          start_normal(i, d, d);
+        }
+      } else if (st[i].state == ReqState::kActiveCpu && !policy.active[j] &&
+                 config.allow_interrupt && !st[i].on_disk) {
+        // Interrupt: the remaining raw bytes plus the checkpoint cross the
+        // link; the client restores and finishes only the remainder.
+        const double rem = cpu.remaining(st[i].cpu_job);
+        if (rem <= config.interrupt_min_remaining * static_cast<double>(st[i].req.size)) {
+          continue;  // hysteresis: nearly-done kernels run to completion
+        }
+        cpu.cancel(st[i].cpu_job);
+        ++out.interrupted;
+        ++out.demoted;
+        start_normal(i, rem + static_cast<double>(config.checkpoint_size), rem);
+      }
+    }
+  };
+
+  // Arrivals.
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    // Per-request startup overhead (RPC/connection) precedes any service.
+    s.schedule_at(st[i].req.arrival + config.per_request_overhead, [&, i] {
+      switch (scheme) {
+        case SchemeKind::kTraditional: {
+          ++out.demoted;
+          const auto d = static_cast<double>(st[i].req.size);
+          start_normal(i, d, d);
+          break;
+        }
+        case SchemeKind::kActive:
+          start_active(i);
+          break;
+        case SchemeKind::kDosas:
+          st[i].state = ReqState::kPending;
+          evaluate();  // the new arrival is pending; decide the whole queue
+          break;
+      }
+    });
+  }
+
+  // DOSAS periodic probe. `tick` must outlive s.run(): it re-schedules a
+  // copy of itself that captures this function-scope object by reference.
+  std::function<void()> tick = [&] {
+    if (remaining == 0) return;
+    evaluate();
+    s.schedule_after(config.probe_interval, tick);
+  };
+  if (scheme == SchemeKind::kDosas && config.probe_interval > 0.0) {
+    s.schedule_after(config.probe_interval, tick);
+  }
+
+  s.run();
+  assert(remaining == 0);
+
+  out.makespan = last_completion;
+  out.mean_completion = sum_completion / static_cast<double>(requests.size());
+  Bytes total = 0;
+  for (const auto& r : requests) total += r.size;
+  out.aggregate_bandwidth_mbps =
+      out.makespan > 0.0 ? to_mib(total) / out.makespan : 0.0;
+  return out;
+}
+
+}  // namespace dosas::core

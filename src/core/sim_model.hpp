@@ -1,0 +1,136 @@
+// sim_model.hpp — calibrated discrete-event models of TS / AS / DOSAS.
+//
+// This is the experiment substrate standing in for the paper's 16-node
+// Discfarm cluster (DESIGN.md §2): one storage node with a fluid-flow CPU
+// model, k compute nodes each owning a dedicated core, and a shared
+// network link with processor-sharing bandwidth. Every paper figure is a
+// sweep of `simulate_scheme` over (scheme × request count × request size).
+//
+// Model elements and their paper counterparts:
+//   * link: FluidResource, capacity = measured bandwidth (118 MB/s,
+//     optionally jittered 111–120 per §IV-B2's observation);
+//   * storage CPU: FluidResource, capacity = the node's effective kernel
+//     capacity S_max (one core's rate by default — see DESIGN.md §5),
+//     per-kernel cap = one core's rate;
+//   * client compute: a dedicated delay d/C per request (compute nodes are
+//     not shared);
+//   * DOSAS control: on every arrival and every probe tick the CE snapshot
+//     of unfinished work is re-optimized with the *nominal* bandwidth (the
+//     CE cannot see the jittered truth — the paper's stated source of
+//     Table-IV misjudgments), demoting queued requests and, optionally,
+//     interrupting running kernels (remaining bytes + checkpoint cross the
+//     link, the client finishes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/scheme.hpp"
+#include "sched/optimizer.hpp"
+#include "server/rate_table.hpp"
+
+namespace dosas::core {
+
+struct ModelConfig {
+  // --- platform (paper §IV-A1 defaults) ---
+  double bandwidth_mbps = 118.0;   ///< nominal link bandwidth (what the CE assumes)
+  double bw_jitter_low_mbps = 0.0;   ///< actual bandwidth ~ U[low, high]; 0 = no jitter
+  double bw_jitter_high_mbps = 0.0;
+  /// Relative jitter on the storage node's actual kernel capacity
+  /// (OS/task-scheduling noise the paper's Table IV blames for
+  /// misjudgments — the cost model "only considers the processing and
+  /// network transfer time"). Actual S ~ S_nominal * U[1-j, 1+j].
+  double storage_rate_jitter = 0.0;
+  double storage_kernel_mbps = 80.0;  ///< S_max: node kernel capacity (Gaussian default)
+  double storage_core_mbps = 80.0;    ///< per-kernel cap (one core's rate)
+  double client_mbps = 80.0;           ///< C_{C,op} of one compute node
+
+  /// Storage-node disk bandwidth, shared fairly by concurrent reads.
+  /// 0 = infinite — the paper's (implicit) assumption that disk time is
+  /// negligible; the disk ablation bench probes when that breaks down.
+  /// Store-and-forward model: a request's bytes stage through the disk
+  /// before its next phase (transfer or kernel) begins.
+  double disk_mbps = 0.0;
+
+  /// Fixed per-request startup latency (RPC/connection overhead) before
+  /// any service begins. 0 = the paper's model.
+  double per_request_overhead = 0.0;
+
+  /// Storage-CPU scheduling discipline. The paper never says whether its
+  /// prototype time-shares concurrent kernels or runs them to completion:
+  ///   false (default): processor sharing — k kernels each progress at
+  ///     capacity/k (Linux CFS behaviour for CPU-bound processes);
+  ///   true: FCFS run-to-completion on cores = capacity/core_rate (a
+  ///     one-kernel-per-core worker pool, like our real runtime).
+  /// Makespan under uniform all-at-once workloads is identical; mean
+  /// completion time and interruption dynamics differ (see tests).
+  bool fcfs_cpu = false;
+
+  // --- kernel result model ---
+  Bytes result_size = 40;        ///< h(d) floor (digest payload)
+  double result_fraction = 0.0;  ///< h(d) = max(result_size, fraction * d)
+
+  // --- DOSAS control ---
+  std::string optimizer = "exhaustive";
+  Seconds probe_interval = 0.25;   ///< CE tick; <= 0 disables periodic probes
+  bool allow_interrupt = true;     ///< may interrupt running kernels
+  Bytes checkpoint_size = 4096;    ///< shipped with an interrupted kernel
+  /// Interruption hysteresis: only interrupt a running kernel while it
+  /// still has more than this fraction of its input left. The paper's
+  /// runtime interrupts unconditionally; the ablation bench shows that is
+  /// counterproductive when storage compute overlaps demoted transfers
+  /// (the additive Eq. 4 model cannot see the overlap), so this knob is
+  /// provided as an extension. 0 = the paper's behaviour.
+  double interrupt_min_remaining = 0.0;
+
+  /// h(d) under this config.
+  Bytes result_bytes(Bytes d) const {
+    const auto frac = static_cast<Bytes>(result_fraction * static_cast<double>(d));
+    return std::max(result_size, frac);
+  }
+
+  /// Config with the paper's Gaussian-filter rates.
+  static ModelConfig gaussian();
+  /// Config with the paper's SUM rates.
+  static ModelConfig sum();
+
+  /// Config from a rate table entry — the bridge from measured kernel
+  /// rates (kernels/calibrate.hpp -> RateTable) to the simulator. kNotFound
+  /// if the table has no entry for `op`.
+  static Result<ModelConfig> from_rates(const server::RateTable& rates, const std::string& op);
+};
+
+/// One I/O request in the simulated workload.
+struct ModelRequest {
+  Bytes size = 0;
+  Seconds arrival = 0.0;
+};
+
+/// Outcome of one simulated run.
+struct RunStats {
+  Seconds makespan = 0.0;            ///< completion time of the last request
+  double aggregate_bandwidth_mbps = 0.0;  ///< Σ d_i / makespan (paper Fig. 11/12)
+  Seconds mean_completion = 0.0;
+  std::size_t served_active = 0;     ///< kernels that finished on the storage node
+  std::size_t demoted = 0;           ///< served as normal I/O (incl. TS's all)
+  std::size_t interrupted = 0;       ///< kernels interrupted mid-run
+  Bytes bytes_over_link = 0;         ///< total data that crossed the network
+};
+
+/// Simulate `scheme` over `requests`. `rng` drives bandwidth jitter (pass
+/// nullptr for the nominal deterministic run).
+RunStats simulate_scheme(SchemeKind scheme, const ModelConfig& config,
+                         const std::vector<ModelRequest>& requests, Rng* rng = nullptr);
+
+/// Uniform workload: `n` requests of `size` bytes arriving at t = 0
+/// (the paper's experimental shape: one benchmark, many instances).
+std::vector<ModelRequest> uniform_workload(std::size_t n, Bytes size);
+
+/// Poisson arrivals with mean inter-arrival `mean_gap` (extension
+/// workloads for the ablations).
+std::vector<ModelRequest> poisson_workload(std::size_t n, Bytes size, Seconds mean_gap,
+                                           Rng& rng);
+
+}  // namespace dosas::core

@@ -1,0 +1,157 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dosas::core {
+
+Result<Bytes> parse_size(const std::string& text) {
+  if (text.empty()) return error(ErrorCode::kInvalidArgument, "size: empty");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) {
+    return error(ErrorCode::kInvalidArgument, "size: bad number in '" + text + "'");
+  }
+  std::string unit(end);
+  // Trim and lowercase.
+  unit.erase(std::remove_if(unit.begin(), unit.end(),
+                            [](unsigned char c) { return std::isspace(c); }),
+             unit.end());
+  std::transform(unit.begin(), unit.end(), unit.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+
+  double mult = 1.0;
+  if (unit.empty() || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    mult = 1024.0;
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    mult = 1024.0 * 1024.0;
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    mult = 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return error(ErrorCode::kInvalidArgument, "size: unknown unit '" + unit + "'");
+  }
+  return static_cast<Bytes>(value * mult);
+}
+
+std::string size_to_text(Bytes b) {
+  if (b >= 1_GiB && b % 1_GiB == 0) return std::to_string(b >> 30) + "GiB";
+  if (b >= 1_MiB && b % 1_MiB == 0) return std::to_string(b >> 20) + "MiB";
+  if (b >= 1_KiB && b % 1_KiB == 0) return std::to_string(b >> 10) + "KiB";
+  return std::to_string(b) + "B";
+}
+
+Result<Trace> Trace::parse(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+
+    std::istringstream fields(line);
+    std::string field;
+    TraceRecord rec;
+    bool has_size = false;
+    bool any = false;
+    while (fields >> field) {
+      any = true;
+      const auto eq = field.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return error(ErrorCode::kInvalidArgument,
+                     "trace line " + std::to_string(line_no) + ": bad field '" + field + "'");
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "t") {
+        rec.arrival = std::strtod(value.c_str(), nullptr);
+        if (rec.arrival < 0) {
+          return error(ErrorCode::kInvalidArgument,
+                       "trace line " + std::to_string(line_no) + ": negative arrival");
+        }
+      } else if (key == "node") {
+        rec.node = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+      } else if (key == "size") {
+        auto size = parse_size(value);
+        if (!size.is_ok()) {
+          return error(ErrorCode::kInvalidArgument,
+                       "trace line " + std::to_string(line_no) + ": " +
+                           size.status().message());
+        }
+        rec.size = size.value();
+        has_size = true;
+      } else if (key == "op") {
+        rec.operation = value;
+      } else {
+        return error(ErrorCode::kInvalidArgument, "trace line " + std::to_string(line_no) +
+                                                      ": unknown key '" + key + "'");
+      }
+    }
+    if (!any) continue;  // blank / comment-only line
+    if (!has_size) {
+      return error(ErrorCode::kInvalidArgument,
+                   "trace line " + std::to_string(line_no) + ": missing size=");
+    }
+    trace.records.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+Result<Trace> Trace::parse_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+Result<Trace> Trace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return error(ErrorCode::kNotFound, "cannot open trace: " + path);
+  return parse(in);
+}
+
+Status Trace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return error(ErrorCode::kUnavailable, "cannot write trace: " + path);
+  out << to_text();
+  return out ? Status::ok() : error(ErrorCode::kUnavailable, "write failed: " + path);
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream out;
+  out << "# dosas workload trace: " << records.size() << " request(s)\n";
+  for (const auto& rec : records) {
+    char t[32];
+    std::snprintf(t, sizeof(t), "%.6f", rec.arrival);
+    out << "t=" << t << " node=" << rec.node << " size=" << size_to_text(rec.size)
+        << " op=" << rec.operation << "\n";
+  }
+  return out.str();
+}
+
+std::vector<ModelRequest> Trace::to_model_requests() const {
+  std::vector<ModelRequest> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) out.push_back({rec.size, rec.arrival});
+  return out;
+}
+
+std::vector<MultiNodeRequest> Trace::to_multi_node_requests() const {
+  std::vector<MultiNodeRequest> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) out.push_back({rec.size, rec.arrival, rec.node});
+  return out;
+}
+
+std::uint32_t Trace::node_count() const {
+  std::uint32_t max_node = 0;
+  if (records.empty()) return 0;
+  for (const auto& rec : records) max_node = std::max(max_node, rec.node);
+  return max_node + 1;
+}
+
+}  // namespace dosas::core

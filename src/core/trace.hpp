@@ -1,0 +1,60 @@
+// trace.hpp — workload traces for the experiment models.
+//
+// A trace is a line-oriented text format, one I/O request per line:
+//
+//   # comments and blank lines are skipped
+//   t=0.00  node=0  size=128MiB  op=gaussian2d:width=1024
+//   t=0.25  node=1  size=512KiB  op=sum
+//
+// Fields may appear in any order; `node` and `op` are optional (default 0
+// / "sum"). Sizes accept B/KiB/MiB/GiB suffixes (also KB/MB/GB treated as
+// binary) or raw byte counts. Traces let experiments be captured,
+// versioned, and replayed (`examples/trace_replay`, `tools/dosas_ctl`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/multi_node.hpp"
+
+namespace dosas::core {
+
+struct TraceRecord {
+  Seconds arrival = 0.0;
+  std::uint32_t node = 0;
+  Bytes size = 0;
+  std::string operation = "sum";
+};
+
+struct Trace {
+  std::vector<TraceRecord> records;
+
+  /// Requests for the single-node model (node fields ignored).
+  std::vector<ModelRequest> to_model_requests() const;
+
+  /// Requests for the multi-node model.
+  std::vector<MultiNodeRequest> to_multi_node_requests() const;
+
+  /// Highest node index referenced, plus one (0 for an empty trace).
+  std::uint32_t node_count() const;
+
+  /// Canonical text form (round-trips through parse()).
+  std::string to_text() const;
+
+  static Result<Trace> parse(std::istream& in);
+  static Result<Trace> parse_text(const std::string& text);
+  static Result<Trace> load(const std::string& path);
+  Status save(const std::string& path) const;
+};
+
+/// Parse "128MiB", "4KB", "1073741824" into bytes. Decimal-prefix units
+/// (KB/MB/GB) are treated as their binary siblings, matching the paper's
+/// loose usage.
+Result<Bytes> parse_size(const std::string& text);
+
+/// Render a byte count in canonical trace form (largest exact binary unit).
+std::string size_to_text(Bytes b);
+
+}  // namespace dosas::core

@@ -1,0 +1,100 @@
+#include "kernels/byte_grep.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace dosas::kernels {
+
+ByteGrepKernel::ByteGrepKernel(std::string pattern) : pattern_(std::move(pattern)) {
+  assert(!pattern_.empty());
+}
+
+Result<std::unique_ptr<Kernel>> ByteGrepKernel::from_spec(const OperationSpec& spec) {
+  const std::string pat = spec.get("pat", "ERROR");
+  if (pat.empty()) return error(ErrorCode::kInvalidArgument, "bytegrep: empty pattern");
+  return std::unique_ptr<Kernel>(std::make_unique<ByteGrepKernel>(pat));
+}
+
+void ByteGrepKernel::reset() {
+  consumed_ = 0;
+  matches_ = 0;
+  tail_.clear();
+}
+
+void ByteGrepKernel::consume(std::span<const std::uint8_t> chunk) {
+  consumed_ += chunk.size();
+  const std::size_t plen = pattern_.size();
+
+  // Scan tail_ + chunk so boundary-spanning matches are found; tail_ holds
+  // at most plen-1 bytes, so matches found here were not counted before.
+  std::vector<std::uint8_t> window;
+  window.reserve(tail_.size() + chunk.size());
+  window.insert(window.end(), tail_.begin(), tail_.end());
+  window.insert(window.end(), chunk.begin(), chunk.end());
+
+  if (window.size() >= plen) {
+    const auto* hay = window.data();
+    const auto* pat = reinterpret_cast<const std::uint8_t*>(pattern_.data());
+    for (std::size_t i = 0; i + plen <= window.size(); ++i) {
+      if (std::memcmp(hay + i, pat, plen) == 0) ++matches_;
+    }
+  }
+
+  // Keep the trailing plen-1 bytes for the next chunk.
+  const std::size_t keep = std::min(window.size(), plen - 1);
+  tail_.assign(window.end() - static_cast<std::ptrdiff_t>(keep), window.end());
+}
+
+std::vector<std::uint8_t> ByteGrepKernel::finalize() const {
+  ByteWriter w;
+  w.put_u64(matches_);
+  w.put_u64(consumed_);
+  return w.take();
+}
+
+Bytes ByteGrepKernel::result_size(Bytes input) const {
+  (void)input;
+  return 2 * sizeof(std::uint64_t);
+}
+
+Checkpoint ByteGrepKernel::checkpoint() const {
+  Checkpoint ck;
+  ck.set_string("kernel", name());
+  ck.set_string("pattern", pattern_);
+  ck.set_i64("consumed", static_cast<std::int64_t>(consumed_));
+  ck.set_i64("matches", static_cast<std::int64_t>(matches_));
+  ck.set_blob("tail", tail_);
+  return ck;
+}
+
+Status ByteGrepKernel::restore(const Checkpoint& ck) {
+  if (ck.get_string("kernel") != name()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint is not a bytegrep checkpoint");
+  }
+  if (ck.get_string("pattern") != pattern_) {
+    return error(ErrorCode::kInvalidArgument, "bytegrep: checkpoint pattern mismatch");
+  }
+  const auto* tail = ck.get_blob("tail");
+  if (tail == nullptr) return error(ErrorCode::kInvalidArgument, "bytegrep: missing tail");
+  consumed_ = static_cast<Bytes>(ck.get_i64("consumed"));
+  matches_ = static_cast<std::uint64_t>(ck.get_i64("matches"));
+  tail_ = *tail;
+  return Status::ok();
+}
+
+std::unique_ptr<Kernel> ByteGrepKernel::clone() const {
+  return std::make_unique<ByteGrepKernel>(pattern_);
+}
+
+Result<ByteGrepResult> ByteGrepResult::decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  ByteReader r(buf);
+  ByteGrepResult out;
+  if (!r.get_u64(out.matches) || !r.get_u64(out.scanned) || !r.exhausted()) {
+    return error(ErrorCode::kInvalidArgument, "bytegrep: bad result payload");
+  }
+  return out;
+}
+
+}  // namespace dosas::kernels

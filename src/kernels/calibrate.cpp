@@ -1,0 +1,37 @@
+#include "kernels/calibrate.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dosas::kernels {
+
+CalibrationResult calibrate(Kernel& kernel, const CalibrationOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+
+  // One reusable chunk of pseudo-random doubles; contents don't affect the
+  // instruction mix of the kernels we calibrate.
+  const std::size_t chunk_doubles = opts.chunk_size / sizeof(double);
+  std::vector<double> values(chunk_doubles);
+  Rng rng(0xCA11B);
+  for (auto& v : values) v = rng.uniform();
+  std::vector<std::uint8_t> chunk(chunk_doubles * sizeof(double));
+  std::memcpy(chunk.data(), values.data(), chunk.size());
+
+  kernel.reset();
+  for (int i = 0; i < opts.warmup_chunks; ++i) kernel.consume(chunk);
+
+  CalibrationResult out;
+  const auto start = Clock::now();
+  while (out.bytes_processed < opts.total_bytes) {
+    kernel.consume(chunk);
+    out.bytes_processed += chunk.size();
+  }
+  out.elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  out.rate = out.elapsed > 0.0 ? static_cast<double>(out.bytes_processed) / out.elapsed : 0.0;
+  return out;
+}
+
+}  // namespace dosas::kernels

@@ -1,0 +1,33 @@
+// calibrate.hpp — measure kernel processing rates on this host.
+//
+// Paper §IV-A2 / Table III: the authors measured each kernel's per-core
+// processing rate (SUM: 860 MB/s, Gaussian: 80 MB/s) and fed those rates
+// into the scheduling algorithm as S_{C,op} and C_{C,op}. This calibrator
+// reproduces that measurement: it streams synthetic data through a kernel
+// and reports sustained bytes/sec, which benches print (Table III) and the
+// simulator config can adopt in place of the paper's rates.
+#pragma once
+
+#include "common/units.hpp"
+#include "kernels/kernel.hpp"
+
+namespace dosas::kernels {
+
+struct CalibrationResult {
+  BytesPerSec rate = 0.0;      ///< sustained processing rate
+  Bytes bytes_processed = 0;   ///< total data streamed
+  Seconds elapsed = 0.0;       ///< wall-clock time
+};
+
+struct CalibrationOptions {
+  Bytes total_bytes = 64_MiB;  ///< data volume to stream
+  Bytes chunk_size = 1_MiB;    ///< consume() granularity
+  int warmup_chunks = 4;       ///< chunks processed before timing starts
+};
+
+/// Stream `opts.total_bytes` of synthetic doubles through `kernel` and
+/// measure the sustained consume() rate. The kernel is reset first and left
+/// finalized-able afterwards.
+CalibrationResult calibrate(Kernel& kernel, const CalibrationOptions& opts = {});
+
+}  // namespace dosas::kernels

@@ -1,0 +1,264 @@
+#include "kernels/gaussian2d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace dosas::kernels {
+
+namespace {
+// 3x3 Gaussian weights; the explicit divide (not a multiply by 1/16) keeps
+// the per-item operation mix identical to the paper's Table III.
+constexpr double kW[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+constexpr double kDivisor = 16.0;
+}  // namespace
+
+Gaussian2dKernel::Gaussian2dKernel(std::size_t width, Mode mode) : width_(width), mode_(mode) {
+  assert(width_ >= 1);
+  reset();
+}
+
+Result<std::unique_ptr<Kernel>> Gaussian2dKernel::from_spec(const OperationSpec& spec) {
+  const auto width = spec.get_int("width", 1024);
+  if (width < 1 || width > (1 << 26)) {
+    return error(ErrorCode::kInvalidArgument, "gaussian2d: width out of range");
+  }
+  const std::string mode_s = spec.get("mode", "digest");
+  Mode mode;
+  if (mode_s == "digest") {
+    mode = Mode::kDigest;
+  } else if (mode_s == "full") {
+    mode = Mode::kFull;
+  } else {
+    return error(ErrorCode::kInvalidArgument, "gaussian2d: unknown mode '" + mode_s + "'");
+  }
+  return std::unique_ptr<Kernel>(
+      std::make_unique<Gaussian2dKernel>(static_cast<std::size_t>(width), mode));
+}
+
+void Gaussian2dKernel::reset() {
+  consumed_ = 0;
+  pending_.clear();
+  prev1_.clear();
+  prev2_.clear();
+  rows_seen_ = 0;
+  out_rows_ = 0;
+  out_count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  full_out_.clear();
+}
+
+void Gaussian2dKernel::consume(std::span<const std::uint8_t> chunk) {
+  consumed_ += chunk.size();
+  const std::size_t row_bytes = width_ * sizeof(double);
+
+  // Fast path: no pending partial row and the chunk is row-aligned slices.
+  std::size_t pos = 0;
+  if (!pending_.empty()) {
+    const std::size_t need = row_bytes - pending_.size();
+    const std::size_t take = std::min(need, chunk.size());
+    pending_.insert(pending_.end(), chunk.begin(),
+                    chunk.begin() + static_cast<std::ptrdiff_t>(take));
+    pos = take;
+    if (pending_.size() == row_bytes) {
+      std::vector<double> row(width_);
+      std::memcpy(row.data(), pending_.data(), row_bytes);
+      pending_.clear();
+      push_row(row.data());
+    } else {
+      return;
+    }
+  }
+
+  std::vector<double> row(width_);
+  while (chunk.size() - pos >= row_bytes) {
+    std::memcpy(row.data(), chunk.data() + pos, row_bytes);
+    push_row(row.data());
+    pos += row_bytes;
+  }
+
+  if (pos < chunk.size()) {
+    pending_.assign(chunk.begin() + static_cast<std::ptrdiff_t>(pos), chunk.end());
+  }
+}
+
+void Gaussian2dKernel::push_row(const double* row) {
+  ++rows_seen_;
+  if (rows_seen_ >= 3) {
+    filter_center(prev2_.data(), prev1_.data(), row);
+  }
+  prev2_.swap(prev1_);
+  prev1_.assign(row, row + width_);
+}
+
+void Gaussian2dKernel::filter_center(const double* above, const double* center,
+                                     const double* below) {
+  ++out_rows_;
+  const std::size_t w = width_;
+  for (std::size_t x = 0; x < w; ++x) {
+    // Edge-clamp columns.
+    const std::size_t xl = x == 0 ? 0 : x - 1;
+    const std::size_t xr = x + 1 == w ? x : x + 1;
+    const double v = (kW[0][0] * above[xl] + kW[0][1] * above[x] + kW[0][2] * above[xr] +
+                      kW[1][0] * center[xl] + kW[1][1] * center[x] + kW[1][2] * center[xr] +
+                      kW[2][0] * below[xl] + kW[2][1] * below[x] + kW[2][2] * below[xr]) /
+                     kDivisor;
+    if (out_count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+    sum_ += v;
+    ++out_count_;
+    if (mode_ == Mode::kFull) full_out_.push_back(v);
+  }
+}
+
+std::vector<std::uint8_t> Gaussian2dKernel::drain_stream() {
+  if (mode_ != Mode::kFull || full_out_.empty()) return {};
+  std::vector<std::uint8_t> out(full_out_.size() * sizeof(double));
+  std::memcpy(out.data(), full_out_.data(), out.size());
+  full_out_.clear();
+  return out;
+}
+
+std::vector<std::uint8_t> Gaussian2dKernel::finalize() const {
+  ByteWriter w;
+  if (mode_ == Mode::kDigest) {
+    w.put_u64(out_rows_);
+    w.put_u64(out_count_);
+    w.put_f64(sum_);
+    w.put_f64(min_);
+    w.put_f64(max_);
+  } else {
+    w.put_u64(out_rows_);
+    w.put_u64(static_cast<std::uint64_t>(width_));
+    for (double v : full_out_) w.put_f64(v);
+  }
+  return w.take();
+}
+
+Bytes Gaussian2dKernel::result_size(Bytes input) const {
+  if (mode_ == Mode::kDigest) {
+    return 2 * sizeof(std::uint64_t) + 3 * sizeof(double);
+  }
+  // Full mode: (rows - 2) output rows for `rows` input rows.
+  const Bytes row_bytes = width_ * sizeof(double);
+  const Bytes rows = input / row_bytes;
+  const Bytes out_rows = rows >= 2 ? rows - 2 : 0;
+  return 2 * sizeof(std::uint64_t) + out_rows * row_bytes;
+}
+
+Checkpoint Gaussian2dKernel::checkpoint() const {
+  Checkpoint ck;
+  ck.set_string("kernel", name());
+  ck.set_i64("width", static_cast<std::int64_t>(width_));
+  ck.set_string("mode", mode_ == Mode::kDigest ? "digest" : "full");
+  ck.set_i64("consumed", static_cast<std::int64_t>(consumed_));
+  ck.set_i64("rows_seen", static_cast<std::int64_t>(rows_seen_));
+  ck.set_i64("out_rows", static_cast<std::int64_t>(out_rows_));
+  ck.set_i64("out_count", static_cast<std::int64_t>(out_count_));
+  ck.set_f64("sum", sum_);
+  ck.set_f64("min", min_);
+  ck.set_f64("max", max_);
+  ck.set_blob("pending", pending_);
+
+  auto rows_to_blob = [](const std::vector<double>& row) {
+    std::vector<std::uint8_t> b(row.size() * sizeof(double));
+    std::memcpy(b.data(), row.data(), b.size());
+    return b;
+  };
+  ck.set_blob("prev1", rows_to_blob(prev1_));
+  ck.set_blob("prev2", rows_to_blob(prev2_));
+  if (mode_ == Mode::kFull) ck.set_blob("full_out", rows_to_blob(full_out_));
+  return ck;
+}
+
+Status Gaussian2dKernel::restore(const Checkpoint& ck) {
+  if (ck.get_string("kernel") != name()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint is not a gaussian2d checkpoint");
+  }
+  const auto width = ck.get_i64("width", -1);
+  if (width != static_cast<std::int64_t>(width_)) {
+    return error(ErrorCode::kInvalidArgument, "gaussian2d: checkpoint width mismatch");
+  }
+  const std::string mode_s = ck.get_string("mode");
+  if ((mode_ == Mode::kDigest) != (mode_s == "digest")) {
+    return error(ErrorCode::kInvalidArgument, "gaussian2d: checkpoint mode mismatch");
+  }
+  consumed_ = static_cast<Bytes>(ck.get_i64("consumed"));
+  rows_seen_ = static_cast<std::size_t>(ck.get_i64("rows_seen"));
+  out_rows_ = static_cast<std::uint64_t>(ck.get_i64("out_rows"));
+  out_count_ = static_cast<std::uint64_t>(ck.get_i64("out_count"));
+  sum_ = ck.get_f64("sum");
+  min_ = ck.get_f64("min");
+  max_ = ck.get_f64("max");
+
+  auto blob_to_rows = [](const std::vector<std::uint8_t>& b, std::vector<double>& out) {
+    out.resize(b.size() / sizeof(double));
+    std::memcpy(out.data(), b.data(), out.size() * sizeof(double));
+  };
+  const auto* pending = ck.get_blob("pending");
+  const auto* prev1 = ck.get_blob("prev1");
+  const auto* prev2 = ck.get_blob("prev2");
+  if (pending == nullptr || prev1 == nullptr || prev2 == nullptr) {
+    return error(ErrorCode::kInvalidArgument, "gaussian2d: checkpoint missing row state");
+  }
+  pending_ = *pending;
+  blob_to_rows(*prev1, prev1_);
+  blob_to_rows(*prev2, prev2_);
+  if (mode_ == Mode::kFull) {
+    const auto* full = ck.get_blob("full_out");
+    if (full == nullptr) {
+      return error(ErrorCode::kInvalidArgument, "gaussian2d: checkpoint missing output");
+    }
+    blob_to_rows(*full, full_out_);
+  }
+  return Status::ok();
+}
+
+std::unique_ptr<Kernel> Gaussian2dKernel::clone() const {
+  return std::make_unique<Gaussian2dKernel>(width_, mode_);
+}
+
+std::vector<double> Gaussian2dKernel::filter_reference(const std::vector<double>& grid,
+                                                       std::size_t width) {
+  assert(width >= 1);
+  assert(grid.size() % width == 0);
+  const std::size_t rows = grid.size() / width;
+  std::vector<double> out;
+  if (rows < 3) return out;
+  out.reserve((rows - 2) * width);
+  for (std::size_t y = 1; y + 1 < rows; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t xl = x == 0 ? 0 : x - 1;
+      const std::size_t xr = x + 1 == width ? x : x + 1;
+      double acc = 0.0;
+      const std::size_t cols[3] = {xl, x, xr};
+      for (int dy = -1; dy <= 1; ++dy) {
+        const double* row = grid.data() + (y + static_cast<std::size_t>(dy + 1) - 1) * width;
+        for (int dx = 0; dx < 3; ++dx) {
+          acc += kW[dy + 1][dx] * row[cols[dx]];
+        }
+      }
+      out.push_back(acc / kDivisor);
+    }
+  }
+  return out;
+}
+
+Result<GaussianDigest> GaussianDigest::decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  ByteReader r(buf);
+  GaussianDigest out;
+  if (!r.get_u64(out.rows) || !r.get_u64(out.count) || !r.get_f64(out.sum) ||
+      !r.get_f64(out.min) || !r.get_f64(out.max) || !r.exhausted()) {
+    return error(ErrorCode::kInvalidArgument, "gaussian2d: bad digest payload");
+  }
+  return out;
+}
+
+}  // namespace dosas::kernels

@@ -1,0 +1,74 @@
+#include "kernels/mean_stddev.hpp"
+
+namespace dosas::kernels {
+
+Result<MeanStddevResult> MeanStddevResult::decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  ByteReader r(buf);
+  MeanStddevResult out;
+  if (!r.get_u64(out.count) || !r.get_f64(out.mean) || !r.get_f64(out.m2) || !r.exhausted()) {
+    return error(ErrorCode::kInvalidArgument, "meanstddev: bad result payload");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> MeanStddevKernel::finalize() const {
+  ByteWriter w;
+  w.put_u64(count_);
+  w.put_f64(mean_);
+  w.put_f64(m2_);
+  return w.take();
+}
+
+Bytes MeanStddevKernel::result_size(Bytes input) const {
+  (void)input;
+  return sizeof(std::uint64_t) + 2 * sizeof(double);
+}
+
+Checkpoint MeanStddevKernel::checkpoint() const {
+  Checkpoint ck;
+  ck.set_string("kernel", name());
+  ck.set_i64("count", static_cast<std::int64_t>(count_));
+  ck.set_f64("mean", mean_);
+  ck.set_f64("m2", m2_);
+  save_carry(ck);
+  return ck;
+}
+
+Status MeanStddevKernel::restore(const Checkpoint& ck) {
+  if (ck.get_string("kernel") != name()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint is not a meanstddev checkpoint");
+  }
+  count_ = static_cast<std::uint64_t>(ck.get_i64("count"));
+  mean_ = ck.get_f64("mean");
+  m2_ = ck.get_f64("m2");
+  return load_carry(ck);
+}
+
+std::unique_ptr<Kernel> MeanStddevKernel::clone() const {
+  return std::make_unique<MeanStddevKernel>();
+}
+
+Status MeanStddevKernel::merge(std::span<const std::uint8_t> other_result) {
+  auto other = MeanStddevResult::decode(other_result);
+  if (!other.is_ok()) return other.status();
+  const auto& o = other.value();
+  if (o.count == 0) return Status::ok();
+  if (count_ == 0) {
+    count_ = o.count;
+    mean_ = o.mean;
+    m2_ = o.m2;
+    return Status::ok();
+  }
+  // Chan et al. pairwise combination.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(o.count);
+  const double delta = o.mean - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += o.m2 + delta * delta * na * nb / n;
+  count_ += o.count;
+  return Status::ok();
+}
+
+}  // namespace dosas::kernels

@@ -1,0 +1,67 @@
+#include "kernels/minmax.hpp"
+
+namespace dosas::kernels {
+
+Result<MinMaxResult> MinMaxResult::decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  ByteReader r(buf);
+  MinMaxResult out;
+  if (!r.get_u64(out.count) || !r.get_f64(out.min) || !r.get_f64(out.max) || !r.exhausted()) {
+    return error(ErrorCode::kInvalidArgument, "minmax: bad result payload");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> MinMaxKernel::finalize() const {
+  ByteWriter w;
+  w.put_u64(count_);
+  w.put_f64(min_);
+  w.put_f64(max_);
+  return w.take();
+}
+
+Bytes MinMaxKernel::result_size(Bytes input) const {
+  (void)input;
+  return sizeof(std::uint64_t) + 2 * sizeof(double);
+}
+
+Checkpoint MinMaxKernel::checkpoint() const {
+  Checkpoint ck;
+  ck.set_string("kernel", name());
+  ck.set_i64("count", static_cast<std::int64_t>(count_));
+  ck.set_f64("min", min_);
+  ck.set_f64("max", max_);
+  save_carry(ck);
+  return ck;
+}
+
+Status MinMaxKernel::restore(const Checkpoint& ck) {
+  if (ck.get_string("kernel") != name()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint is not a minmax checkpoint");
+  }
+  count_ = static_cast<std::uint64_t>(ck.get_i64("count"));
+  min_ = ck.get_f64("min");
+  max_ = ck.get_f64("max");
+  return load_carry(ck);
+}
+
+std::unique_ptr<Kernel> MinMaxKernel::clone() const { return std::make_unique<MinMaxKernel>(); }
+
+Status MinMaxKernel::merge(std::span<const std::uint8_t> other_result) {
+  auto other = MinMaxResult::decode(other_result);
+  if (!other.is_ok()) return other.status();
+  const auto& o = other.value();
+  if (o.count == 0) return Status::ok();
+  if (count_ == 0) {
+    count_ = o.count;
+    min_ = o.min;
+    max_ = o.max;
+  } else {
+    count_ += o.count;
+    if (o.min < min_) min_ = o.min;
+    if (o.max > max_) max_ = o.max;
+  }
+  return Status::ok();
+}
+
+}  // namespace dosas::kernels

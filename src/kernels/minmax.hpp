@@ -1,0 +1,55 @@
+// minmax.hpp — min/max reduction kernel.
+//
+// Two comparisons per item; with SUM and MEAN/STDDEV this covers the cheap
+// statistics family active storage was originally proposed for (Riedel's
+// active-disk data-mining workloads).
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace dosas::kernels {
+
+struct MinMaxResult {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static Result<MinMaxResult> decode(std::span<const std::uint8_t> bytes);
+};
+
+class MinMaxKernel final : public ItemwiseKernel {
+ public:
+  std::string name() const override { return "minmax"; }
+  std::vector<std::uint8_t> finalize() const override;
+  Bytes result_size(Bytes input) const override;
+  Checkpoint checkpoint() const override;
+  Status restore(const Checkpoint& ck) override;
+  std::unique_ptr<Kernel> clone() const override;
+  bool mergeable() const override { return true; }
+  Status merge(std::span<const std::uint8_t> other_result) override;
+
+ protected:
+  void reset_state() override {
+    count_ = 0;
+    min_ = 0.0;
+    max_ = 0.0;
+  }
+  void process_items(std::span<const double> items) override {
+    for (double v : items) {
+      if (count_ == 0) {
+        min_ = max_ = v;
+      } else {
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+      }
+      ++count_;
+    }
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dosas::kernels

@@ -1,0 +1,62 @@
+#include "kernels/operation.hpp"
+
+#include <cstdlib>
+
+namespace dosas::kernels {
+
+Result<OperationSpec> OperationSpec::parse(const std::string& text) {
+  OperationSpec spec;
+  const auto colon = text.find(':');
+  spec.kernel = text.substr(0, colon);
+  if (spec.kernel.empty()) {
+    return error(ErrorCode::kInvalidArgument, "operation: empty kernel name");
+  }
+  if (colon == std::string::npos) return spec;
+
+  const std::string rest = text.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    auto comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string pair = rest.substr(pos, comma - pos);
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return error(ErrorCode::kInvalidArgument, "operation: bad parameter '" + pair + "'");
+    }
+    spec.args[pair.substr(0, eq)] = pair.substr(eq + 1);
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+std::string OperationSpec::to_string() const {
+  std::string out = kernel;
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    out += first ? ':' : ',';
+    out += k;
+    out += '=';
+    out += v;
+    first = false;
+  }
+  return out;
+}
+
+std::string OperationSpec::get(const std::string& key, const std::string& fallback) const {
+  auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+std::int64_t OperationSpec::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double OperationSpec::get_double(const std::string& key, double fallback) const {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace dosas::kernels

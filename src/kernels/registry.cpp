@@ -1,0 +1,81 @@
+#include "kernels/registry.hpp"
+
+#include "kernels/byte_grep.hpp"
+#include "kernels/gaussian2d.hpp"
+#include "kernels/histogram.hpp"
+#include "kernels/mean_stddev.hpp"
+#include "kernels/minmax.hpp"
+#include "kernels/pipeline.hpp"
+#include "kernels/reservoir.hpp"
+#include "kernels/scale.hpp"
+#include "kernels/sobel2d.hpp"
+#include "kernels/sum.hpp"
+#include "kernels/threshold_count.hpp"
+#include "kernels/topk.hpp"
+
+namespace dosas::kernels {
+
+void Registry::register_kernel(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Kernel>> Registry::create(const std::string& operation) const {
+  auto spec = OperationSpec::parse(operation);
+  if (!spec.is_ok()) return spec.status();
+  return create(spec.value());
+}
+
+Result<std::unique_ptr<Kernel>> Registry::create(const OperationSpec& spec) const {
+  auto it = factories_.find(spec.kernel);
+  if (it == factories_.end()) {
+    return error(ErrorCode::kNotFound, "no such kernel: " + spec.kernel);
+  }
+  return it->second(spec);
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, f] : factories_) out.push_back(name);
+  return out;
+}
+
+Registry Registry::with_builtins() {
+  Registry r;
+  r.register_kernel("sum", [](const OperationSpec&) -> Result<std::unique_ptr<Kernel>> {
+    return std::unique_ptr<Kernel>(std::make_unique<SumKernel>());
+  });
+  r.register_kernel("minmax", [](const OperationSpec&) -> Result<std::unique_ptr<Kernel>> {
+    return std::unique_ptr<Kernel>(std::make_unique<MinMaxKernel>());
+  });
+  r.register_kernel("meanstddev", [](const OperationSpec&) -> Result<std::unique_ptr<Kernel>> {
+    return std::unique_ptr<Kernel>(std::make_unique<MeanStddevKernel>());
+  });
+  r.register_kernel("histogram",
+                    [](const OperationSpec& s) { return HistogramKernel::from_spec(s); });
+  r.register_kernel("thresholdcount",
+                    [](const OperationSpec& s) { return ThresholdCountKernel::from_spec(s); });
+  r.register_kernel("gaussian2d",
+                    [](const OperationSpec& s) { return Gaussian2dKernel::from_spec(s); });
+  r.register_kernel("bytegrep",
+                    [](const OperationSpec& s) { return ByteGrepKernel::from_spec(s); });
+  r.register_kernel("sobel2d",
+                    [](const OperationSpec& s) { return Sobel2dKernel::from_spec(s); });
+  r.register_kernel("topk", [](const OperationSpec& s) { return TopKKernel::from_spec(s); });
+  r.register_kernel("reservoir",
+                    [](const OperationSpec& s) { return ReservoirKernel::from_spec(s); });
+  r.register_kernel("scale", [](const OperationSpec& s) { return ScaleKernel::from_spec(s); });
+
+  // "pipe" resolves its stage names against a snapshot of the registry
+  // taken here (shared by every copy of the returned registry). Stages can
+  // be any builtin above; nested pipes and later-registered custom kernels
+  // are not visible inside stages by design (no ownership cycles).
+  auto snapshot = std::make_shared<Registry>(r);
+  r.register_kernel("pipe",
+                    [snapshot](const OperationSpec& s) -> Result<std::unique_ptr<Kernel>> {
+                      return PipelineKernel::from_spec(s, *snapshot);
+                    });
+  return r;
+}
+
+}  // namespace dosas::kernels

@@ -1,0 +1,48 @@
+// registry.hpp — the kernel registry/factory.
+//
+// The paper's PK component is "a collection of predefined analysis
+// kernels ... deployed both at storage nodes and compute nodes". A Registry
+// instance is that collection: both the Active Storage Server and the
+// Active Storage Client hold one and instantiate kernels from the
+// `operation` string of an active I/O request, guaranteeing the two sides
+// agree on semantics (a demoted request restores a storage-side checkpoint
+// into a client-side instance of the same kernel).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hpp"
+#include "kernels/operation.hpp"
+
+namespace dosas::kernels {
+
+class Registry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<Kernel>>(const OperationSpec&)>;
+
+  /// Register a kernel factory under `name`. Re-registration replaces.
+  void register_kernel(const std::string& name, Factory factory);
+
+  /// Instantiate from an operation string, e.g. "gaussian2d:width=512".
+  Result<std::unique_ptr<Kernel>> create(const std::string& operation) const;
+
+  /// Instantiate from a parsed spec.
+  Result<std::unique_ptr<Kernel>> create(const OperationSpec& spec) const;
+
+  bool contains(const std::string& name) const { return factories_.count(name) != 0; }
+  std::vector<std::string> names() const;
+
+  /// A registry pre-loaded with every built-in kernel: sum, minmax,
+  /// meanstddev, histogram, thresholdcount, gaussian2d, bytegrep, sobel2d,
+  /// topk, reservoir.
+  static Registry with_builtins();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace dosas::kernels

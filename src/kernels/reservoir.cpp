@@ -1,0 +1,140 @@
+#include "kernels/reservoir.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace dosas::kernels {
+
+ReservoirKernel::ReservoirKernel(std::size_t n, std::uint64_t seed)
+    : n_(n), seed_(seed), rng_(seed) {
+  assert(n_ >= 1);
+}
+
+Result<std::unique_ptr<Kernel>> ReservoirKernel::from_spec(const OperationSpec& spec) {
+  const auto n = spec.get_int("n", 64);
+  if (n < 1 || n > (1 << 22)) {
+    return error(ErrorCode::kInvalidArgument, "reservoir: n out of range");
+  }
+  const auto seed = static_cast<std::uint64_t>(spec.get_int("seed", 0xD05A5));
+  return std::unique_ptr<Kernel>(
+      std::make_unique<ReservoirKernel>(static_cast<std::size_t>(n), seed));
+}
+
+void ReservoirKernel::process_items(std::span<const double> items) {
+  for (double v : items) {
+    ++count_;
+    if (sample_.size() < n_) {
+      sample_.push_back(v);
+    } else {
+      // Algorithm R: replace a random slot with probability n/count.
+      const std::uint64_t j = rng_.uniform_index(count_);
+      if (j < n_) sample_[j] = v;
+    }
+  }
+}
+
+std::vector<std::uint8_t> ReservoirKernel::finalize() const {
+  ByteWriter w;
+  w.put_u64(count_);
+  w.put_u64(seed_);
+  w.put_u32(static_cast<std::uint32_t>(sample_.size()));
+  for (double v : sample_) w.put_f64(v);
+  return w.take();
+}
+
+Bytes ReservoirKernel::result_size(Bytes input) const {
+  (void)input;
+  return 2 * sizeof(std::uint64_t) + sizeof(std::uint32_t) + n_ * sizeof(double);
+}
+
+Checkpoint ReservoirKernel::checkpoint() const {
+  Checkpoint ck;
+  ck.set_string("kernel", name());
+  ck.set_i64("n", static_cast<std::int64_t>(n_));
+  ck.set_i64("seed", static_cast<std::int64_t>(seed_));
+  ck.set_i64("count", static_cast<std::int64_t>(count_));
+  std::vector<std::uint8_t> sample_bytes(sample_.size() * sizeof(double));
+  std::memcpy(sample_bytes.data(), sample_.data(), sample_bytes.size());
+  ck.set_blob("sample", std::move(sample_bytes));
+  // Algorithm R consumes exactly one draw per item past the fill phase, so
+  // the RNG can be reconstructed by replaying; storing the draw count
+  // (== count_) with the seed suffices — but replaying millions of draws
+  // on restore would be O(count), so persist the raw generator state via
+  // its own serialization: we re-derive it by replaying only when small
+  // and otherwise fork deterministically from (seed, count).
+  ck.set_i64("rng_replay", static_cast<std::int64_t>(count_ > n_ ? count_ - n_ : 0));
+  save_carry(ck);
+  return ck;
+}
+
+Status ReservoirKernel::restore(const Checkpoint& ck) {
+  if (ck.get_string("kernel") != name()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint is not a reservoir checkpoint");
+  }
+  if (ck.get_i64("n", -1) != static_cast<std::int64_t>(n_)) {
+    return error(ErrorCode::kInvalidArgument, "reservoir: checkpoint n mismatch");
+  }
+  seed_ = static_cast<std::uint64_t>(ck.get_i64("seed"));
+  count_ = static_cast<std::uint64_t>(ck.get_i64("count"));
+  const auto* sample = ck.get_blob("sample");
+  if (sample == nullptr) return error(ErrorCode::kInvalidArgument, "reservoir: missing sample");
+  sample_.resize(sample->size() / sizeof(double));
+  std::memcpy(sample_.data(), sample->data(), sample_.size() * sizeof(double));
+  // Reconstruct the RNG by replaying the draws made so far (one per item
+  // after the fill phase). Deterministic and exact.
+  rng_.reseed(seed_);
+  const auto replay = static_cast<std::uint64_t>(ck.get_i64("rng_replay"));
+  for (std::uint64_t i = 0; i < replay; ++i) {
+    (void)rng_.uniform_index(n_ + 1 + i);  // same bounded-draw sequence shape
+  }
+  return load_carry(ck);
+}
+
+std::unique_ptr<Kernel> ReservoirKernel::clone() const {
+  return std::make_unique<ReservoirKernel>(n_, seed_);
+}
+
+Status ReservoirKernel::merge(std::span<const std::uint8_t> other_result) {
+  auto other = ReservoirResult::decode(other_result);
+  if (!other.is_ok()) return other.status();
+  const auto& o = other.value();
+  if (o.sample.empty()) return Status::ok();
+  if (sample_.empty()) {
+    sample_ = o.sample;
+    count_ = o.count;
+    return Status::ok();
+  }
+  // Weighted merge: each slot of the combined reservoir comes from the
+  // other side with probability count_other / (count_this + count_other).
+  const double p_other =
+      static_cast<double>(o.count) / static_cast<double>(count_ + o.count);
+  const std::size_t limit = std::min(n_, o.sample.size());
+  for (std::size_t i = 0; i < sample_.size(); ++i) {
+    if (rng_.chance(p_other)) {
+      sample_[i] = o.sample[rng_.uniform_index(limit)];
+    }
+  }
+  count_ += o.count;
+  return Status::ok();
+}
+
+Result<ReservoirResult> ReservoirResult::decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  ByteReader r(buf);
+  ReservoirResult out;
+  std::uint32_t n = 0;
+  if (!r.get_u64(out.count) || !r.get_u64(out.seed) || !r.get_u32(n)) {
+    return error(ErrorCode::kInvalidArgument, "reservoir: bad result header");
+  }
+  if (r.remaining() != static_cast<std::size_t>(n) * sizeof(double)) {
+    return error(ErrorCode::kInvalidArgument, "reservoir: sample count does not match payload");
+  }
+  out.sample.resize(n);
+  for (auto& v : out.sample) {
+    if (!r.get_f64(v)) return error(ErrorCode::kInvalidArgument, "reservoir: truncated sample");
+  }
+  if (!r.exhausted()) return error(ErrorCode::kInvalidArgument, "reservoir: trailing bytes");
+  return out;
+}
+
+}  // namespace dosas::kernels

@@ -1,0 +1,209 @@
+#include "kernels/sobel2d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace dosas::kernels {
+
+Sobel2dKernel::Sobel2dKernel(std::size_t width, double threshold)
+    : width_(width), threshold_(threshold) {
+  assert(width_ >= 1);
+  reset();
+}
+
+Result<std::unique_ptr<Kernel>> Sobel2dKernel::from_spec(const OperationSpec& spec) {
+  const auto width = spec.get_int("width", 1024);
+  if (width < 1 || width > (1 << 26)) {
+    return error(ErrorCode::kInvalidArgument, "sobel2d: width out of range");
+  }
+  const double threshold = spec.get_double("t", 1.0);
+  return std::unique_ptr<Kernel>(
+      std::make_unique<Sobel2dKernel>(static_cast<std::size_t>(width), threshold));
+}
+
+void Sobel2dKernel::reset() {
+  consumed_ = 0;
+  pending_.clear();
+  prev1_.clear();
+  prev2_.clear();
+  rows_seen_ = 0;
+  out_rows_ = 0;
+  out_count_ = 0;
+  edges_ = 0;
+  max_mag_ = 0.0;
+  sum_mag_ = 0.0;
+}
+
+void Sobel2dKernel::consume(std::span<const std::uint8_t> chunk) {
+  consumed_ += chunk.size();
+  const std::size_t row_bytes = width_ * sizeof(double);
+
+  std::size_t pos = 0;
+  if (!pending_.empty()) {
+    const std::size_t need = row_bytes - pending_.size();
+    const std::size_t take = std::min(need, chunk.size());
+    pending_.insert(pending_.end(), chunk.begin(),
+                    chunk.begin() + static_cast<std::ptrdiff_t>(take));
+    pos = take;
+    if (pending_.size() == row_bytes) {
+      std::vector<double> row(width_);
+      std::memcpy(row.data(), pending_.data(), row_bytes);
+      pending_.clear();
+      push_row(row.data());
+    } else {
+      return;
+    }
+  }
+
+  std::vector<double> row(width_);
+  while (chunk.size() - pos >= row_bytes) {
+    std::memcpy(row.data(), chunk.data() + pos, row_bytes);
+    push_row(row.data());
+    pos += row_bytes;
+  }
+  if (pos < chunk.size()) {
+    pending_.assign(chunk.begin() + static_cast<std::ptrdiff_t>(pos), chunk.end());
+  }
+}
+
+void Sobel2dKernel::push_row(const double* row) {
+  ++rows_seen_;
+  if (rows_seen_ >= 3) {
+    process_center(prev2_.data(), prev1_.data(), row);
+  }
+  prev2_.swap(prev1_);
+  prev1_.assign(row, row + width_);
+}
+
+void Sobel2dKernel::process_center(const double* above, const double* center,
+                                   const double* below) {
+  ++out_rows_;
+  const std::size_t w = width_;
+  for (std::size_t x = 0; x < w; ++x) {
+    const std::size_t xl = x == 0 ? 0 : x - 1;
+    const std::size_t xr = x + 1 == w ? x : x + 1;
+    // Sobel gradients:  Gx = [-1 0 1; -2 0 2; -1 0 1],  Gy = Gx^T.
+    const double gx = -above[xl] + above[xr] - 2.0 * center[xl] + 2.0 * center[xr] -
+                      below[xl] + below[xr];
+    const double gy = -above[xl] - 2.0 * above[x] - above[xr] + below[xl] +
+                      2.0 * below[x] + below[xr];
+    const double mag = std::sqrt(gx * gx + gy * gy);
+    if (mag > threshold_) ++edges_;
+    if (mag > max_mag_) max_mag_ = mag;
+    sum_mag_ += mag;
+    ++out_count_;
+  }
+}
+
+std::vector<std::uint8_t> Sobel2dKernel::finalize() const {
+  ByteWriter w;
+  w.put_u64(out_rows_);
+  w.put_u64(out_count_);
+  w.put_u64(edges_);
+  w.put_f64(max_mag_);
+  w.put_f64(out_count_ > 0 ? sum_mag_ / static_cast<double>(out_count_) : 0.0);
+  return w.take();
+}
+
+Bytes Sobel2dKernel::result_size(Bytes input) const {
+  (void)input;
+  return 3 * sizeof(std::uint64_t) + 2 * sizeof(double);
+}
+
+Checkpoint Sobel2dKernel::checkpoint() const {
+  Checkpoint ck;
+  ck.set_string("kernel", name());
+  ck.set_i64("width", static_cast<std::int64_t>(width_));
+  ck.set_f64("threshold", threshold_);
+  ck.set_i64("consumed", static_cast<std::int64_t>(consumed_));
+  ck.set_i64("rows_seen", static_cast<std::int64_t>(rows_seen_));
+  ck.set_i64("out_rows", static_cast<std::int64_t>(out_rows_));
+  ck.set_i64("out_count", static_cast<std::int64_t>(out_count_));
+  ck.set_i64("edges", static_cast<std::int64_t>(edges_));
+  ck.set_f64("max_mag", max_mag_);
+  ck.set_f64("sum_mag", sum_mag_);
+  ck.set_blob("pending", pending_);
+  auto row_blob = [](const std::vector<double>& row) {
+    std::vector<std::uint8_t> b(row.size() * sizeof(double));
+    std::memcpy(b.data(), row.data(), b.size());
+    return b;
+  };
+  ck.set_blob("prev1", row_blob(prev1_));
+  ck.set_blob("prev2", row_blob(prev2_));
+  return ck;
+}
+
+Status Sobel2dKernel::restore(const Checkpoint& ck) {
+  if (ck.get_string("kernel") != name()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint is not a sobel2d checkpoint");
+  }
+  if (ck.get_i64("width", -1) != static_cast<std::int64_t>(width_)) {
+    return error(ErrorCode::kInvalidArgument, "sobel2d: checkpoint width mismatch");
+  }
+  threshold_ = ck.get_f64("threshold");
+  consumed_ = static_cast<Bytes>(ck.get_i64("consumed"));
+  rows_seen_ = static_cast<std::size_t>(ck.get_i64("rows_seen"));
+  out_rows_ = static_cast<std::uint64_t>(ck.get_i64("out_rows"));
+  out_count_ = static_cast<std::uint64_t>(ck.get_i64("out_count"));
+  edges_ = static_cast<std::uint64_t>(ck.get_i64("edges"));
+  max_mag_ = ck.get_f64("max_mag");
+  sum_mag_ = ck.get_f64("sum_mag");
+  const auto* pending = ck.get_blob("pending");
+  const auto* prev1 = ck.get_blob("prev1");
+  const auto* prev2 = ck.get_blob("prev2");
+  if (pending == nullptr || prev1 == nullptr || prev2 == nullptr) {
+    return error(ErrorCode::kInvalidArgument, "sobel2d: checkpoint missing row state");
+  }
+  pending_ = *pending;
+  auto blob_rows = [](const std::vector<std::uint8_t>& b, std::vector<double>& out) {
+    out.resize(b.size() / sizeof(double));
+    std::memcpy(out.data(), b.data(), out.size() * sizeof(double));
+  };
+  blob_rows(*prev1, prev1_);
+  blob_rows(*prev2, prev2_);
+  return Status::ok();
+}
+
+std::unique_ptr<Kernel> Sobel2dKernel::clone() const {
+  return std::make_unique<Sobel2dKernel>(width_, threshold_);
+}
+
+std::vector<double> Sobel2dKernel::magnitude_reference(const std::vector<double>& grid,
+                                                       std::size_t width) {
+  assert(width >= 1);
+  assert(grid.size() % width == 0);
+  const std::size_t rows = grid.size() / width;
+  std::vector<double> out;
+  if (rows < 3) return out;
+  out.reserve((rows - 2) * width);
+  for (std::size_t y = 1; y + 1 < rows; ++y) {
+    const double* above = grid.data() + (y - 1) * width;
+    const double* center = grid.data() + y * width;
+    const double* below = grid.data() + (y + 1) * width;
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t xl = x == 0 ? 0 : x - 1;
+      const std::size_t xr = x + 1 == width ? x : x + 1;
+      const double gx = -above[xl] + above[xr] - 2.0 * center[xl] + 2.0 * center[xr] -
+                        below[xl] + below[xr];
+      const double gy = -above[xl] - 2.0 * above[x] - above[xr] + below[xl] +
+                        2.0 * below[x] + below[xr];
+      out.push_back(std::sqrt(gx * gx + gy * gy));
+    }
+  }
+  return out;
+}
+
+Result<SobelDigest> SobelDigest::decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  ByteReader r(buf);
+  SobelDigest out;
+  if (!r.get_u64(out.rows) || !r.get_u64(out.count) || !r.get_u64(out.edges) ||
+      !r.get_f64(out.max_magnitude) || !r.get_f64(out.mean_magnitude) || !r.exhausted()) {
+    return error(ErrorCode::kInvalidArgument, "sobel2d: bad digest payload");
+  }
+  return out;
+}
+
+}  // namespace dosas::kernels

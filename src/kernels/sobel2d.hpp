@@ -1,0 +1,73 @@
+// sobel2d.hpp — Sobel edge-detection kernel (extension).
+//
+// The second stencil kernel, from the active-disk literature's
+// edge-detection workload (Riedel et al.): 3×3 Sobel gradients over a
+// row-major grid of doubles, reporting an edge digest (count of pixels
+// whose gradient magnitude exceeds a threshold, plus magnitude statistics).
+// Structurally like the Gaussian filter — row-carrying, checkpointable,
+// not stripe-mergeable — but with a different operation mix (12 mul,
+// 10 add/sub, 1 sqrt, 1 cmp per item), giving the scheduler a third
+// cost point between SUM and Gaussian.
+#pragma once
+
+#include "kernels/kernel.hpp"
+#include "kernels/operation.hpp"
+
+namespace dosas::kernels {
+
+struct SobelDigest {
+  std::uint64_t rows = 0;    ///< output rows produced
+  std::uint64_t count = 0;   ///< gradient magnitudes produced
+  std::uint64_t edges = 0;   ///< magnitudes above the threshold
+  double max_magnitude = 0.0;
+  double mean_magnitude = 0.0;
+
+  static Result<SobelDigest> decode(std::span<const std::uint8_t> bytes);
+};
+
+class Sobel2dKernel final : public Kernel {
+ public:
+  explicit Sobel2dKernel(std::size_t width = 1024, double threshold = 1.0);
+
+  /// "sobel2d:width=512,t=2.5"
+  static Result<std::unique_ptr<Kernel>> from_spec(const OperationSpec& spec);
+
+  std::string name() const override { return "sobel2d"; }
+  void reset() override;
+  void consume(std::span<const std::uint8_t> chunk) override;
+  Bytes consumed() const override { return consumed_; }
+  std::vector<std::uint8_t> finalize() const override;
+  Bytes result_size(Bytes input) const override;
+  Checkpoint checkpoint() const override;
+  Status restore(const Checkpoint& ck) override;
+  std::unique_ptr<Kernel> clone() const override;
+
+  std::size_t width() const { return width_; }
+  double threshold() const { return threshold_; }
+
+  /// Reference implementation for tests: gradient magnitudes of the
+  /// interior rows of a rows×width grid (edge-clamped columns).
+  static std::vector<double> magnitude_reference(const std::vector<double>& grid,
+                                                 std::size_t width);
+
+ private:
+  void push_row(const double* row);
+  void process_center(const double* above, const double* center, const double* below);
+
+  std::size_t width_;
+  double threshold_;
+  Bytes consumed_ = 0;
+
+  std::vector<std::uint8_t> pending_;
+  std::vector<double> prev1_;
+  std::vector<double> prev2_;
+  std::size_t rows_seen_ = 0;
+
+  std::uint64_t out_rows_ = 0;
+  std::uint64_t out_count_ = 0;
+  std::uint64_t edges_ = 0;
+  double max_mag_ = 0.0;
+  double sum_mag_ = 0.0;
+};
+
+}  // namespace dosas::kernels

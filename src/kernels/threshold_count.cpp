@@ -1,0 +1,69 @@
+#include "kernels/threshold_count.hpp"
+
+namespace dosas::kernels {
+
+Result<std::unique_ptr<Kernel>> ThresholdCountKernel::from_spec(const OperationSpec& spec) {
+  return std::unique_ptr<Kernel>(
+      std::make_unique<ThresholdCountKernel>(spec.get_double("t", 0.5)));
+}
+
+Result<ThresholdCountResult> ThresholdCountResult::decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> buf(bytes.begin(), bytes.end());
+  ByteReader r(buf);
+  ThresholdCountResult out;
+  if (!r.get_u64(out.count) || !r.get_u64(out.matches) || !r.get_f64(out.threshold) ||
+      !r.exhausted()) {
+    return error(ErrorCode::kInvalidArgument, "thresholdcount: bad result payload");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ThresholdCountKernel::finalize() const {
+  ByteWriter w;
+  w.put_u64(count_);
+  w.put_u64(matches_);
+  w.put_f64(threshold_);
+  return w.take();
+}
+
+Bytes ThresholdCountKernel::result_size(Bytes input) const {
+  (void)input;
+  return 2 * sizeof(std::uint64_t) + sizeof(double);
+}
+
+Checkpoint ThresholdCountKernel::checkpoint() const {
+  Checkpoint ck;
+  ck.set_string("kernel", name());
+  ck.set_f64("threshold", threshold_);
+  ck.set_i64("count", static_cast<std::int64_t>(count_));
+  ck.set_i64("matches", static_cast<std::int64_t>(matches_));
+  save_carry(ck);
+  return ck;
+}
+
+Status ThresholdCountKernel::restore(const Checkpoint& ck) {
+  if (ck.get_string("kernel") != name()) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint is not a thresholdcount checkpoint");
+  }
+  threshold_ = ck.get_f64("threshold");
+  count_ = static_cast<std::uint64_t>(ck.get_i64("count"));
+  matches_ = static_cast<std::uint64_t>(ck.get_i64("matches"));
+  return load_carry(ck);
+}
+
+std::unique_ptr<Kernel> ThresholdCountKernel::clone() const {
+  return std::make_unique<ThresholdCountKernel>(threshold_);
+}
+
+Status ThresholdCountKernel::merge(std::span<const std::uint8_t> other_result) {
+  auto other = ThresholdCountResult::decode(other_result);
+  if (!other.is_ok()) return other.status();
+  if (other.value().threshold != threshold_) {
+    return error(ErrorCode::kInvalidArgument, "thresholdcount: merge with mismatched threshold");
+  }
+  count_ += other.value().count;
+  matches_ += other.value().matches;
+  return Status::ok();
+}
+
+}  // namespace dosas::kernels

@@ -1,0 +1,84 @@
+#include "pfs/client.hpp"
+
+#include <algorithm>
+
+namespace dosas::pfs {
+
+Result<FileMeta> Client::create(const std::string& path, StripingParams striping) {
+  if (striping.base_server + striping.server_count > fs_.server_count()) {
+    return error(ErrorCode::kInvalidArgument,
+                 "striping group [" + std::to_string(striping.base_server) + ", " +
+                     std::to_string(striping.base_server + striping.server_count) +
+                     ") exceeds the volume's " + std::to_string(fs_.server_count()) +
+                     " servers");
+  }
+  return fs_.meta().create(path, striping);
+}
+
+Result<FileMeta> Client::write(const FileMeta& meta, Bytes offset,
+                               std::span<const std::uint8_t> data) {
+  const Layout layout(meta.striping);
+  for (const auto& seg : layout.map_extent(offset, data.size())) {
+    const auto chunk = data.subspan(seg.logical_offset - offset, seg.length);
+    Status st = fs_.data_server(seg.server).write_object(meta.handle, seg.object_offset, chunk);
+    if (!st.is_ok()) return st;
+  }
+  Status st = fs_.meta().extend(meta.handle, offset + data.size());
+  if (!st.is_ok()) return st;
+  return fs_.meta().lookup_handle(meta.handle);
+}
+
+Result<std::vector<std::uint8_t>> Client::read(const FileMeta& meta, Bytes offset,
+                                               Bytes length) const {
+  // Refresh size so concurrent extenders are visible, then clamp at EOF.
+  auto fresh = fs_.meta().lookup_handle(meta.handle);
+  if (!fresh.is_ok()) return fresh.status();
+  const Bytes size = fresh.value().size;
+  if (offset >= size) return std::vector<std::uint8_t>{};
+  length = std::min(length, size - offset);
+
+  std::vector<std::uint8_t> out(length);
+  const Layout layout(meta.striping);
+  for (const auto& seg : layout.map_extent(offset, length)) {
+    auto piece = fs_.data_server(seg.server).read_object(meta.handle, seg.object_offset,
+                                                         seg.length);
+    if (!piece.is_ok()) {
+      // A server with no object for this handle is a hole in a sparse
+      // file: reads as zeros (already in place in `out`).
+      if (piece.status().code() == ErrorCode::kNotFound) continue;
+      return piece.status();
+    }
+    if (piece.value().size() != seg.length) {
+      // A hole (sparse region never written): zero-fill is already in
+      // place since `out` is zero-initialised; copy what exists.
+    }
+    std::copy(piece.value().begin(), piece.value().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(seg.logical_offset - offset));
+  }
+  return out;
+}
+
+Status Client::unlink(const std::string& path) {
+  auto meta = fs_.meta().lookup(path);
+  if (!meta.is_ok()) return meta.status();
+  for (std::uint32_t s = 0; s < fs_.server_count(); ++s) {
+    Status st = fs_.data_server(s).remove_object(meta.value().handle);
+    if (!st.is_ok()) return st;
+  }
+  return fs_.meta().remove(path);
+}
+
+Result<FileMeta> write_file(Client& client, const std::string& path,
+                            std::span<const std::uint8_t> data) {
+  auto meta = client.open(path);
+  if (!meta.is_ok()) {
+    meta = client.create(path);
+    if (!meta.is_ok()) return meta.status();
+  } else {
+    Status st = client.file_system().meta().truncate(meta.value().handle, 0);
+    if (!st.is_ok()) return st;
+  }
+  return client.write(meta.value(), 0, data);
+}
+
+}  // namespace dosas::pfs

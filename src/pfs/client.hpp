@@ -1,0 +1,70 @@
+// client.hpp — the PFS client library (the pvfs2-client analogue).
+//
+// Implements whole-file and extent reads/writes by resolving metadata,
+// mapping extents through the file's Layout, and issuing per-server object
+// operations. This is the "normal I/O" path of the paper's Figure 3; the
+// active-storage layers sit beside it.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pfs/file_system.hpp"
+
+namespace dosas::pfs {
+
+class Client {
+ public:
+  explicit Client(FileSystem& fs) : fs_(fs) {}
+
+  /// Create a file with the volume's default striping.
+  Result<FileMeta> create(const std::string& path) {
+    return create(path, fs_.default_striping());
+  }
+
+  /// Create a file with explicit striping.
+  Result<FileMeta> create(const std::string& path, StripingParams striping);
+
+  /// Open (look up) an existing file.
+  Result<FileMeta> open(const std::string& path) { return fs_.meta().lookup(path); }
+
+  /// Write `data` at `offset`, extending the file as needed. Returns the
+  /// refreshed metadata.
+  Result<FileMeta> write(const FileMeta& meta, Bytes offset, std::span<const std::uint8_t> data);
+
+  /// Read up to `length` bytes at `offset`. Short reads at EOF; an offset
+  /// at or past EOF returns an empty buffer.
+  Result<std::vector<std::uint8_t>> read(const FileMeta& meta, Bytes offset, Bytes length) const;
+
+  /// Read the whole file.
+  Result<std::vector<std::uint8_t>> read_all(const FileMeta& meta) const {
+    return read(meta, 0, meta.size);
+  }
+
+  /// Remove a file: metadata entry plus all data-server objects.
+  Status unlink(const std::string& path);
+
+  FileSystem& file_system() { return fs_; }
+
+ private:
+  FileSystem& fs_;
+};
+
+/// Convenience for tests/examples: create (or overwrite) `path` holding
+/// exactly `data`.
+Result<FileMeta> write_file(Client& client, const std::string& path,
+                            std::span<const std::uint8_t> data);
+
+/// Convenience: fill `path` with `count` doubles produced by `gen(i)`.
+template <typename Gen>
+Result<FileMeta> write_doubles(Client& client, const std::string& path, std::size_t count,
+                               Gen&& gen) {
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) values[i] = gen(i);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+  return write_file(client, path, std::span(bytes, count * sizeof(double)));
+}
+
+}  // namespace dosas::pfs

@@ -1,0 +1,91 @@
+#include "pfs/data_server.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dosas::pfs {
+
+Status DataServer::write_object(FileHandle fh, Bytes offset, std::span<const std::uint8_t> data) {
+  std::lock_guard lock(mu_);
+  auto& obj = objects_[fh];
+  const Bytes end = offset + data.size();
+  if (obj.size() < end) obj.resize(end, 0);
+  std::memcpy(obj.data() + offset, data.data(), data.size());
+  bytes_written_ += data.size();
+  ++versions_[fh];
+  return Status::ok();
+}
+
+void DataServer::fail_next_reads(std::size_t count) {
+  std::lock_guard lock(mu_);
+  fail_reads_ = count;
+}
+
+std::size_t DataServer::injected_failures() const {
+  std::lock_guard lock(mu_);
+  return injected_failures_;
+}
+
+Result<std::vector<std::uint8_t>> DataServer::read_object(FileHandle fh, Bytes offset,
+                                                          Bytes length) const {
+  std::lock_guard lock(mu_);
+  if (fail_reads_ > 0) {
+    --fail_reads_;
+    ++injected_failures_;
+    return error(ErrorCode::kUnavailable,
+                 "data server " + std::to_string(id_) + ": injected read fault");
+  }
+  auto it = objects_.find(fh);
+  if (it == objects_.end()) {
+    return error(ErrorCode::kNotFound, "data server " + std::to_string(id_) +
+                                           ": no object for handle " + std::to_string(fh));
+  }
+  const auto& obj = it->second;
+  if (offset >= obj.size()) return std::vector<std::uint8_t>{};
+  const Bytes avail = obj.size() - offset;
+  const Bytes n = std::min(length, avail);
+  std::vector<std::uint8_t> out(obj.begin() + static_cast<std::ptrdiff_t>(offset),
+                                obj.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  bytes_read_ += n;
+  return out;
+}
+
+Bytes DataServer::object_size(FileHandle fh) const {
+  std::lock_guard lock(mu_);
+  auto it = objects_.find(fh);
+  return it == objects_.end() ? 0 : it->second.size();
+}
+
+Status DataServer::remove_object(FileHandle fh) {
+  std::lock_guard lock(mu_);
+  if (objects_.erase(fh) > 0) ++versions_[fh];
+  return Status::ok();
+}
+
+std::uint64_t DataServer::object_version(FileHandle fh) const {
+  std::lock_guard lock(mu_);
+  auto it = versions_.find(fh);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+bool DataServer::has_object(FileHandle fh) const {
+  std::lock_guard lock(mu_);
+  return objects_.count(fh) != 0;
+}
+
+std::size_t DataServer::object_count() const {
+  std::lock_guard lock(mu_);
+  return objects_.size();
+}
+
+Bytes DataServer::bytes_read() const {
+  std::lock_guard lock(mu_);
+  return bytes_read_;
+}
+
+Bytes DataServer::bytes_written() const {
+  std::lock_guard lock(mu_);
+  return bytes_written_;
+}
+
+}  // namespace dosas::pfs

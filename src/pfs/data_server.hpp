@@ -1,0 +1,76 @@
+// data_server.hpp — a PFS data server's object store.
+//
+// Each data server owns one "datafile" object per file handle (as PVFS2
+// does) and serves byte-extent reads/writes against it. The store is
+// in-memory; I/O counters feed the contention estimator and the metrics
+// layer. Thread-safe: the real runtime hits a data server from several
+// compute-node client threads at once.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "pfs/layout.hpp"
+
+namespace dosas::pfs {
+
+/// Opaque file identifier handed out by the metadata server.
+using FileHandle = std::uint64_t;
+
+class DataServer {
+ public:
+  explicit DataServer(ServerId id) : id_(id) {}
+
+  ServerId id() const { return id_; }
+
+  /// Fault injection (tests/failure drills): the next `count` read_object
+  /// calls fail with kUnavailable, then service recovers. Models a
+  /// transient data-server brownout (I/O timeouts under load).
+  void fail_next_reads(std::size_t count);
+
+  /// Reads injected-failed so far (monotonic).
+  std::size_t injected_failures() const;
+
+  /// Write `data` at `offset` within the object for `fh`, growing it
+  /// (zero-filled) as needed.
+  Status write_object(FileHandle fh, Bytes offset, std::span<const std::uint8_t> data);
+
+  /// Read up to `length` bytes at `offset`; reads past the object end are
+  /// truncated (short read), reads entirely past it return empty.
+  Result<std::vector<std::uint8_t>> read_object(FileHandle fh, Bytes offset, Bytes length) const;
+
+  /// Current size of the object (0 if absent).
+  Bytes object_size(FileHandle fh) const;
+
+  /// Monotonic per-object mutation counter: bumped by every write_object
+  /// and remove_object. Lets caches of derived results (the ASS's active
+  /// result cache) validate entries cheaply. 0 for never-written objects.
+  std::uint64_t object_version(FileHandle fh) const;
+
+  /// Drop the object for `fh`. OK even if absent.
+  Status remove_object(FileHandle fh);
+
+  bool has_object(FileHandle fh) const;
+  std::size_t object_count() const;
+
+  /// Cumulative served bytes (monotonic; used for utilization probes).
+  Bytes bytes_read() const;
+  Bytes bytes_written() const;
+
+ private:
+  const ServerId id_;
+  mutable std::mutex mu_;
+  std::unordered_map<FileHandle, std::vector<std::uint8_t>> objects_;
+  mutable Bytes bytes_read_ = 0;  // served-bytes counter bumped on (const) reads
+  Bytes bytes_written_ = 0;
+  mutable std::size_t fail_reads_ = 0;       // remaining injected read failures
+  mutable std::size_t injected_failures_ = 0;
+  std::unordered_map<FileHandle, std::uint64_t> versions_;
+};
+
+}  // namespace dosas::pfs

@@ -1,0 +1,56 @@
+// file_system.hpp — the assembled parallel file system instance.
+//
+// One metadata server plus N data servers, analogous to a deployed PVFS2
+// volume. Storage servers of the active-storage layer each wrap one data
+// server; PFS clients talk to all of them.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "pfs/data_server.hpp"
+#include "pfs/layout.hpp"
+#include "pfs/metadata_server.hpp"
+
+namespace dosas::pfs {
+
+class FileSystem {
+ public:
+  /// `server_count` data servers with `default_strip` striping granularity.
+  explicit FileSystem(std::uint32_t server_count, Bytes default_strip = 64_KiB)
+      : default_strip_(default_strip) {
+    assert(server_count > 0);
+    servers_.reserve(server_count);
+    for (std::uint32_t i = 0; i < server_count; ++i) {
+      servers_.push_back(std::make_unique<DataServer>(i));
+    }
+  }
+
+  MetadataServer& meta() { return meta_; }
+  const MetadataServer& meta() const { return meta_; }
+
+  DataServer& data_server(ServerId id) {
+    assert(id < servers_.size());
+    return *servers_[id];
+  }
+  const DataServer& data_server(ServerId id) const {
+    assert(id < servers_.size());
+    return *servers_[id];
+  }
+
+  std::uint32_t server_count() const { return static_cast<std::uint32_t>(servers_.size()); }
+  Bytes default_strip_size() const { return default_strip_; }
+
+  /// Default distribution: stripe across every server from server 0.
+  StripingParams default_striping() const {
+    return StripingParams{default_strip_, server_count(), 0};
+  }
+
+ private:
+  MetadataServer meta_;
+  std::vector<std::unique_ptr<DataServer>> servers_;
+  Bytes default_strip_;
+};
+
+}  // namespace dosas::pfs

@@ -1,0 +1,70 @@
+#include "pfs/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dosas::pfs {
+
+Layout::Layout(StripingParams params) : params_(params) {
+  assert(params_.strip_size > 0);
+  assert(params_.server_count > 0);
+  assert(params_.first_server < params_.server_count);
+}
+
+ServerId Layout::server_of(Bytes offset) const {
+  const Bytes strip = offset / params_.strip_size;
+  return params_.base_server +
+         static_cast<ServerId>((strip + params_.first_server) % params_.server_count);
+}
+
+Bytes Layout::object_offset_of(Bytes offset) const {
+  const Bytes strip = offset / params_.strip_size;
+  const Bytes within = offset % params_.strip_size;
+  // Strips land on a given server every `server_count` strips; they are
+  // packed densely in that server's object.
+  const Bytes local_strip = strip / params_.server_count;
+  return local_strip * params_.strip_size + within;
+}
+
+std::vector<StripeSegment> Layout::map_extent(Bytes offset, Bytes length) const {
+  std::vector<StripeSegment> segments;
+  Bytes pos = offset;
+  const Bytes end = offset + length;
+  while (pos < end) {
+    const Bytes strip_end = (pos / params_.strip_size + 1) * params_.strip_size;
+    const Bytes seg_len = std::min(end, strip_end) - pos;
+    StripeSegment seg;
+    seg.server = server_of(pos);
+    seg.logical_offset = pos;
+    seg.object_offset = object_offset_of(pos);
+    seg.length = seg_len;
+    // Merge with the previous segment when contiguous on the same server
+    // (happens when server_count == 1).
+    if (!segments.empty() && segments.back().server == seg.server &&
+        segments.back().logical_offset + segments.back().length == seg.logical_offset &&
+        segments.back().object_offset + segments.back().length == seg.object_offset) {
+      segments.back().length += seg_len;
+    } else {
+      segments.push_back(seg);
+    }
+    pos += seg_len;
+  }
+  return segments;
+}
+
+Bytes Layout::bytes_on_server(Bytes offset, Bytes length, ServerId s) const {
+  Bytes total = 0;
+  for (const auto& seg : map_extent(offset, length)) {
+    if (seg.server == s) total += seg.length;
+  }
+  return total;
+}
+
+Bytes Layout::object_size(Bytes file_size, ServerId s) const {
+  if (file_size == 0) return 0;
+  // Object size = object offset of the last byte on this server + 1, i.e.
+  // count bytes of [0, file_size) mapped to s.
+  return bytes_on_server(0, file_size, s);
+}
+
+}  // namespace dosas::pfs

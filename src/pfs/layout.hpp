@@ -1,0 +1,72 @@
+// layout.hpp — PVFS-style round-robin striping math.
+//
+// A file is split into fixed-size strips distributed round-robin across the
+// file system's data servers, starting at `first_server`. The Layout maps
+// logical byte extents to (server, object offset) segments — the core
+// address arithmetic every PFS client and every active-storage placement
+// decision relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dosas::pfs {
+
+/// Index of a data server within the file system.
+using ServerId = std::uint32_t;
+
+/// Striping parameters stored in a file's metadata (PVFS "distribution").
+/// The file stripes over the contiguous server group
+/// [base_server, base_server + server_count); `first_server` rotates which
+/// member of that group holds strip 0. This mirrors PVFS2's ability to
+/// place a file's datafiles on a chosen subset of servers (e.g. a whole
+/// file on one specific storage node: server_count=1, base_server=n).
+struct StripingParams {
+  Bytes strip_size = 64_KiB;       ///< contiguous bytes per strip
+  std::uint32_t server_count = 1;  ///< number of data servers in the stripe
+  ServerId first_server = 0;       ///< group member holding strip 0 (< server_count)
+  ServerId base_server = 0;        ///< first physical server of the group
+
+  bool operator==(const StripingParams&) const = default;
+};
+
+/// One contiguous piece of a logical extent on a single server.
+struct StripeSegment {
+  ServerId server = 0;
+  Bytes logical_offset = 0;  ///< offset within the file
+  Bytes object_offset = 0;   ///< offset within the server's object
+  Bytes length = 0;
+
+  bool operator==(const StripeSegment&) const = default;
+};
+
+class Layout {
+ public:
+  explicit Layout(StripingParams params);
+
+  const StripingParams& params() const { return params_; }
+
+  /// Server holding the byte at `offset`.
+  ServerId server_of(Bytes offset) const;
+
+  /// Offset within the server-local object for the file byte at `offset`.
+  /// (PVFS stores each server's strips densely in one datafile object.)
+  Bytes object_offset_of(Bytes offset) const;
+
+  /// Decompose [offset, offset+length) into per-server contiguous segments
+  /// in ascending logical order. Empty when length == 0.
+  std::vector<StripeSegment> map_extent(Bytes offset, Bytes length) const;
+
+  /// Bytes of [offset, offset+length) that land on server `s`.
+  Bytes bytes_on_server(Bytes offset, Bytes length, ServerId s) const;
+
+  /// Size of server `s`'s object for a file of `file_size` bytes.
+  Bytes object_size(Bytes file_size, ServerId s) const;
+
+ private:
+  StripingParams params_;
+};
+
+}  // namespace dosas::pfs

@@ -1,0 +1,83 @@
+#include "pfs/metadata_server.hpp"
+
+namespace dosas::pfs {
+
+Result<FileMeta> MetadataServer::create(const std::string& path, StripingParams striping) {
+  std::lock_guard lock(mu_);
+  if (by_path_.count(path) != 0) {
+    return error(ErrorCode::kAlreadyExists, "file exists: " + path);
+  }
+  if (striping.strip_size == 0 || striping.server_count == 0 ||
+      striping.first_server >= striping.server_count) {
+    return error(ErrorCode::kInvalidArgument, "bad striping params for " + path);
+  }
+  FileMeta meta;
+  meta.handle = next_handle_++;
+  meta.path = path;
+  meta.size = 0;
+  meta.striping = striping;
+  by_path_.emplace(path, meta);
+  by_handle_.emplace(meta.handle, path);
+  return meta;
+}
+
+Result<FileMeta> MetadataServer::lookup(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) return error(ErrorCode::kNotFound, "no such file: " + path);
+  return it->second;
+}
+
+Result<FileMeta> MetadataServer::lookup_handle(FileHandle fh) const {
+  std::lock_guard lock(mu_);
+  auto it = by_handle_.find(fh);
+  if (it == by_handle_.end()) {
+    return error(ErrorCode::kNotFound, "no such handle: " + std::to_string(fh));
+  }
+  return by_path_.at(it->second);
+}
+
+Status MetadataServer::extend(FileHandle fh, Bytes size) {
+  std::lock_guard lock(mu_);
+  auto it = by_handle_.find(fh);
+  if (it == by_handle_.end()) {
+    return error(ErrorCode::kNotFound, "no such handle: " + std::to_string(fh));
+  }
+  auto& meta = by_path_.at(it->second);
+  if (size > meta.size) meta.size = size;
+  return Status::ok();
+}
+
+Status MetadataServer::truncate(FileHandle fh, Bytes size) {
+  std::lock_guard lock(mu_);
+  auto it = by_handle_.find(fh);
+  if (it == by_handle_.end()) {
+    return error(ErrorCode::kNotFound, "no such handle: " + std::to_string(fh));
+  }
+  by_path_.at(it->second).size = size;
+  return Status::ok();
+}
+
+Status MetadataServer::remove(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) return error(ErrorCode::kNotFound, "no such file: " + path);
+  by_handle_.erase(it->second.handle);
+  by_path_.erase(it);
+  return Status::ok();
+}
+
+std::vector<std::string> MetadataServer::list() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(by_path_.size());
+  for (const auto& [path, meta] : by_path_) out.push_back(path);
+  return out;
+}
+
+std::size_t MetadataServer::file_count() const {
+  std::lock_guard lock(mu_);
+  return by_path_.size();
+}
+
+}  // namespace dosas::pfs

@@ -1,0 +1,63 @@
+// metadata_server.hpp — the PFS metadata server.
+//
+// Maps paths to file metadata (handle, size, striping distribution), hands
+// out unique handles, and tracks file sizes as clients extend files — the
+// same division of labour as PVFS2's MDS. Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "pfs/data_server.hpp"
+#include "pfs/layout.hpp"
+
+namespace dosas::pfs {
+
+/// A file's metadata record.
+struct FileMeta {
+  FileHandle handle = 0;
+  std::string path;
+  Bytes size = 0;
+  StripingParams striping;
+};
+
+class MetadataServer {
+ public:
+  /// Create `path` with the given distribution. kAlreadyExists on clash.
+  Result<FileMeta> create(const std::string& path, StripingParams striping);
+
+  /// Look up metadata by path. kNotFound if absent.
+  Result<FileMeta> lookup(const std::string& path) const;
+
+  /// Look up metadata by handle. kNotFound if absent.
+  Result<FileMeta> lookup_handle(FileHandle fh) const;
+
+  /// Grow the recorded size to at least `size` (writes extend, never shrink;
+  /// use truncate() to shrink).
+  Status extend(FileHandle fh, Bytes size);
+
+  /// Set the file size exactly.
+  Status truncate(FileHandle fh, Bytes size);
+
+  /// Remove the path. kNotFound if absent. The caller is responsible for
+  /// removing data-server objects (the client's unlink path does both).
+  Status remove(const std::string& path);
+
+  /// All paths in the namespace, unordered.
+  std::vector<std::string> list() const;
+
+  std::size_t file_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FileMeta> by_path_;
+  std::unordered_map<FileHandle, std::string> by_handle_;
+  FileHandle next_handle_ = 1;
+};
+
+}  // namespace dosas::pfs

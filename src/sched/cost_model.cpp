@@ -1,0 +1,55 @@
+#include "sched/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dosas::sched {
+
+Seconds CostModel::objective(std::span<const ActiveRequest> requests,
+                             const std::vector<bool>& active) const {
+  assert(active.size() == requests.size());
+  Seconds t = 0.0;
+  Bytes max_normal = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (active[i]) {
+      t += x_i(requests[i]);
+    } else {
+      t += y_i(requests[i]);
+      max_normal = std::max(max_normal, requests[i].size);
+    }
+  }
+  if (max_normal > 0) t += f_compute(max_normal);  // z term (Eq. 7)
+  return t;
+}
+
+Seconds CostModel::t_all_active(std::span<const ActiveRequest> requests,
+                                Bytes normal_bytes) const {
+  Bytes d_a = 0;
+  Bytes results = 0;
+  for (const auto& r : requests) {
+    d_a += r.size;
+    results += r.result_size;
+  }
+  return f_storage(d_a) + g(normal_bytes) + g(results);
+}
+
+Seconds CostModel::t_all_normal(std::span<const ActiveRequest> requests,
+                                Bytes normal_bytes) const {
+  Bytes d = normal_bytes;
+  Bytes io_max = 0;  // Eq. 2
+  for (const auto& r : requests) {
+    d += r.size;
+    io_max = std::max(io_max, r.size);
+  }
+  return g(d) + (io_max > 0 ? f_compute(io_max) : 0.0);
+}
+
+BytesPerSec derate_storage_rate(BytesPerSec max_rate, double busy_fraction) {
+  busy_fraction = std::clamp(busy_fraction, 0.0, 1.0);
+  // Leave a floor so the model never divides by zero: a fully-loaded node
+  // is modelled at 2% of peak rather than 0 (it still timeshares).
+  constexpr double kFloor = 0.02;
+  return max_rate * std::max(kFloor, 1.0 - busy_fraction);
+}
+
+}  // namespace dosas::sched

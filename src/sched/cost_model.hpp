@@ -1,0 +1,72 @@
+// cost_model.hpp — the DOSAS cost model, paper §III-D Eq. 1–7.
+//
+// Notation (paper Table II):
+//   d_i        request data size of the i-th active I/O
+//   S_{C,op}   computation capability of a storage node for operation op
+//   C_{C,op}   computation capability of a compute node for op
+//   bw         compute<->storage network bandwidth
+//   f(x)       compute time on x bytes  (x / S or x / C)
+//   g(x)       transfer time of x bytes (x / bw)
+//   h(x)       result size of the kernel on x bytes of input
+//
+// Per-request terms (Eq. 5–7):
+//   x_i = d_i / S_{C,op} + h(d_i) / bw     — serve as active I/O
+//   y_i = d_i / bw                          — serve as normal I/O
+//   z   = max_{i normal} d_i / C_{C,op}     — client-side compute tail;
+//         demoted requests compute in parallel on their own compute nodes,
+//         so only the largest matters.
+//
+// Objective (Eq. 4): t(a) = Σ_i [x_i a_i + y_i (1 - a_i)] + z(a).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/request.hpp"
+
+namespace dosas::sched {
+
+struct CostModel {
+  BytesPerSec bandwidth = mb_per_sec(118.0);  ///< bw (paper's measured 1 GbE)
+  BytesPerSec storage_rate = 0.0;             ///< S_{C,op}, effective (derated) node rate
+  BytesPerSec compute_rate = 0.0;             ///< C_{C,op}, one compute node
+
+  /// f(x) on the storage node.
+  Seconds f_storage(Bytes x) const { return static_cast<double>(x) / storage_rate; }
+  /// f(x) on a compute node.
+  Seconds f_compute(Bytes x) const { return static_cast<double>(x) / compute_rate; }
+  /// g(x): network transfer time.
+  Seconds g(Bytes x) const { return static_cast<double>(x) / bandwidth; }
+
+  /// Eq. 5.
+  Seconds x_i(const ActiveRequest& r) const { return f_storage(r.size) + g(r.result_size); }
+  /// Eq. 6.
+  Seconds y_i(const ActiveRequest& r) const { return g(r.size); }
+
+  /// Eq. 4 objective for a full assignment. `active.size()` must equal
+  /// `requests.size()`.
+  Seconds objective(std::span<const ActiveRequest> requests,
+                    const std::vector<bool>& active) const;
+
+  /// Eq. 1: everything served as active I/O (z = 0). `normal_bytes` is D_N,
+  /// the concurrent normal-I/O traffic sharing the link (a constant with
+  /// respect to the assignment; included for absolute-time predictions).
+  Seconds t_all_active(std::span<const ActiveRequest> requests, Bytes normal_bytes = 0) const;
+
+  /// Eq. 3: everything served as normal I/O; client kernels run in
+  /// parallel, so the compute term is f(max d_i).
+  Seconds t_all_normal(std::span<const ActiveRequest> requests, Bytes normal_bytes = 0) const;
+
+  bool valid() const { return bandwidth > 0 && storage_rate > 0 && compute_rate > 0; }
+};
+
+/// Effective S_{C,op}: the CE's derating of the storage node's maximum
+/// capability by its currently observed load (paper §III-D: "estimated by
+/// the CE according to its max value ... and the current system
+/// environment"). `busy_fraction` in [0,1] is the share of node CPU already
+/// committed to other work (normal I/O service, other applications'
+/// kernels).
+BytesPerSec derate_storage_rate(BytesPerSec max_rate, double busy_fraction);
+
+}  // namespace dosas::sched

@@ -1,0 +1,41 @@
+// request.hpp — the scheduler's view of an active I/O request.
+//
+// Paper §III-D assumptions: "Each I/O can be identified with its request
+// data size and I/O type". The scheduler additionally needs h(d_i) — the
+// result size the kernel would ship back — which the Active Storage Server
+// obtains from the kernel registry when the request arrives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dosas::sched {
+
+/// Unique id of an I/O request within a storage node's queue.
+using RequestId = std::uint64_t;
+
+struct ActiveRequest {
+  RequestId id = 0;
+  Bytes size = 0;         ///< d_i: requested data size
+  Bytes result_size = 0;  ///< h(d_i): kernel result size for d_i input
+  std::string operation;  ///< kernel operation string (informational)
+};
+
+/// A scheduling decision for one queue snapshot: decision[i] == true means
+/// request i executes as active I/O on the storage node; false means it is
+/// demoted to normal I/O (raw data shipped, client runs the kernel).
+struct Policy {
+  std::vector<bool> active;
+  Seconds predicted_time = 0.0;  ///< cost-model objective of this assignment
+
+  std::size_t active_count() const {
+    std::size_t n = 0;
+    for (bool a : active) n += a;
+    return n;
+  }
+};
+
+}  // namespace dosas::sched

@@ -1,0 +1,52 @@
+// rate_table.hpp — per-operation processing capabilities.
+//
+// Paper Table II/III: S_{C,op} and C_{C,op} are per-operation constants
+// (max values); the CE derates S by the observed environment. The table is
+// populated either with the paper's measured rates or with this host's
+// calibration results (kernels/calibrate.hpp).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace dosas::server {
+
+struct OpRates {
+  BytesPerSec storage_max = 0.0;  ///< S_{C,op} at zero load (effective kernel capacity)
+  BytesPerSec compute = 0.0;      ///< C_{C,op} of one compute node
+};
+
+class RateTable {
+ public:
+  void set(const std::string& op, OpRates rates) { rates_[op] = rates; }
+
+  Result<OpRates> get(const std::string& op) const {
+    auto it = rates_.find(op);
+    if (it == rates_.end()) {
+      return error(ErrorCode::kNotFound, "no rates for operation: " + op);
+    }
+    return it->second;
+  }
+
+  bool contains(const std::string& op) const { return rates_.count(op) != 0; }
+
+  /// The paper's Table III rates on the Discfarm testbed. Storage-side
+  /// rates are ONE core's worth: the second core of the 2-core storage
+  /// node is consumed by PFS/I-O service under load (this calibration is
+  /// what reproduces the paper's crossover at ~4 concurrent Gaussian
+  /// requests — see DESIGN.md §5).
+  static RateTable paper_rates() {
+    RateTable t;
+    t.set("sum", {mb_per_sec(860.0), mb_per_sec(860.0)});
+    t.set("gaussian2d", {mb_per_sec(80.0), mb_per_sec(80.0)});
+    return t;
+  }
+
+ private:
+  std::map<std::string, OpRates> rates_;
+};
+
+}  // namespace dosas::server

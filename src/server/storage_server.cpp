@@ -1,0 +1,445 @@
+#include "server/storage_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+#include "kernels/pipeline.hpp"
+
+namespace dosas::server {
+
+const char* outcome_name(ActiveOutcome o) {
+  switch (o) {
+    case ActiveOutcome::kCompleted: return "COMPLETED";
+    case ActiveOutcome::kRejected: return "REJECTED";
+    case ActiveOutcome::kInterrupted: return "INTERRUPTED";
+    case ActiveOutcome::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+StorageServer::StorageServer(pfs::FileSystem& fs, pfs::ServerId server_id,
+                             kernels::Registry registry, ContentionEstimator::Config ce_config,
+                             RateTable rates, Config config)
+    : fs_(fs),
+      server_id_(server_id),
+      registry_(std::move(registry)),
+      ce_(std::move(ce_config), std::move(rates)),
+      config_(config),
+      pool_(config.cores) {}
+
+StorageServer::~StorageServer() {
+  // Interrupt anything still running so pool shutdown doesn't wait on long
+  // kernels; then join.
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, entry] : entries_) {
+      entry->reject_before_start = true;
+      if (entry->interrupt) entry->interrupt->store(true);
+    }
+  }
+  pool_.shutdown();
+}
+
+Result<std::vector<std::uint8_t>> StorageServer::serve_normal(pfs::FileHandle handle,
+                                                              Bytes object_offset, Bytes length) {
+  {
+    std::lock_guard lock(mu_);
+    ++normal_inflight_;
+    ++stats_.normal_requests;
+  }
+  auto data = fs_.data_server(server_id_).read_object(handle, object_offset, length);
+  {
+    std::lock_guard lock(mu_);
+    --normal_inflight_;
+    if (data.is_ok()) stats_.normal_bytes_served += data.value().size();
+  }
+  if (data.is_ok() && network_ != nullptr) {
+    network_->acquire(data.value().size());
+  }
+  return data;
+}
+
+std::pair<sched::RequestId, std::shared_ptr<StorageServer::Entry>> StorageServer::register_entry(
+    ActiveIoRequest request) {
+  auto entry = std::make_shared<Entry>();
+  std::lock_guard lock(mu_);
+  const sched::RequestId id = request.id != 0 ? request.id : next_id_++;
+  request.id = id;
+  entry->request = request;
+  entry->interrupt = std::make_shared<std::atomic<bool>>(false);
+  entry->progress = std::make_shared<std::atomic<Bytes>>(0);
+  entries_.emplace(id, entry);
+  return {id, entry};
+}
+
+bool StorageServer::launch_or_reject(sched::RequestId id, const std::shared_ptr<Entry>& entry,
+                                     ActiveIoResponse& rejected_response) {
+  {
+    std::unique_lock lock(mu_);
+    if (entry->reject_before_start) {
+      entries_.erase(id);
+      ++stats_.active_rejected;
+      rejected_response.outcome = ActiveOutcome::kRejected;
+      rejected_response.status =
+          error(ErrorCode::kRejected, "demoted to normal I/O by scheduling policy");
+      return false;
+    }
+  }
+  pool_.submit([this, id] { run_kernel(id); });
+  return true;
+}
+
+ActiveIoResponse StorageServer::await_entry(sched::RequestId id,
+                                            const std::shared_ptr<Entry>& entry) {
+  ActiveIoResponse resp;
+  {
+    std::unique_lock lock(mu_);
+    response_cv_.wait(lock, [&] { return entry->response_ready; });
+    resp = std::move(entry->response);
+    entries_.erase(id);
+    switch (resp.outcome) {
+      case ActiveOutcome::kCompleted: ++stats_.active_completed; break;
+      case ActiveOutcome::kRejected: ++stats_.active_rejected; break;
+      case ActiveOutcome::kInterrupted: ++stats_.active_interrupted; break;
+      case ActiveOutcome::kFailed: ++stats_.active_failed; break;
+    }
+  }
+  // Charge the payload that crosses the network to the link model.
+  if (network_ != nullptr) {
+    if (resp.outcome == ActiveOutcome::kCompleted) {
+      network_->acquire(resp.result.size());
+    } else if (resp.outcome == ActiveOutcome::kInterrupted) {
+      network_->acquire(resp.checkpoint.size());
+    }
+  }
+  return resp;
+}
+
+std::optional<ActiveIoResponse> StorageServer::cache_lookup(const ActiveIoRequest& request) {
+  if (config_.result_cache_entries == 0) return std::nullopt;
+  const std::uint64_t version = fs_.data_server(server_id_).object_version(request.handle);
+  std::lock_guard lock(mu_);
+  auto it = result_cache_.find(
+      CacheKey{request.handle, request.object_offset, request.length, request.operation});
+  if (it == result_cache_.end() || it->second.version != version) {
+    ++stats_.cache_misses;
+    return std::nullopt;
+  }
+  it->second.last_use = ++cache_tick_;
+  ++stats_.cache_hits;
+  ActiveIoResponse resp;
+  resp.outcome = ActiveOutcome::kCompleted;
+  resp.result = it->second.result;
+  return resp;
+}
+
+void StorageServer::cache_insert(const ActiveIoRequest& request, std::uint64_t version,
+                                 const std::vector<std::uint8_t>& result) {
+  if (config_.result_cache_entries == 0) return;
+  // Skip if the object changed while the kernel ran (stale result).
+  if (fs_.data_server(server_id_).object_version(request.handle) != version) return;
+  std::lock_guard lock(mu_);
+  if (result_cache_.size() >= config_.result_cache_entries) {
+    auto victim = result_cache_.begin();
+    for (auto it = result_cache_.begin(); it != result_cache_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    result_cache_.erase(victim);
+  }
+  result_cache_[CacheKey{request.handle, request.object_offset, request.length,
+                         request.operation}] = CacheEntry{version, result, ++cache_tick_};
+}
+
+ActiveIoResponse StorageServer::serve_active(ActiveIoRequest request) {
+  if (auto cached = cache_lookup(request)) return std::move(*cached);
+
+  auto [id, entry] = register_entry(std::move(request));
+  if (config_.policy_on_arrival) evaluate_policy();
+
+  ActiveIoResponse rejected;
+  if (!launch_or_reject(id, entry, rejected)) return rejected;
+  return await_entry(id, entry);
+}
+
+std::vector<ActiveIoResponse> StorageServer::serve_active_batch(
+    std::vector<ActiveIoRequest> requests) {
+  std::vector<ActiveIoResponse> responses(requests.size());
+  // (request index, registered id/entry) for the cache misses.
+  std::vector<std::pair<std::size_t, std::pair<sched::RequestId, std::shared_ptr<Entry>>>>
+      registered;
+  registered.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (auto cached = cache_lookup(requests[i])) {
+      responses[i] = std::move(*cached);
+    } else {
+      registered.emplace_back(i, register_entry(std::move(requests[i])));
+    }
+  }
+
+  // One policy decision over the whole batch (plus anything already
+  // queued/running) — the collective analogue of the CE tick.
+  if (!registered.empty()) evaluate_policy();
+
+  std::vector<bool> launched(registered.size(), false);
+  for (std::size_t j = 0; j < registered.size(); ++j) {
+    launched[j] = launch_or_reject(registered[j].second.first, registered[j].second.second,
+                                   responses[registered[j].first]);
+  }
+  for (std::size_t j = 0; j < registered.size(); ++j) {
+    if (launched[j]) {
+      responses[registered[j].first] =
+          await_entry(registered[j].second.first, registered[j].second.second);
+    }
+  }
+  return responses;
+}
+
+void StorageServer::probe() {
+  SystemStatus status;
+  {
+    std::lock_guard lock(mu_);
+    status = snapshot_status_locked();
+  }
+  ce_.observe(status);
+  evaluate_policy();
+}
+
+SystemStatus StorageServer::snapshot_status_locked() const {
+  SystemStatus s;
+  for (const auto& [id, entry] : entries_) {
+    if (entry->state == EntryState::kQueued && !entry->reject_before_start) {
+      ++s.queued_active;
+      s.queued_bytes += entry->request.length;
+    } else if (entry->state == EntryState::kRunning) {
+      ++s.running_kernels;
+      s.queued_bytes += entry->request.length;
+    }
+  }
+  s.queued_normal = normal_inflight_;
+  // CPU pressure reported to the CE is *external* to the kernels being
+  // scheduled: normal-I/O service work (the PFS daemon's share of the
+  // node). The kernels themselves are the variable under optimization.
+  s.cpu_utilization =
+      std::min(1.0, static_cast<double>(normal_inflight_) / static_cast<double>(config_.cores));
+  s.memory_utilization = 0.0;  // in-memory store: not a constraint here
+  return s;
+}
+
+std::string StorageServer::pipeline_rate_key(const kernels::OperationSpec& spec) const {
+  const std::string ops = spec.get("ops", "");
+  std::string bottleneck = "pipe";  // unknown unless every stage has rates
+  BytesPerSec slowest = 0.0;
+  std::size_t pos = 0;
+  while (pos <= ops.size() && !ops.empty()) {
+    auto bar = ops.find('|', pos);
+    if (bar == std::string::npos) bar = ops.size();
+    auto stage = kernels::PipelineKernel::parse_stage(ops.substr(pos, bar - pos));
+    if (!stage.is_ok()) return "pipe";
+    auto rates = ce_.rates().get(stage.value().kernel);
+    if (!rates.is_ok()) return "pipe";
+    if (slowest == 0.0 || rates.value().storage_max < slowest) {
+      slowest = rates.value().storage_max;
+      bottleneck = stage.value().kernel;
+    }
+    pos = bar + 1;
+    if (bar == ops.size()) break;
+  }
+  return bottleneck;
+}
+
+Bytes StorageServer::result_size_for(const std::string& operation, Bytes input) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = hsize_cache_.find(operation);
+    if (it != hsize_cache_.end() && it->second.first == input) return it->second.second;
+  }
+  auto kernel = registry_.create(operation);
+  const Bytes h = kernel.is_ok() ? kernel.value()->result_size(input) : 0;
+  {
+    std::lock_guard lock(mu_);
+    hsize_cache_[operation] = {input, h};
+  }
+  return h;
+}
+
+void StorageServer::evaluate_policy() {
+  // Snapshot the schedulable queue (queued + running, not yet demoted).
+  struct Item {
+    sched::RequestId id;
+    std::string op;
+    Bytes length;
+  };
+  std::vector<Item> items;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, entry] : entries_) {
+      if (entry->state == EntryState::kDone || entry->reject_before_start) continue;
+      if (entry->interrupt->load()) continue;  // already being interrupted
+      items.push_back({id, entry->request.operation, entry->request.length});
+    }
+  }
+  if (items.empty()) return;
+
+  // Group by kernel name (the rate table is keyed by kernel, not by the
+  // full parameterized operation string); the cost model is per-op
+  // (paper §III-D). Pipelines are scheduled under their rate-table
+  // bottleneck stage — the slowest stage dominates a streaming chain.
+  std::map<std::string, std::vector<sched::ActiveRequest>> groups;
+  for (const auto& item : items) {
+    auto spec = kernels::OperationSpec::parse(item.op);
+    std::string key = spec.is_ok() ? spec.value().kernel : item.op;
+    if (spec.is_ok() && spec.value().kernel == "pipe") {
+      key = pipeline_rate_key(spec.value());
+    }
+    groups[key].push_back(sched::ActiveRequest{
+        item.id, item.length, result_size_for(item.op, item.length), item.op});
+  }
+
+  for (const auto& [op, requests] : groups) {
+    auto policy = ce_.schedule(op, requests);
+    if (!policy.is_ok()) {
+      // No rates for this op: leave it active (never schedule blind
+      // demotions) and note it once.
+      DOSAS_LOG_DEBUG("no cost model for op '%s'; leaving %zu request(s) active", op.c_str(),
+                      requests.size());
+      continue;
+    }
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (policy.value().active[i]) continue;
+      auto it = entries_.find(requests[i].id);
+      if (it == entries_.end()) continue;  // completed meanwhile
+      auto& entry = *it->second;
+      if (entry.state == EntryState::kQueued) {
+        entry.reject_before_start = true;
+      } else if (entry.state == EntryState::kRunning) {
+        // Hysteresis: nearly-finished kernels are cheaper to let complete
+        // than to checkpoint, ship, and re-run remotely.
+        const Bytes done = entry.progress->load(std::memory_order_relaxed);
+        const Bytes total = entry.request.length;
+        const Bytes remaining = total > done ? total - done : 0;
+        if (static_cast<double>(remaining) >
+            config_.interrupt_min_remaining * static_cast<double>(total)) {
+          entry.interrupt->store(true);
+        }
+      }
+    }
+  }
+}
+
+void StorageServer::run_kernel(sched::RequestId id) {
+  std::shared_ptr<Entry> entry;
+  ActiveIoRequest request;
+  std::shared_ptr<std::atomic<bool>> interrupt;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;  // client gave up (not expected)
+    entry = it->second;
+    if (entry->reject_before_start) {
+      entry->response.outcome = ActiveOutcome::kRejected;
+      entry->response.status =
+          error(ErrorCode::kRejected, "demoted to normal I/O before start");
+      entry->response_ready = true;
+      response_cv_.notify_all();
+      return;
+    }
+    entry->state = EntryState::kRunning;
+    request = entry->request;
+    interrupt = entry->interrupt;
+  }
+
+  auto finish = [&](ActiveIoResponse resp, Bytes processed) {
+    std::lock_guard lock(mu_);
+    entry->state = EntryState::kDone;
+    entry->response = std::move(resp);
+    entry->response_ready = true;
+    stats_.active_bytes_processed += processed;
+    response_cv_.notify_all();
+  };
+
+  auto kernel_or = registry_.create(request.operation);
+  if (!kernel_or.is_ok()) {
+    ActiveIoResponse resp;
+    resp.outcome = ActiveOutcome::kFailed;
+    resp.status = kernel_or.status();
+    finish(std::move(resp), 0);
+    return;
+  }
+  auto kernel = std::move(kernel_or).value();
+  kernel->reset();
+
+  Bytes pos = request.object_offset;
+  if (request.is_resumption()) {
+    // Cooperative resumption: adopt the shipped state and continue.
+    auto decoded = Checkpoint::decode(request.resume_checkpoint);
+    Status restored = decoded.is_ok() ? kernel->restore(decoded.value()) : decoded.status();
+    if (!restored.is_ok()) {
+      ActiveIoResponse resp;
+      resp.outcome = ActiveOutcome::kFailed;
+      resp.status = restored;
+      finish(std::move(resp), 0);
+      return;
+    }
+    pos = request.resume_from;
+  }
+
+  const auto& ds = fs_.data_server(server_id_);
+  // Version observed before the scan: the result is cacheable only if the
+  // object is unchanged when the kernel finishes.
+  const std::uint64_t version_at_start = ds.object_version(request.handle);
+  const Bytes end = request.object_offset + request.length;
+  Bytes processed = 0;
+
+  while (pos < end) {
+    if (interrupt->load()) {
+      ActiveIoResponse resp;
+      resp.outcome = ActiveOutcome::kInterrupted;
+      resp.checkpoint = kernel->checkpoint().encode();
+      resp.resume_offset = pos;
+      resp.status = error(ErrorCode::kInterrupted, "kernel interrupted by scheduling policy");
+      finish(std::move(resp), processed);
+      return;
+    }
+    const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
+    auto chunk = ds.read_object(request.handle, pos, n);
+    if (!chunk.is_ok()) {
+      ActiveIoResponse resp;
+      resp.outcome = ActiveOutcome::kFailed;
+      resp.status = chunk.status();
+      finish(std::move(resp), processed);
+      return;
+    }
+    if (chunk.value().empty()) break;  // short object: end of data
+    kernel->consume(chunk.value());
+    pos += chunk.value().size();
+    processed += chunk.value().size();
+    entry->progress->store(processed, std::memory_order_relaxed);
+    if (chunk.value().size() < n) break;  // short read: end of object
+  }
+
+  ActiveIoResponse resp;
+  resp.outcome = ActiveOutcome::kCompleted;
+  resp.result = kernel->finalize();
+  // Resumed results are not cacheable: part of the scan predates
+  // version_at_start, so freshness cannot be vouched for.
+  if (!request.is_resumption()) cache_insert(request, version_at_start, resp.result);
+  finish(std::move(resp), processed);
+}
+
+StorageServer::Stats StorageServer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t StorageServer::inflight() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry->state != EntryState::kDone) ++n;
+  }
+  return n;
+}
+
+}  // namespace dosas::server

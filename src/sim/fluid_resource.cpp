@@ -1,0 +1,149 @@
+#include "sim/fluid_resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace dosas::sim {
+
+namespace {
+// A job is considered finished when its remaining work would complete in
+// under a nanosecond at its current rate (absorbs float drift).
+bool finished(double remaining, double rate) {
+  return remaining <= rate * 1e-9 + 1e-12;
+}
+}  // namespace
+
+FluidResource::FluidResource(Simulator& sim, Config cfg)
+    : sim_(sim), cfg_(std::move(cfg)), last_update_(sim.now()), busy_mark_(sim.now()) {
+  assert(cfg_.capacity > 0.0);
+}
+
+FluidResource::JobId FluidResource::submit(double work, CompletionFn on_complete,
+                                           double cap_override) {
+  assert(work >= 0.0);
+  advance();
+  const JobId id = next_id_++;
+  Job job;
+  job.remaining = work;
+  job.cap = cap_override > 0.0 ? cap_override : cfg_.per_job_cap;
+  job.on_complete = std::move(on_complete);
+  jobs_.emplace(id, std::move(job));
+  reschedule();
+  return id;
+}
+
+double FluidResource::cancel(JobId id) {
+  advance();
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return 0.0;
+  const double rem = it->second.remaining;
+  jobs_.erase(it);
+  reschedule();
+  return rem;
+}
+
+double FluidResource::remaining(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return 0.0;
+  // Account for time elapsed since the last recompute without mutating.
+  const double dt = sim_.now() - last_update_;
+  return std::max(0.0, it->second.remaining - it->second.rate * dt);
+}
+
+double FluidResource::current_rate(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? 0.0 : it->second.rate;
+}
+
+double FluidResource::busy_time() const {
+  if (!jobs_.empty()) {
+    busy_accum_ += sim_.now() - busy_mark_;
+    busy_mark_ = sim_.now();
+  }
+  return busy_accum_;
+}
+
+void FluidResource::advance() {
+  const Time now = sim_.now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    for (auto& [id, job] : jobs_) {
+      const double served = std::min(job.remaining, job.rate * dt);
+      job.remaining -= served;
+      work_done_ += served;
+    }
+    if (!jobs_.empty()) {
+      busy_accum_ += now - busy_mark_;
+    }
+  }
+  last_update_ = now;
+  busy_mark_ = now;
+}
+
+void FluidResource::reschedule() {
+  if (has_pending_event_) {
+    sim_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (jobs_.empty()) return;
+
+  // Water-filling: process jobs in ascending cap order; each takes
+  // min(cap, fair share of what's left). Uncapped jobs (cap<=0) sort last
+  // and split the remainder evenly.
+  std::vector<std::pair<double, Job*>> order;  // (effective cap, job)
+  order.reserve(jobs_.size());
+  for (auto& [id, job] : jobs_) {
+    const double cap = job.cap > 0.0 ? job.cap : std::numeric_limits<double>::infinity();
+    order.emplace_back(cap, &job);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double left = cfg_.capacity;
+  std::size_t n = order.size();
+  for (auto& [cap, job] : order) {
+    const double fair = left / static_cast<double>(n);
+    const double rate = std::min(cap, fair);
+    job->rate = rate;
+    left -= rate;
+    --n;
+  }
+
+  // Earliest completion among active jobs.
+  Time best_dt = std::numeric_limits<double>::infinity();
+  for (auto& [id, job] : jobs_) {
+    if (job.rate <= 0.0) continue;  // cannot finish; wait for membership change
+    const double dt = job.remaining / job.rate;
+    best_dt = std::min(best_dt, dt);
+  }
+  if (best_dt == std::numeric_limits<double>::infinity()) return;
+
+  pending_event_ = sim_.schedule_after(best_dt, [this] { on_completion_event(); });
+  has_pending_event_ = true;
+}
+
+void FluidResource::on_completion_event() {
+  has_pending_event_ = false;
+  advance();
+
+  // Collect every job that is now done (ties complete together).
+  std::vector<CompletionFn> callbacks;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (finished(it->second.remaining, it->second.rate)) {
+      work_done_ += it->second.remaining;  // absorb the drift remainder
+      callbacks.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+
+  const Time now = sim_.now();
+  for (auto& cb : callbacks) {
+    if (cb) cb(now);
+  }
+}
+
+}  // namespace dosas::sim

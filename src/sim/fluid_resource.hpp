@@ -1,0 +1,95 @@
+// fluid_resource.hpp — processor-sharing ("fluid flow") resource model.
+//
+// Models a capacity shared fairly among concurrent jobs, with an optional
+// per-job rate cap. Two instantiations cover the paper's platform:
+//
+//  * the shared 1 GbE link: capacity = 118 MB/s, per-flow cap = link rate
+//    (or a NIC rate), jobs = in-flight transfers measured in bytes;
+//  * a storage node's CPU: capacity = cores × per-core kernel rate,
+//    per-job cap = one core's rate, jobs = running kernels measured in
+//    bytes of input left to process. With k kernels on a 2-core node each
+//    gets min(1 core, 2/k cores) — exactly the contention regime the paper
+//    studies.
+//
+// Rates are recomputed with water-filling whenever membership changes, and
+// the earliest completion is (re)scheduled on the simulator. Deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace dosas::sim {
+
+class FluidResource {
+ public:
+  struct Config {
+    double capacity = 1.0;     ///< total service rate (work units / sec)
+    double per_job_cap = 0.0;  ///< max rate per job; <= 0 means uncapped
+    std::string name = "fluid";
+  };
+
+  using JobId = std::uint64_t;
+  /// Called when a job's work reaches zero; argument is completion time.
+  using CompletionFn = std::function<void(Time)>;
+
+  FluidResource(Simulator& sim, Config cfg);
+
+  /// Add a job with `work` units. `cap_override` > 0 replaces the
+  /// configured per-job cap for this job only. Zero-work jobs complete at
+  /// the current time via a scheduled event (callbacks never run inline).
+  JobId submit(double work, CompletionFn on_complete, double cap_override = 0.0);
+
+  /// Remove a job before completion; returns the work it still had left.
+  /// The job's completion callback is never invoked. Returns 0 for ids
+  /// that are unknown or already complete.
+  double cancel(JobId id);
+
+  /// Remaining work of an active job as of now() (0 if unknown).
+  double remaining(JobId id) const;
+
+  /// Instantaneous service rate the job currently receives (0 if unknown).
+  double current_rate(JobId id) const;
+
+  std::size_t active_jobs() const { return jobs_.size(); }
+
+  /// Integral of "has at least one active job" over time, up to now().
+  double busy_time() const;
+
+  /// Total work served to completed or cancelled jobs so far.
+  double work_done() const { return work_done_; }
+
+  const std::string& name() const { return cfg_.name; }
+  double capacity() const { return cfg_.capacity; }
+
+ private:
+  struct Job {
+    double remaining = 0.0;
+    double rate = 0.0;  // as of last recompute
+    double cap = 0.0;   // effective per-job cap (<=0 uncapped)
+    CompletionFn on_complete;
+  };
+
+  /// Charge elapsed virtual time against every job's remaining work.
+  void advance();
+  /// Recompute water-filling rates and (re)schedule the next completion.
+  void reschedule();
+  /// Completion event body.
+  void on_completion_event();
+
+  Simulator& sim_;
+  Config cfg_;
+  std::map<JobId, Job> jobs_;  // ordered: deterministic iteration
+  JobId next_id_ = 1;
+  Time last_update_ = 0.0;
+  EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+  double work_done_ = 0.0;
+  mutable double busy_accum_ = 0.0;
+  mutable Time busy_mark_ = 0.0;
+};
+
+}  // namespace dosas::sim

@@ -1,0 +1,99 @@
+#include "sim/server_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dosas::sim {
+
+ServerPool::ServerPool(Simulator& sim, Config cfg)
+    : sim_(sim), cfg_(std::move(cfg)), busy_mark_(sim.now()) {
+  assert(cfg_.servers >= 1);
+  assert(cfg_.service_rate > 0.0);
+}
+
+ServerPool::JobId ServerPool::submit(double work, CompletionFn on_complete) {
+  assert(work >= 0.0);
+  const JobId id = next_id_++;
+  if (running_.size() < cfg_.servers) {
+    start(id, work, std::move(on_complete));
+  } else {
+    queue_.push_back(Queued{id, work, std::move(on_complete)});
+  }
+  return id;
+}
+
+void ServerPool::start(JobId id, double work, CompletionFn cb) {
+  Running r;
+  r.work = work;
+  r.started = sim_.now();
+  r.on_complete = std::move(cb);
+  const Time dt = work / cfg_.service_rate;
+  r.event = sim_.schedule_after(dt, [this, id] {
+    auto it = running_.find(id);
+    assert(it != running_.end());
+    CompletionFn done = std::move(it->second.on_complete);
+    running_.erase(it);
+    note_busy_change(running_.size());
+    start_next_if_possible();
+    if (done) done(sim_.now());
+  });
+  running_.emplace(id, std::move(r));
+  note_busy_change(running_.size());
+}
+
+void ServerPool::start_next_if_possible() {
+  while (running_.size() < cfg_.servers && !queue_.empty()) {
+    Queued q = std::move(queue_.front());
+    queue_.pop_front();
+    start(q.id, q.work, std::move(q.on_complete));
+  }
+}
+
+double ServerPool::cancel(JobId id) {
+  // Queued?
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      const double rem = it->work;
+      queue_.erase(it);
+      return rem;
+    }
+  }
+  // Running?
+  auto it = running_.find(id);
+  if (it == running_.end()) return 0.0;
+  const double served = (sim_.now() - it->second.started) * cfg_.service_rate;
+  const double rem = std::max(0.0, it->second.work - served);
+  sim_.cancel(it->second.event);
+  running_.erase(it);
+  note_busy_change(running_.size());
+  start_next_if_possible();
+  return rem;
+}
+
+bool ServerPool::is_running(JobId id) const { return running_.count(id) != 0; }
+
+double ServerPool::remaining(JobId id) const {
+  auto rit = running_.find(id);
+  if (rit != running_.end()) {
+    const double served = (sim_.now() - rit->second.started) * cfg_.service_rate;
+    return std::max(0.0, rit->second.work - served);
+  }
+  for (const auto& q : queue_) {
+    if (q.id == id) return q.work;
+  }
+  return 0.0;
+}
+
+double ServerPool::busy_server_time() const {
+  busy_accum_ += static_cast<double>(busy_now_) * (sim_.now() - busy_mark_);
+  busy_mark_ = sim_.now();
+  return busy_accum_;
+}
+
+void ServerPool::note_busy_change(std::size_t new_busy) {
+  busy_accum_ += static_cast<double>(busy_now_) * (sim_.now() - busy_mark_);
+  busy_mark_ = sim_.now();
+  busy_now_ = new_busy;
+}
+
+}  // namespace dosas::sim

@@ -1,0 +1,82 @@
+// server_pool.hpp — k-server FCFS queueing resource.
+//
+// The alternative CPU discipline to processor sharing: a storage node's
+// cores run queued kernels to completion in arrival order (run-to-complete
+// scheduling). DOSAS ablations compare this against the fluid model; the
+// PFS disk service and strictly-ordered I/O queues also use it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dosas::sim {
+
+class ServerPool {
+ public:
+  struct Config {
+    std::size_t servers = 1;    ///< number of parallel servers (cores)
+    double service_rate = 1.0;  ///< work units per second per server
+    std::string name = "pool";
+  };
+
+  using JobId = std::uint64_t;
+  using CompletionFn = std::function<void(Time)>;
+
+  ServerPool(Simulator& sim, Config cfg);
+
+  /// Enqueue a job with `work` units. Starts immediately if a server is
+  /// idle, otherwise waits FCFS.
+  JobId submit(double work, CompletionFn on_complete);
+
+  /// Remove a queued or running job; returns remaining work (0 if unknown
+  /// or already complete). A preempted server picks up the next queued job.
+  double cancel(JobId id);
+
+  /// True if the job is currently being served (not just queued).
+  bool is_running(JobId id) const;
+
+  /// Remaining work for a queued or running job as of now().
+  double remaining(JobId id) const;
+
+  std::size_t queued_jobs() const { return queue_.size(); }
+  std::size_t running_jobs() const { return running_.size(); }
+  std::size_t servers() const { return cfg_.servers; }
+  double service_rate() const { return cfg_.service_rate; }
+
+  /// Time-integral of busy servers (for utilization reporting).
+  double busy_server_time() const;
+
+ private:
+  struct Running {
+    double work = 0.0;       // total work of the job
+    Time started = 0.0;      // when service began
+    EventId event = 0;       // completion event
+    CompletionFn on_complete;
+  };
+  struct Queued {
+    JobId id;
+    double work;
+    CompletionFn on_complete;
+  };
+
+  void start_next_if_possible();
+  void start(JobId id, double work, CompletionFn cb);
+  void note_busy_change(std::size_t new_busy);
+
+  Simulator& sim_;
+  Config cfg_;
+  std::deque<Queued> queue_;
+  std::map<JobId, Running> running_;
+  JobId next_id_ = 1;
+  mutable double busy_accum_ = 0.0;
+  mutable Time busy_mark_ = 0.0;
+  std::size_t busy_now_ = 0;
+};
+
+}  // namespace dosas::sim

@@ -1,0 +1,123 @@
+// simulator.hpp — discrete-event simulation engine (virtual time).
+//
+// The reproduction's cluster substrate: storage/compute nodes, the shared
+// Ethernet link, and I/O queues are all modelled as events and resources on
+// one `Simulator`. Time is virtual seconds; execution is single-threaded
+// and deterministic (events at equal times fire in scheduling order).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dosas::sim {
+
+/// Virtual time in seconds since simulation start.
+using Time = double;
+
+/// Handle to a scheduled event, usable with Simulator::cancel().
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, std::function<void()> fn) {
+    assert(t >= now_ - 1e-12 && "cannot schedule into the past");
+    if (t < now_) t = now_;
+    const EventId id = next_id_++;
+    heap_.push(Entry{t, id, std::move(fn)});
+    pending_ids_.insert(id);
+    return id;
+  }
+
+  /// Schedule `fn` `dt` seconds from now.
+  EventId schedule_after(Time dt, std::function<void()> fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancel a pending event. Safe to call with an already-fired or
+  /// already-cancelled id (returns false in that case).
+  bool cancel(EventId id) {
+    if (pending_ids_.erase(id) == 0) return false;  // unknown, fired, or cancelled
+    cancelled_.insert(id);                          // lazily dropped at pop time
+    return true;
+  }
+
+  /// Run the next pending event. Returns false when the queue is empty.
+  bool step() {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      if (cancelled_.erase(e.id) > 0) continue;  // lazily dropped
+      pending_ids_.erase(e.id);
+      assert(e.time >= now_);
+      now_ = e.time;
+      ++executed_;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  void run_until(Time t) {
+    while (!heap_.empty()) {
+      // Peek past cancelled entries.
+      const Entry& e = heap_.top();
+      if (cancelled_.count(e.id) != 0) {
+        cancelled_.erase(e.id);
+        heap_.pop();
+        continue;
+      }
+      if (e.time > t) break;
+      step();
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  /// Number of events still pending (excluding cancelled ones).
+  std::size_t pending_events() const { return pending_ids_.size(); }
+
+  /// Count of events executed so far (for micro-benchmarks / sanity).
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace dosas::sim

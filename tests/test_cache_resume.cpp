@@ -1,0 +1,247 @@
+// Tests for the two server-side extensions: the active-result cache
+// (version-validated, LRU) and cooperative resumption (interrupted kernels
+// resubmitted with their checkpoints).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/cluster.hpp"
+#include "kernels/gaussian2d.hpp"
+#include "kernels/sum.hpp"
+#include "server/storage_server.hpp"
+
+namespace dosas::core {
+namespace {
+
+// ---------------------------------------------------------------- result cache
+
+struct CacheFixture {
+  explicit CacheFixture(std::size_t cache_entries, std::size_t count = 20'000) {
+    ClusterConfig cfg;
+    cfg.scheme = SchemeKind::kActive;  // always offload: exercise the cache
+    cfg.result_cache_entries = cache_entries;
+    cluster = std::make_unique<Cluster>(cfg);
+    auto m = pfs::write_doubles(cluster->pfs_client(), "/data", count,
+                                [](std::size_t i) { return static_cast<double>(i % 11); });
+    EXPECT_TRUE(m.is_ok());
+    meta = m.value();
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  pfs::FileMeta meta;
+};
+
+TEST(ResultCache, RepeatedReadHitsCache) {
+  CacheFixture fx(8);
+  auto first = fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "sum");
+  auto second = fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "sum");
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value(), second.value());
+
+  const auto ss = fx.cluster->storage_server(0).stats();
+  EXPECT_EQ(ss.cache_hits, 1u);
+  EXPECT_EQ(ss.cache_misses, 1u);
+  // The kernel streamed the data exactly once.
+  EXPECT_EQ(ss.active_bytes_processed, fx.meta.size);
+}
+
+TEST(ResultCache, DifferentExtentOrOperationMisses) {
+  CacheFixture fx(8);
+  (void)fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "sum");
+  (void)fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size / 2, "sum");   // other extent
+  (void)fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "minmax");    // other op
+  const auto ss = fx.cluster->storage_server(0).stats();
+  EXPECT_EQ(ss.cache_hits, 0u);
+  EXPECT_EQ(ss.cache_misses, 3u);
+}
+
+TEST(ResultCache, WriteInvalidates) {
+  CacheFixture fx(8);
+  auto first = fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "sum");
+  ASSERT_TRUE(first.is_ok());
+
+  // Mutate one double in place: the version bumps, so the next read_ex
+  // must recompute — and see the new value.
+  const double newval = 1e6;
+  auto updated = fx.cluster->pfs_client().write(
+      fx.meta, 0, std::span(reinterpret_cast<const std::uint8_t*>(&newval), sizeof(newval)));
+  ASSERT_TRUE(updated.is_ok());
+
+  auto second = fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "sum");
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_NE(first.value(), second.value());
+
+  auto s1 = kernels::SumResult::decode(first.value());
+  auto s2 = kernels::SumResult::decode(second.value());
+  ASSERT_TRUE(s1.is_ok());
+  ASSERT_TRUE(s2.is_ok());
+  EXPECT_NEAR(s2.value().sum - s1.value().sum, 1e6 - 0.0, 1e-6);  // item 0 was 0.0
+  EXPECT_EQ(fx.cluster->storage_server(0).stats().cache_hits, 0u);
+}
+
+TEST(ResultCache, LruEvictsOldest) {
+  CacheFixture fx(2);  // tiny cache
+  // Three distinct extents fill and overflow the 2-entry cache.
+  (void)fx.cluster->asc().read_ex(fx.meta, 0, 8000, "sum");
+  (void)fx.cluster->asc().read_ex(fx.meta, 8000, 8000, "sum");
+  (void)fx.cluster->asc().read_ex(fx.meta, 16000, 8000, "sum");  // evicts extent 0
+  (void)fx.cluster->asc().read_ex(fx.meta, 8000, 8000, "sum");   // hit
+  (void)fx.cluster->asc().read_ex(fx.meta, 0, 8000, "sum");      // miss (evicted)
+  const auto ss = fx.cluster->storage_server(0).stats();
+  EXPECT_EQ(ss.cache_hits, 1u);
+  EXPECT_EQ(ss.cache_misses, 4u);
+}
+
+TEST(ResultCache, DisabledByDefault) {
+  CacheFixture fx(0);
+  (void)fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "sum");
+  (void)fx.cluster->asc().read_ex(fx.meta, 0, fx.meta.size, "sum");
+  const auto ss = fx.cluster->storage_server(0).stats();
+  EXPECT_EQ(ss.cache_hits, 0u);
+  EXPECT_EQ(ss.cache_misses, 0u);
+  EXPECT_EQ(ss.active_bytes_processed, 2 * fx.meta.size);
+}
+
+TEST(ResultCache, BatchPathUsesCacheToo) {
+  CacheFixture fx(8);
+  std::vector<client::ActiveClient::BatchItem> items;
+  items.push_back({fx.meta, 0, fx.meta.size, "sum"});
+  (void)fx.cluster->asc().read_ex_batch(items);
+  (void)fx.cluster->asc().read_ex_batch(items);
+  EXPECT_EQ(fx.cluster->storage_server(0).stats().cache_hits, 1u);
+}
+
+// ---------------------------------------------------------------- object versions
+
+TEST(ObjectVersion, BumpsOnWriteAndRemove) {
+  pfs::DataServer ds(0);
+  EXPECT_EQ(ds.object_version(1), 0u);
+  ASSERT_TRUE(ds.write_object(1, 0, std::vector<std::uint8_t>(10, 1)).is_ok());
+  EXPECT_EQ(ds.object_version(1), 1u);
+  ASSERT_TRUE(ds.write_object(1, 5, std::vector<std::uint8_t>(3, 2)).is_ok());
+  EXPECT_EQ(ds.object_version(1), 2u);
+  ASSERT_TRUE(ds.remove_object(1).is_ok());
+  EXPECT_EQ(ds.object_version(1), 3u);
+  ASSERT_TRUE(ds.remove_object(1).is_ok());  // no object: no bump
+  EXPECT_EQ(ds.object_version(1), 3u);
+}
+
+// ---------------------------------------------------------------- cooperative resumption
+
+TEST(Resumption, ServerContinuesFromCheckpoint) {
+  // Drive the server API directly: interrupt a kernel by hand, then
+  // resubmit with the checkpoint and verify the result matches an
+  // uninterrupted run.
+  pfs::FileSystem fs(1, 64_KiB);
+  pfs::Client client(fs);
+  constexpr std::size_t kWidth = 128, kRows = 512;
+  auto meta = pfs::write_doubles(client, "/g", kWidth * kRows,
+                                 [](std::size_t i) { return static_cast<double>(i % 17); });
+  ASSERT_TRUE(meta.is_ok());
+
+  server::ContentionEstimator::Config ce;
+  ce.optimizer = "all-active";
+  server::StorageServer server(fs, 0, kernels::Registry::with_builtins(), ce,
+                               server::RateTable::paper_rates());
+
+  // Build the "interrupted" state with a local kernel over a prefix.
+  const Bytes cut = meta.value().size / 3 + 5;
+  auto prefix = fs.data_server(0).read_object(meta.value().handle, 0, cut);
+  ASSERT_TRUE(prefix.is_ok());
+  kernels::Gaussian2dKernel partial(kWidth);
+  partial.consume(prefix.value());
+
+  server::ActiveIoRequest resume;
+  resume.handle = meta.value().handle;
+  resume.object_offset = 0;
+  resume.length = meta.value().size;
+  resume.operation = "gaussian2d:width=128";
+  resume.resume_checkpoint = partial.checkpoint().encode();
+  resume.resume_from = cut;
+  auto resp = server.serve_active(resume);
+  ASSERT_EQ(resp.outcome, server::ActiveOutcome::kCompleted) << resp.status.to_string();
+
+  // Reference: one uninterrupted pass.
+  auto all = fs.data_server(0).read_object(meta.value().handle, 0, meta.value().size);
+  ASSERT_TRUE(all.is_ok());
+  kernels::Gaussian2dKernel ref(kWidth);
+  ref.consume(all.value());
+  EXPECT_EQ(resp.result, ref.finalize());
+}
+
+TEST(Resumption, BadCheckpointFailsCleanly) {
+  pfs::FileSystem fs(1, 64_KiB);
+  pfs::Client client(fs);
+  auto meta = pfs::write_doubles(client, "/d", 1000,
+                                 [](std::size_t i) { return static_cast<double>(i); });
+  ASSERT_TRUE(meta.is_ok());
+  server::ContentionEstimator::Config ce;
+  ce.optimizer = "all-active";
+  server::StorageServer server(fs, 0, kernels::Registry::with_builtins(), ce,
+                               server::RateTable::paper_rates());
+
+  server::ActiveIoRequest resume;
+  resume.handle = meta.value().handle;
+  resume.length = meta.value().size;
+  resume.operation = "sum";
+  resume.resume_checkpoint = {1, 2, 3, 4};  // garbage
+  resume.resume_from = 0;
+  auto resp = server.serve_active(resume);
+  EXPECT_EQ(resp.outcome, server::ActiveOutcome::kFailed);
+}
+
+TEST(Resumption, ClientResubmitPathProducesExactResults) {
+  // DOSAS cluster under contention with resubmission enabled: whatever mix
+  // of first-try / resubmitted / locally-finished outcomes occurs, results
+  // must equal the sequential reference.
+  ClusterConfig cfg;
+  cfg.scheme = SchemeKind::kDosas;
+  cfg.server_chunk_size = 16_KiB;
+  cfg.resubmit_interrupted = true;
+  auto cluster = std::make_unique<Cluster>(cfg);
+
+  constexpr std::size_t kFiles = 8, kWidth = 256, kRows = 1024;
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    auto meta = pfs::write_doubles(
+        cluster->pfs_client(), "/g" + std::to_string(f), kWidth * kRows,
+        [f](std::size_t i) { return static_cast<double>((i * (f + 2)) % 19); });
+    ASSERT_TRUE(meta.is_ok());
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::uint8_t>> results(kFiles);
+  std::vector<Status> statuses(kFiles, Status::ok());
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    threads.emplace_back([&, f] {
+      auto meta = cluster->pfs_client().open("/g" + std::to_string(f));
+      if (!meta.is_ok()) {
+        statuses[f] = meta.status();
+        return;
+      }
+      auto out =
+          cluster->asc().read_ex(meta.value(), 0, meta.value().size, "gaussian2d:width=256");
+      if (out.is_ok()) {
+        results[f] = out.value();
+      } else {
+        statuses[f] = out.status();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    ASSERT_TRUE(statuses[f].is_ok()) << f << ": " << statuses[f].to_string();
+    auto meta = cluster->pfs_client().open("/g" + std::to_string(f));
+    ASSERT_TRUE(meta.is_ok());
+    auto raw = cluster->pfs_client().read_all(meta.value());
+    ASSERT_TRUE(raw.is_ok());
+    kernels::Gaussian2dKernel ref(kWidth);
+    ref.consume(raw.value());
+    EXPECT_EQ(results[f], ref.finalize()) << f;
+  }
+}
+
+}  // namespace
+}  // namespace dosas::core

@@ -1,0 +1,367 @@
+// Tests for dosas::core — the calibrated DES models (paper-shape
+// properties: crossover, SUM dominance, DOSAS tracking the winner), the
+// experiment drivers, and report rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/sim_model.hpp"
+
+namespace dosas::core {
+namespace {
+
+// ---------------------------------------------------------------- model basics
+
+TEST(SimModel, EmptyWorkloadIsZero) {
+  const auto stats = simulate_scheme(SchemeKind::kActive, ModelConfig::gaussian(), {});
+  EXPECT_DOUBLE_EQ(stats.makespan, 0.0);
+}
+
+TEST(SimModel, SingleActiveGaussianMatchesClosedForm) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto stats =
+      simulate_scheme(SchemeKind::kActive, cfg, uniform_workload(1, 128_MiB));
+  // d/S + h/bw.
+  const double expect = 128.0 / 80.0 + to_mib(cfg.result_bytes(128_MiB)) / 118.0;
+  EXPECT_NEAR(stats.makespan, expect, 1e-6);
+  EXPECT_EQ(stats.served_active, 1u);
+  EXPECT_EQ(stats.demoted, 0u);
+}
+
+TEST(SimModel, SingleTraditionalGaussianMatchesClosedForm) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto stats =
+      simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(1, 128_MiB));
+  // d/bw + d/C.
+  const double expect = 128.0 / 118.0 + 128.0 / 80.0;
+  EXPECT_NEAR(stats.makespan, expect, 1e-6);
+  EXPECT_EQ(stats.demoted, 1u);
+}
+
+TEST(SimModel, TraditionalTransfersShareTheLink) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto one = simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(1, 128_MiB));
+  const auto four = simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(4, 128_MiB));
+  // 4 concurrent transfers on a shared link: the transfer phase takes 4x,
+  // the (parallel) client compute does not change.
+  const double xfer1 = 128.0 / 118.0;
+  EXPECT_NEAR(four.makespan - one.makespan, 3 * xfer1, 1e-6);
+}
+
+TEST(SimModel, ActiveKernelsSerializeOnStorageCpu) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto one = simulate_scheme(SchemeKind::kActive, cfg, uniform_workload(1, 128_MiB));
+  const auto four = simulate_scheme(SchemeKind::kActive, cfg, uniform_workload(4, 128_MiB));
+  // Effective kernel capacity is one core: 4 kernels take ~4x.
+  EXPECT_NEAR(four.makespan / one.makespan, 4.0, 0.05);
+}
+
+TEST(SimModel, BytesOverLinkReflectScheme) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto ts = simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(4, 128_MiB));
+  const auto as = simulate_scheme(SchemeKind::kActive, cfg, uniform_workload(4, 128_MiB));
+  EXPECT_EQ(ts.bytes_over_link, 4u * 128_MiB);
+  EXPECT_EQ(as.bytes_over_link, 4u * cfg.result_bytes(128_MiB));
+}
+
+TEST(SimModel, JitterChangesMakespanDeterministically) {
+  auto cfg = ModelConfig::gaussian();
+  cfg.bw_jitter_low_mbps = 111.0;
+  cfg.bw_jitter_high_mbps = 120.0;
+  Rng rng_a(42), rng_b(42), rng_c(43);
+  const auto a = simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(4, 128_MiB), &rng_a);
+  const auto b = simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(4, 128_MiB), &rng_b);
+  const auto c = simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(4, 128_MiB), &rng_c);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);  // same seed, same run
+  EXPECT_NE(a.makespan, c.makespan);         // different seed, different bw
+}
+
+TEST(SimModel, PoissonWorkloadArrivalsAreOrdered) {
+  Rng rng(7);
+  const auto w = poisson_workload(20, 64_MiB, 0.5, rng);
+  ASSERT_EQ(w.size(), 20u);
+  EXPECT_DOUBLE_EQ(w[0].arrival, 0.0);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_GE(w[i].arrival, w[i - 1].arrival);
+}
+
+// ---------------------------------------------------------------- paper shapes
+
+// Paper Fig. 4: Gaussian @128 MB — AS wins at small counts, TS at large.
+TEST(PaperShape, GaussianCrossover128MB) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto points = scheme_sweep(cfg, paper_io_counts(), 128_MiB, false);
+  ASSERT_EQ(points.size(), 7u);
+  EXPECT_LT(points[0].as, points[0].ts) << "AS must win at 1 I/O";
+  EXPECT_LT(points[1].as, points[1].ts) << "AS must win at 2 I/Os";
+  EXPECT_GT(points.back().as, points.back().ts) << "TS must win at 64 I/Os";
+
+  // The crossover lies in the paper's neighbourhood (around 4 I/Os).
+  std::size_t crossover = 0;
+  for (const auto& p : points) {
+    if (p.as > p.ts) {
+      crossover = p.ios;
+      break;
+    }
+  }
+  EXPECT_GE(crossover, 2u);
+  EXPECT_LE(crossover, 8u);
+}
+
+// Paper Fig. 5: the crossover shape holds at 512 MB too.
+TEST(PaperShape, GaussianCrossover512MB) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto points = scheme_sweep(cfg, paper_io_counts(), 512_MiB, false);
+  EXPECT_LT(points[0].as, points[0].ts);
+  EXPECT_GT(points.back().as, points.back().ts);
+}
+
+// Paper Fig. 6: SUM — AS wins at every scale.
+TEST(PaperShape, SumActiveAlwaysWins) {
+  const auto cfg = ModelConfig::sum();
+  const auto points = scheme_sweep(cfg, paper_io_counts(), 128_MiB, false);
+  for (const auto& p : points) {
+    EXPECT_LT(p.as, p.ts) << p.ios << " I/Os";
+  }
+}
+
+// Paper Figs. 7-10: DOSAS tracks the winner at both extremes.
+TEST(PaperShape, DosasTracksWinner) {
+  const auto cfg = ModelConfig::gaussian();
+  for (Bytes size : {128_MiB, 256_MiB, 512_MiB, 1_GiB}) {
+    const auto points = scheme_sweep(cfg, paper_io_counts(), size, true);
+    for (const auto& p : points) {
+      const Seconds best = std::min(p.ts, p.as);
+      // DOSAS within 10% of the better static scheme everywhere (it pays
+      // nothing extra at the extremes; slight overhead tolerated near the
+      // crossover).
+      EXPECT_LE(p.dosas, best * 1.10 + 1e-9)
+          << format_bytes(size) << " @ " << p.ios << " I/Os";
+    }
+  }
+}
+
+// Paper §IV-B3's headline numbers: ~40% over TS at small scale, ~20-30%
+// over AS at large scale.
+TEST(PaperShape, DosasImprovementMagnitudes) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto points = scheme_sweep(cfg, paper_io_counts(), 128_MiB, true);
+
+  const auto& small = points.front();  // 1 I/O
+  const double gain_over_ts = 1.0 - small.dosas / small.ts;
+  EXPECT_GT(gain_over_ts, 0.30);
+  EXPECT_LT(gain_over_ts, 0.55);
+
+  const auto& large = points.back();  // 64 I/Os
+  const double gain_over_as = 1.0 - large.dosas / large.as;
+  EXPECT_GT(gain_over_as, 0.15);
+  EXPECT_LT(gain_over_as, 0.45);
+}
+
+// Paper Figs. 11/12: DOSAS achieves the best aggregate bandwidth nearly
+// everywhere.
+TEST(PaperShape, DosasBandwidthIsBest) {
+  const auto cfg = ModelConfig::gaussian();
+  for (Bytes size : {256_MiB, 512_MiB}) {
+    const auto points = bandwidth_sweep(cfg, paper_io_counts(), size);
+    for (const auto& p : points) {
+      const double best_static = std::max(p.ts_mbps, p.as_mbps);
+      EXPECT_GE(p.dosas_mbps, best_static * 0.90)
+          << format_bytes(size) << " @ " << p.ios << " I/Os";
+    }
+  }
+}
+
+// Paper Table IV: ~95% decision accuracy, misjudgments near the crossover.
+TEST(PaperShape, SchedulerAccuracyMatchesPaper) {
+  const auto report = scheduler_accuracy(2012);
+  EXPECT_EQ(report.cases.size(), 2u * 4u * 7u);
+  EXPECT_GE(report.accuracy, 0.85);
+  // SUM judgments are always right (the paper reports 100% for SUM).
+  for (const auto& c : report.cases) {
+    if (c.kernel == "sum") {
+      EXPECT_TRUE(c.correct) << c.ios << " IOs";
+    }
+  }
+  // Any misjudgments sit near the Gaussian crossover (paper: "at the
+  // boundary where I/O scale slides from small to large").
+  for (const auto& c : report.cases) {
+    if (!c.correct) {
+      EXPECT_EQ(c.kernel, "gaussian2d");
+      EXPECT_GE(c.ios, 2u);
+      EXPECT_LE(c.ios, 8u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- DOSAS internals
+
+TEST(SimModel, DosasDemotesNothingForSum) {
+  const auto cfg = ModelConfig::sum();
+  const auto stats = simulate_scheme(SchemeKind::kDosas, cfg, uniform_workload(64, 128_MiB));
+  EXPECT_EQ(stats.demoted, 0u);
+  EXPECT_EQ(stats.served_active, 64u);
+}
+
+TEST(SimModel, DosasDemotesMostGaussiansAtScale) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto stats = simulate_scheme(SchemeKind::kDosas, cfg, uniform_workload(64, 128_MiB));
+  EXPECT_GT(stats.demoted, 48u);
+}
+
+TEST(SimModel, DosasKeepsSmallGaussianQueueActive) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto stats = simulate_scheme(SchemeKind::kDosas, cfg, uniform_workload(2, 128_MiB));
+  EXPECT_EQ(stats.demoted, 0u);
+  EXPECT_EQ(stats.served_active, 2u);
+}
+
+TEST(SimModel, InterruptionDisabledStillCompletes) {
+  auto cfg = ModelConfig::gaussian();
+  cfg.allow_interrupt = false;
+  const auto stats = simulate_scheme(SchemeKind::kDosas, cfg, uniform_workload(16, 128_MiB));
+  EXPECT_EQ(stats.interrupted, 0u);
+  EXPECT_GT(stats.makespan, 0.0);
+}
+
+TEST(SimModel, StaggeredArrivalsTriggerInterruptions) {
+  // Requests arriving over time: early ones start active; as the queue
+  // grows the CE demotes, interrupting running kernels.
+  auto cfg = ModelConfig::gaussian();
+  cfg.probe_interval = 0.1;
+  std::vector<ModelRequest> reqs;
+  for (std::size_t i = 0; i < 16; ++i) {
+    reqs.push_back({128_MiB, static_cast<Seconds>(i) * 0.05});
+  }
+  const auto stats = simulate_scheme(SchemeKind::kDosas, cfg, reqs);
+  EXPECT_GT(stats.demoted, 0u);
+  EXPECT_GT(stats.interrupted, 0u) << "growing queue must interrupt early active kernels";
+}
+
+TEST(SimModel, DiskStagePrecedesTransfer) {
+  auto cfg = ModelConfig::gaussian();
+  cfg.disk_mbps = 59.0;  // half the link rate
+  const auto one = simulate_scheme(SchemeKind::kTraditional, cfg, uniform_workload(1, 118_MiB));
+  // disk 118/59 = 2 s, then link 1 s, then client compute 118/80.
+  EXPECT_NEAR(one.makespan, 2.0 + 1.0 + 118.0 / 80.0, 1e-6);
+}
+
+TEST(SimModel, DiskStagePrecedesActiveKernel) {
+  auto cfg = ModelConfig::gaussian();
+  cfg.disk_mbps = 160.0;
+  const auto one = simulate_scheme(SchemeKind::kActive, cfg, uniform_workload(1, 160_MiB));
+  // disk 1 s, kernel 160/80 = 2 s, result transfer ~0.
+  EXPECT_NEAR(one.makespan, 1.0 + 2.0, 1e-4);
+}
+
+TEST(SimModel, InfiniteDiskMatchesBaseline) {
+  const auto base = simulate_scheme(SchemeKind::kDosas, ModelConfig::gaussian(),
+                                    uniform_workload(8, 128_MiB));
+  auto cfg = ModelConfig::gaussian();
+  cfg.disk_mbps = 0.0;
+  const auto same = simulate_scheme(SchemeKind::kDosas, cfg, uniform_workload(8, 128_MiB));
+  EXPECT_DOUBLE_EQ(base.makespan, same.makespan);
+}
+
+TEST(SimModel, DosasWithDiskStillTracksBestStatic) {
+  auto cfg = ModelConfig::gaussian();
+  cfg.disk_mbps = 100.0;
+  for (std::size_t n : {1u, 4u, 16u, 64u}) {
+    const auto w = uniform_workload(n, 128_MiB);
+    const auto ts = simulate_scheme(SchemeKind::kTraditional, cfg, w).makespan;
+    const auto as = simulate_scheme(SchemeKind::kActive, cfg, w).makespan;
+    const auto dosas = simulate_scheme(SchemeKind::kDosas, cfg, w).makespan;
+    EXPECT_LE(dosas, std::min(ts, as) * 1.10) << n << " I/Os";
+  }
+}
+
+TEST(SimModel, PerRequestOverheadShiftsSingleRequest) {
+  auto cfg = ModelConfig::gaussian();
+  cfg.per_request_overhead = 0.5;
+  const auto one = simulate_scheme(SchemeKind::kActive, cfg, uniform_workload(1, 128_MiB));
+  auto base_cfg = ModelConfig::gaussian();
+  const auto base = simulate_scheme(SchemeKind::kActive, base_cfg, uniform_workload(1, 128_MiB));
+  EXPECT_NEAR(one.makespan - base.makespan, 0.5, 1e-9);
+}
+
+TEST(SimModel, FcfsAndSharingAgreeOnUniformMakespan) {
+  // With identical all-at-once kernels, run-to-completion and time-sharing
+  // drain the same total work at the same aggregate rate.
+  auto ps = ModelConfig::gaussian();
+  auto fcfs = ModelConfig::gaussian();
+  fcfs.fcfs_cpu = true;
+  for (std::size_t n : {1u, 4u, 16u}) {
+    const auto a = simulate_scheme(SchemeKind::kActive, ps, uniform_workload(n, 128_MiB));
+    const auto b = simulate_scheme(SchemeKind::kActive, fcfs, uniform_workload(n, 128_MiB));
+    EXPECT_NEAR(a.makespan, b.makespan, 1e-4) << n;
+  }
+}
+
+TEST(SimModel, FcfsImprovesMeanCompletion) {
+  // FCFS finishes early kernels sooner (no time slicing), so the mean
+  // completion time beats processor sharing even though makespan ties.
+  auto ps = ModelConfig::gaussian();
+  auto fcfs = ModelConfig::gaussian();
+  fcfs.fcfs_cpu = true;
+  const auto a = simulate_scheme(SchemeKind::kActive, ps, uniform_workload(8, 128_MiB));
+  const auto b = simulate_scheme(SchemeKind::kActive, fcfs, uniform_workload(8, 128_MiB));
+  EXPECT_LT(b.mean_completion, a.mean_completion * 0.8);
+}
+
+TEST(SimModel, DosasTracksWinnerUnderFcfsToo) {
+  auto cfg = ModelConfig::gaussian();
+  cfg.fcfs_cpu = true;
+  for (std::size_t n : {1u, 4u, 64u}) {
+    const auto w = uniform_workload(n, 128_MiB);
+    const auto ts = simulate_scheme(SchemeKind::kTraditional, cfg, w).makespan;
+    const auto as = simulate_scheme(SchemeKind::kActive, cfg, w).makespan;
+    const auto dosas = simulate_scheme(SchemeKind::kDosas, cfg, w).makespan;
+    EXPECT_LE(dosas, std::min(ts, as) * 1.10) << n;
+  }
+}
+
+TEST(SimModel, MeanCompletionNotAboveMakespan) {
+  const auto cfg = ModelConfig::gaussian();
+  for (std::size_t n : {1u, 4u, 16u}) {
+    const auto stats = simulate_scheme(SchemeKind::kDosas, cfg, uniform_workload(n, 256_MiB));
+    EXPECT_LE(stats.mean_completion, stats.makespan + 1e-9);
+    EXPECT_GT(stats.mean_completion, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(Report, TableRendersAligned) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"10", "20", "30"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), s);
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(1234.5, 1), "1234.5");
+}
+
+TEST(Report, SweepTableHasOneRowPerPoint) {
+  const auto cfg = ModelConfig::gaussian();
+  const auto points = scheme_sweep(cfg, {1, 4, 16}, 128_MiB, true);
+  EXPECT_EQ(sweep_table(points, true).rows(), 3u);
+  EXPECT_EQ(sweep_table(points, false).rows(), 3u);
+}
+
+TEST(Report, AccuracyTableListsAllCases) {
+  const auto report = scheduler_accuracy(7);
+  EXPECT_EQ(accuracy_table(report).rows(), report.cases.size());
+}
+
+}  // namespace
+}  // namespace dosas::core

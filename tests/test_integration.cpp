@@ -1,0 +1,259 @@
+// End-to-end integration tests: concurrent application threads driving the
+// full real runtime (ASC -> ASS -> PFS -> kernels) under all three schemes,
+// exercising demotion, interruption/resume, striping, and mixed workloads.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "core/cluster.hpp"
+#include "core/runner.hpp"
+#include "kernels/gaussian2d.hpp"
+#include "kernels/histogram.hpp"
+#include "kernels/sum.hpp"
+
+namespace dosas::core {
+namespace {
+
+std::unique_ptr<Cluster> make_cluster(SchemeKind scheme, std::uint32_t nodes = 1,
+                                      Bytes strip = 64_KiB) {
+  ClusterConfig cfg;
+  cfg.scheme = scheme;
+  cfg.storage_nodes = nodes;
+  cfg.strip_size = strip;
+  cfg.server_chunk_size = 64_KiB;  // frequent interruption checks
+  return std::make_unique<Cluster>(cfg);
+}
+
+/// Write `files` data files of `count` doubles each; returns expected sums.
+std::vector<double> seed_files(Cluster& cluster, std::size_t files, std::size_t count) {
+  std::vector<double> sums(files, 0.0);
+  for (std::size_t f = 0; f < files; ++f) {
+    auto meta = pfs::write_doubles(cluster.pfs_client(), "/data" + std::to_string(f), count,
+                                   [f](std::size_t i) {
+                                     return static_cast<double>((i * (f + 1)) % 211);
+                                   });
+    EXPECT_TRUE(meta.is_ok());
+    for (std::size_t i = 0; i < count; ++i) {
+      sums[f] += static_cast<double>((i * (f + 1)) % 211);
+    }
+  }
+  return sums;
+}
+
+class SchemeIntegration : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(SchemeIntegration, ConcurrentSumsAreCorrectUnderEveryScheme) {
+  auto cluster = make_cluster(GetParam());
+  constexpr std::size_t kFiles = 8;
+  constexpr std::size_t kCount = 40'000;  // ~312 KiB per file
+  const auto sums = seed_files(*cluster, kFiles, kCount);
+
+  std::vector<WorkloadRequest> reqs;
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    reqs.push_back({"/data" + std::to_string(f), 0, 0, "sum"});
+  }
+  const auto report = run_workload(*cluster, reqs);
+  ASSERT_EQ(report.failures, 0u);
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    auto sum = kernels::SumResult::decode(report.outcomes[f].result);
+    ASSERT_TRUE(sum.is_ok()) << "file " << f;
+    EXPECT_EQ(sum.value().count, kCount);
+    EXPECT_NEAR(sum.value().sum, sums[f], 1e-5) << "file " << f;
+  }
+}
+
+TEST_P(SchemeIntegration, ConcurrentGaussiansAreCorrectUnderEveryScheme) {
+  auto cluster = make_cluster(GetParam());
+  constexpr std::size_t kFiles = 6;
+  constexpr std::size_t kWidth = 128;
+  constexpr std::size_t kRows = 256;
+  seed_files(*cluster, kFiles, kWidth * kRows);
+
+  std::vector<WorkloadRequest> reqs;
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    reqs.push_back({"/data" + std::to_string(f), 0, 0, "gaussian2d:width=128"});
+  }
+  const auto report = run_workload(*cluster, reqs);
+  ASSERT_EQ(report.failures, 0u);
+
+  // Every digest must match the sequential reference for its file.
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    auto meta = cluster->pfs_client().open("/data" + std::to_string(f));
+    ASSERT_TRUE(meta.is_ok());
+    auto raw = cluster->pfs_client().read_all(meta.value());
+    ASSERT_TRUE(raw.is_ok());
+    kernels::Gaussian2dKernel ref(kWidth);
+    ref.consume(raw.value());
+
+    auto got = kernels::GaussianDigest::decode(report.outcomes[f].result);
+    auto expect = kernels::GaussianDigest::decode(ref.finalize());
+    ASSERT_TRUE(got.is_ok());
+    ASSERT_TRUE(expect.is_ok());
+    EXPECT_EQ(got.value().rows, expect.value().rows) << "file " << f;
+    EXPECT_EQ(got.value().count, expect.value().count) << "file " << f;
+    EXPECT_NEAR(got.value().sum, expect.value().sum, 1e-6) << "file " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeIntegration,
+                         ::testing::Values(SchemeKind::kTraditional, SchemeKind::kActive,
+                                           SchemeKind::kDosas),
+                         [](const ::testing::TestParamInfo<SchemeKind>& info) {
+                           return scheme_name(info.param);
+                         });
+
+TEST(Integration, DosasDemotesUnderContention) {
+  // 10 concurrent Gaussian requests against one 2-core storage node: the
+  // DOSAS policy must hand some kernels back to the clients, and the
+  // results must still all be right.
+  auto cluster = make_cluster(SchemeKind::kDosas);
+  constexpr std::size_t kFiles = 10;
+  constexpr std::size_t kWidth = 512;
+  constexpr std::size_t kRows = 512;  // 2 MiB per file
+  seed_files(*cluster, kFiles, kWidth * kRows);
+
+  std::vector<WorkloadRequest> reqs;
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    reqs.push_back({"/data" + std::to_string(f), 0, 0, "gaussian2d:width=512"});
+  }
+  const auto report = run_workload(*cluster, reqs);
+  ASSERT_EQ(report.failures, 0u);
+
+  const auto client_stats = cluster->asc().stats();
+  const auto server_stats = cluster->storage_server(0).stats();
+  EXPECT_GT(client_stats.demoted + client_stats.resumed_local, 0u)
+      << "a 10-deep Gaussian queue must trigger demotions";
+  EXPECT_EQ(client_stats.reads_ex, kFiles);
+  EXPECT_EQ(server_stats.active_completed + server_stats.active_rejected +
+                server_stats.active_interrupted,
+            kFiles);
+}
+
+TEST(Integration, DosasInterruptResumeProducesExactResult) {
+  // The real interrupted-resume path end to end: DOSAS scheme, staggered
+  // arrivals so early Gaussian kernels get admitted and then interrupted
+  // as the queue deepens. Whatever mix of outcomes occurs, every result
+  // must equal the sequential reference.
+  ClusterConfig cfg;
+  cfg.scheme = SchemeKind::kDosas;
+  cfg.server_chunk_size = 16_KiB;
+  auto cluster = std::make_unique<Cluster>(cfg);
+  constexpr std::size_t kFiles = 8;
+  constexpr std::size_t kWidth = 256;
+  constexpr std::size_t kRows = 1024;  // 2 MiB each
+  seed_files(*cluster, kFiles, kWidth * kRows);
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::uint8_t>> results(kFiles);
+  std::vector<Status> statuses(kFiles, Status::ok());
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    threads.emplace_back([&, f] {
+      auto meta = cluster->pfs_client().open("/data" + std::to_string(f));
+      if (!meta.is_ok()) {
+        statuses[f] = meta.status();
+        return;
+      }
+      auto out =
+          cluster->asc().read_ex(meta.value(), 0, meta.value().size, "gaussian2d:width=256");
+      if (out.is_ok()) {
+        results[f] = out.value();
+      } else {
+        statuses[f] = out.status();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    ASSERT_TRUE(statuses[f].is_ok()) << "file " << f << ": " << statuses[f].to_string();
+    auto meta = cluster->pfs_client().open("/data" + std::to_string(f));
+    ASSERT_TRUE(meta.is_ok());
+    auto raw = cluster->pfs_client().read_all(meta.value());
+    ASSERT_TRUE(raw.is_ok());
+    kernels::Gaussian2dKernel ref(kWidth);
+    ref.consume(raw.value());
+    EXPECT_EQ(results[f], ref.finalize()) << "file " << f;
+  }
+}
+
+TEST(Integration, MixedOperationsScheduleIndependently) {
+  // SUM and Gaussian requests interleaved: the CE schedules each kernel
+  // group with its own rates; everything completes correctly.
+  auto cluster = make_cluster(SchemeKind::kDosas);
+  constexpr std::size_t kCount = 65'536;  // 512 KiB
+  const auto sums = seed_files(*cluster, 8, kCount);
+
+  std::vector<WorkloadRequest> reqs;
+  for (std::size_t f = 0; f < 8; ++f) {
+    reqs.push_back({"/data" + std::to_string(f), 0, 0,
+                    f % 2 == 0 ? std::string("sum") : std::string("gaussian2d:width=256")});
+  }
+  const auto report = run_workload(*cluster, reqs);
+  ASSERT_EQ(report.failures, 0u);
+  for (std::size_t f = 0; f < 8; f += 2) {
+    auto sum = kernels::SumResult::decode(report.outcomes[f].result);
+    ASSERT_TRUE(sum.is_ok());
+    EXPECT_NEAR(sum.value().sum, sums[f], 1e-6);
+  }
+}
+
+TEST(Integration, StripedVolumeAllSchemes) {
+  for (SchemeKind scheme :
+       {SchemeKind::kTraditional, SchemeKind::kActive, SchemeKind::kDosas}) {
+    auto cluster = make_cluster(scheme, 4, 8_KiB);
+    constexpr std::size_t kCount = 50'000;
+    const auto sums = seed_files(*cluster, 3, kCount);
+
+    std::vector<WorkloadRequest> reqs;
+    for (std::size_t f = 0; f < 3; ++f) {
+      reqs.push_back({"/data" + std::to_string(f), 0, 0, "sum"});
+    }
+    const auto report = run_workload(*cluster, reqs);
+    ASSERT_EQ(report.failures, 0u) << scheme_name(scheme);
+    for (std::size_t f = 0; f < 3; ++f) {
+      auto sum = kernels::SumResult::decode(report.outcomes[f].result);
+      ASSERT_TRUE(sum.is_ok());
+      EXPECT_NEAR(sum.value().sum, sums[f], 1e-5) << scheme_name(scheme);
+    }
+  }
+}
+
+TEST(Integration, HistogramOverClusterMatchesLocal) {
+  auto cluster = make_cluster(SchemeKind::kDosas, 2, 16_KiB);
+  constexpr std::size_t kCount = 30'000;
+  seed_files(*cluster, 1, kCount);
+
+  auto meta = cluster->pfs_client().open("/data0");
+  ASSERT_TRUE(meta.is_ok());
+  auto out = cluster->asc().read_ex(meta.value(), 0, meta.value().size,
+                                    "histogram:bins=32,lo=0,hi=211");
+  ASSERT_TRUE(out.is_ok());
+  auto hist = kernels::HistogramResult::decode(out.value());
+  ASSERT_TRUE(hist.is_ok());
+  EXPECT_EQ(hist.value().total(), kCount);
+
+  // Reference.
+  auto raw = cluster->pfs_client().read_all(meta.value());
+  ASSERT_TRUE(raw.is_ok());
+  kernels::HistogramKernel ref(32, 0, 211);
+  ref.reset();
+  ref.consume(raw.value());
+  EXPECT_EQ(out.value(), ref.finalize());
+}
+
+TEST(Integration, WorkloadReportTracksLatencies) {
+  auto cluster = make_cluster(SchemeKind::kDosas);
+  seed_files(*cluster, 2, 10'000);
+  const auto report = run_workload(
+      *cluster, {{"/data0", 0, 0, "sum"}, {"/data1", 0, 0, "sum"}, {"/ghost", 0, 0, "sum"}});
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_FALSE(report.outcomes[2].ok);
+  EXPECT_GT(report.wall_time, 0.0);
+  EXPECT_GT(report.outcomes[0].latency, 0.0);
+  EXPECT_TRUE(report.outcomes[0].ok);
+}
+
+}  // namespace
+}  // namespace dosas::core

@@ -1,0 +1,219 @@
+// Tests for the multi-storage-node experiment model: degenerate
+// equivalence with the single-node model, per-node decision isolation,
+// shared-vs-dedicated links, and skewed placements.
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "core/multi_node.hpp"
+
+namespace dosas::core {
+namespace {
+
+TEST(MultiNode, EmptyWorkloadIsZero) {
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  const auto stats = simulate_multi_node(SchemeKind::kDosas, cfg, {});
+  EXPECT_DOUBLE_EQ(stats.makespan, 0.0);
+}
+
+// The one-node multi-node model must reproduce simulate_scheme exactly for
+// every scheme (guards against the two implementations drifting apart).
+class SingleNodeEquivalence : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(SingleNodeEquivalence, MatchesSimulateScheme) {
+  const auto scheme = GetParam();
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  cfg.storage_nodes = 1;
+
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+    const auto multi =
+        simulate_multi_node(scheme, cfg, balanced_workload(1, n, 128_MiB));
+    const auto single = simulate_scheme(scheme, cfg.node, uniform_workload(n, 128_MiB));
+    ASSERT_NEAR(multi.makespan, single.makespan, 1e-9) << n << " requests";
+    ASSERT_EQ(multi.demoted, single.demoted) << n << " requests";
+    ASSERT_EQ(multi.served_active, single.served_active) << n << " requests";
+    ASSERT_EQ(multi.interrupted, single.interrupted) << n << " requests";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SingleNodeEquivalence,
+                         ::testing::Values(SchemeKind::kTraditional, SchemeKind::kActive,
+                                           SchemeKind::kDosas),
+                         [](const ::testing::TestParamInfo<SchemeKind>& info) {
+                           return scheme_name(info.param);
+                         });
+
+TEST(MultiNode, DedicatedLinksScalePerfectlyForAS) {
+  // AS with per-node links: N nodes each with k kernels finish in exactly
+  // the single-node time (no shared resource at all).
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  cfg.shared_link = false;
+  cfg.storage_nodes = 4;
+  const auto multi =
+      simulate_multi_node(SchemeKind::kActive, cfg, balanced_workload(4, 8, 128_MiB));
+  const auto single =
+      simulate_scheme(SchemeKind::kActive, cfg.node, uniform_workload(8, 128_MiB));
+  EXPECT_NEAR(multi.makespan, single.makespan, 1e-9);
+}
+
+TEST(MultiNode, SharedLinkSlowsTraditional) {
+  // TS over a shared backbone: 4 nodes' transfers contend, so the makespan
+  // exceeds the dedicated-link case.
+  MultiNodeConfig shared;
+  shared.node = ModelConfig::gaussian();
+  shared.shared_link = true;
+  shared.storage_nodes = 4;
+  MultiNodeConfig dedicated = shared;
+  dedicated.shared_link = false;
+
+  const auto workload = balanced_workload(4, 4, 128_MiB);
+  const auto s = simulate_multi_node(SchemeKind::kTraditional, shared, workload);
+  const auto d = simulate_multi_node(SchemeKind::kTraditional, dedicated, workload);
+  EXPECT_GT(s.makespan, d.makespan * 2.0);
+}
+
+TEST(MultiNode, ActiveStorageRelievesTheSharedBackbone) {
+  // The active-storage value proposition at scale: on a shared backbone,
+  // AS's tiny results dodge the contention that crushes TS.
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::sum();  // cheap kernel: AS always sensible
+  cfg.shared_link = true;
+  cfg.storage_nodes = 8;
+  const auto workload = balanced_workload(8, 4, 128_MiB);
+  const auto ts = simulate_multi_node(SchemeKind::kTraditional, cfg, workload);
+  const auto as = simulate_multi_node(SchemeKind::kActive, cfg, workload);
+  EXPECT_LT(as.makespan * 4.0, ts.makespan);
+}
+
+TEST(MultiNode, PerNodeCountersSumToTotal) {
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::sum();
+  cfg.storage_nodes = 3;
+  const auto stats =
+      simulate_multi_node(SchemeKind::kActive, cfg, balanced_workload(3, 5, 64_MiB));
+  std::size_t sum = 0;
+  for (auto c : stats.per_node_active) sum += c;
+  EXPECT_EQ(sum, stats.served_active);
+  EXPECT_EQ(sum, 15u);
+}
+
+TEST(MultiNode, DosasDecisionsArePerNode) {
+  // 2 requests on node 0 (below the Gaussian crossover -> active) and 16
+  // on node 1 (above it -> demoted): per-node CEs must treat them
+  // differently even though the global count is high.
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  cfg.storage_nodes = 2;
+  cfg.shared_link = false;  // isolate the decision from link contention
+  std::vector<MultiNodeRequest> workload;
+  for (std::size_t i = 0; i < 2; ++i) workload.push_back({128_MiB, 0.0, 0});
+  for (std::size_t i = 0; i < 16; ++i) workload.push_back({128_MiB, 0.0, 1});
+
+  const auto stats = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+  EXPECT_EQ(stats.per_node_active[0], 2u) << "small queue stays active";
+  EXPECT_EQ(stats.per_node_active[1], 0u) << "deep queue fully demoted";
+  EXPECT_EQ(stats.demoted, 16u);
+}
+
+TEST(MultiNode, DosasBeatsOrMatchesStaticSchemesAtScale) {
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  cfg.storage_nodes = 4;
+  for (std::size_t per_node : {1u, 4u, 16u}) {
+    const auto workload = balanced_workload(4, per_node, 128_MiB);
+    const auto ts = simulate_multi_node(SchemeKind::kTraditional, cfg, workload);
+    const auto as = simulate_multi_node(SchemeKind::kActive, cfg, workload);
+    const auto dosas = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+    EXPECT_LE(dosas.makespan, std::min(ts.makespan, as.makespan) * 1.12)
+        << per_node << " per node";
+  }
+}
+
+TEST(MultiNode, SkewedWorkloadHitsHotNode) {
+  Rng rng(7);
+  const auto workload = skewed_workload(4, 400, 64_MiB, 1.5, rng);
+  ASSERT_EQ(workload.size(), 400u);
+  std::vector<std::size_t> counts(4, 0);
+  for (const auto& r : workload) {
+    ASSERT_LT(r.node, 4u);
+    ++counts[r.node];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+}
+
+TEST(MultiNode, SkewedDosasDemotesOnlyTheHotNode) {
+  // Hot node saturates -> demotions; cold nodes stay active.
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  cfg.storage_nodes = 4;
+  cfg.shared_link = false;
+  std::vector<MultiNodeRequest> workload;
+  for (std::size_t i = 0; i < 16; ++i) workload.push_back({128_MiB, 0.0, 0});  // hot
+  for (std::uint32_t n = 1; n < 4; ++n) workload.push_back({128_MiB, 0.0, n});  // cold
+
+  const auto stats = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+  EXPECT_EQ(stats.per_node_active[1], 1u);
+  EXPECT_EQ(stats.per_node_active[2], 1u);
+  EXPECT_EQ(stats.per_node_active[3], 1u);
+  EXPECT_EQ(stats.per_node_active[0], 0u);
+  EXPECT_EQ(stats.demoted, 16u);
+}
+
+TEST(MultiNode, SimulationsAreRepeatable) {
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  cfg.storage_nodes = 4;
+  const auto workload = balanced_workload(4, 6, 128_MiB);
+  const auto a = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+  const auto b = simulate_multi_node(SchemeKind::kDosas, cfg, workload);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.demoted, b.demoted);
+  EXPECT_EQ(a.per_node_active, b.per_node_active);
+}
+
+TEST(MultiNode, EveryRequestResolvesExactlyOnce) {
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::gaussian();
+  cfg.storage_nodes = 3;
+  for (auto scheme :
+       {SchemeKind::kTraditional, SchemeKind::kActive, SchemeKind::kDosas}) {
+    const auto workload = balanced_workload(3, 7, 64_MiB);
+    const auto r = simulate_multi_node(scheme, cfg, workload);
+    // served_active + demoted covers the workload exactly (interrupted
+    // requests end in demoted, never in both).
+    EXPECT_EQ(r.served_active + r.demoted, workload.size()) << scheme_name(scheme);
+  }
+}
+
+TEST(MultiNode, ConfigFromRateTable) {
+  const auto rates = server::RateTable::paper_rates();
+  auto cfg = ModelConfig::from_rates(rates, "gaussian2d");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_DOUBLE_EQ(cfg.value().storage_kernel_mbps, 80.0);
+  EXPECT_DOUBLE_EQ(cfg.value().client_mbps, 80.0);
+  EXPECT_FALSE(ModelConfig::from_rates(rates, "fft").is_ok());
+
+  // A config built from the table reproduces the canonical one.
+  const auto canonical = scheme_sweep(ModelConfig::gaussian(), {4}, 128_MiB, false);
+  const auto derived = scheme_sweep(cfg.value(), {4}, 128_MiB, false);
+  EXPECT_DOUBLE_EQ(canonical[0].ts, derived[0].ts);
+  EXPECT_DOUBLE_EQ(canonical[0].as, derived[0].as);
+}
+
+TEST(MultiNode, BandwidthAggregatesAcrossNodes) {
+  MultiNodeConfig cfg;
+  cfg.node = ModelConfig::sum();
+  cfg.shared_link = false;
+  cfg.storage_nodes = 4;
+  const auto one = simulate_multi_node(SchemeKind::kActive, cfg, balanced_workload(1, 4, 128_MiB));
+  const auto four =
+      simulate_multi_node(SchemeKind::kActive, cfg, balanced_workload(4, 4, 128_MiB));
+  // Same makespan, 4x the data: 4x the aggregate bandwidth.
+  EXPECT_NEAR(four.aggregate_bandwidth_mbps, 4.0 * one.aggregate_bandwidth_mbps, 1.0);
+}
+
+}  // namespace
+}  // namespace dosas::core

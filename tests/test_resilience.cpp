@@ -1,0 +1,167 @@
+// Failure-injection tests: transient data-server faults during active I/O,
+// client-side retry, persistent-fault propagation, and the real runtime's
+// interruption-hysteresis knob.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/cluster.hpp"
+#include "kernels/sum.hpp"
+#include "server/storage_server.hpp"
+
+namespace dosas::core {
+namespace {
+
+std::unique_ptr<Cluster> cluster_with_data(SchemeKind scheme, std::size_t count,
+                                           Bytes server_chunk = 64_KiB) {
+  ClusterConfig cfg;
+  cfg.scheme = scheme;
+  cfg.server_chunk_size = server_chunk;
+  cfg.client_chunk_size = 64_KiB;
+  auto cluster = std::make_unique<Cluster>(cfg);
+  auto meta = pfs::write_doubles(cluster->pfs_client(), "/data", count,
+                                 [](std::size_t i) { return static_cast<double>(i % 7); });
+  EXPECT_TRUE(meta.is_ok());
+  return cluster;
+}
+
+double expected_sum(std::size_t count) {
+  double s = 0;
+  for (std::size_t i = 0; i < count; ++i) s += static_cast<double>(i % 7);
+  return s;
+}
+
+// ---------------------------------------------------------------- fault injection
+
+TEST(FaultInjection, DataServerFailsExactlyNReads) {
+  pfs::DataServer ds(0);
+  ASSERT_TRUE(ds.write_object(1, 0, std::vector<std::uint8_t>(100, 1)).is_ok());
+  ds.fail_next_reads(2);
+  EXPECT_EQ(ds.read_object(1, 0, 10).status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ds.read_object(1, 0, 10).status().code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(ds.read_object(1, 0, 10).is_ok());
+  EXPECT_EQ(ds.injected_failures(), 2u);
+}
+
+TEST(FaultInjection, ActiveRequestFailsMidKernelThenClientRetries) {
+  // The server's kernel loop hits an injected brownout partway through;
+  // the response is kFailed; the ASC retries the whole extent as normal
+  // I/O + a local kernel and still returns the right answer.
+  constexpr std::size_t kCount = 100'000;  // ~781 KiB, 13 server chunks
+  auto cluster = cluster_with_data(SchemeKind::kActive, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  // Fail exactly one read: the server's 3rd chunk read. By the time the
+  // client retries, service has recovered.
+  cluster->fs().data_server(0).fail_next_reads(1);
+
+  auto out = cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  auto sum = kernels::SumResult::decode(out.value());
+  ASSERT_TRUE(sum.is_ok());
+  EXPECT_EQ(sum.value().count, kCount);
+  EXPECT_NEAR(sum.value().sum, expected_sum(kCount), 1e-6);
+
+  const auto cs = cluster->asc().stats();
+  EXPECT_EQ(cs.failed_remote_retries, 1u);
+  EXPECT_EQ(cluster->storage_server(0).stats().active_failed, 1u);
+  EXPECT_EQ(cluster->fs().data_server(0).injected_failures(), 1u);
+}
+
+TEST(FaultInjection, PersistentFaultPropagatesOriginalError) {
+  constexpr std::size_t kCount = 50'000;
+  auto cluster = cluster_with_data(SchemeKind::kActive, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  // Enough failures to kill the active attempt AND the local retry.
+  cluster->fs().data_server(0).fail_next_reads(1000);
+
+  auto out = cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(FaultInjection, UnknownOperationIsNotRetried) {
+  // Non-transient failures (bad kernel name) must not burn a local retry.
+  auto cluster = cluster_with_data(SchemeKind::kActive, 1000);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+  auto out = cluster->asc().read_ex(meta.value(), 0, meta.value().size, "fft");
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(cluster->asc().stats().failed_remote_retries, 0u);
+}
+
+TEST(FaultInjection, DemotedPathFaultPropagates) {
+  // TS scheme: the request demotes, and the *client's* normal-I/O loop
+  // hits the fault. No silent wrong answers.
+  auto cluster = cluster_with_data(SchemeKind::kTraditional, 50'000);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+  cluster->fs().data_server(0).fail_next_reads(1000);
+  auto out = cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(FaultInjection, TransientFaultOnNormalReadSurfacesToCaller) {
+  // Plain reads have no kernel to re-run; the error reaches the caller
+  // directly (retry policy belongs to the application there).
+  auto cluster = cluster_with_data(SchemeKind::kDosas, 10'000);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+  cluster->fs().data_server(0).fail_next_reads(1);
+  auto out = cluster->asc().read(meta.value(), 0, 4096);
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), ErrorCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------- hysteresis
+
+TEST(Hysteresis, NeverInterruptKeepsKernelsRunning) {
+  // interrupt_min_remaining = 1.0: running kernels are never interrupted,
+  // only queued requests get demoted — so no response can be kInterrupted.
+  pfs::FileSystem fs(1, 64_KiB);
+  pfs::Client client(fs);
+  auto meta = pfs::write_doubles(client, "/data", 2 * 1024 * 1024,  // 16 MiB
+                                 [](std::size_t i) { return static_cast<double>(i % 5); });
+  ASSERT_TRUE(meta.is_ok());
+
+  server::ContentionEstimator::Config ce;
+  ce.optimizer = "exhaustive";
+  ce.derate_by_external_load = false;
+  server::StorageServer::Config sc;
+  sc.cores = 1;
+  sc.chunk_size = 8_KiB;
+  sc.interrupt_min_remaining = 1.0;
+  server::StorageServer server(fs, 0, kernels::Registry::with_builtins(), ce,
+                               server::RateTable::paper_rates(), sc);
+
+  constexpr int kClients = 6;
+  std::vector<server::ActiveIoResponse> resp(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      server::ActiveIoRequest req;
+      req.handle = meta.value().handle;
+      req.length = meta.value().size;
+      req.operation = "gaussian2d:width=2048";
+      resp[static_cast<std::size_t>(i)] = server.serve_active(req);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& r : resp) {
+    EXPECT_NE(r.outcome, server::ActiveOutcome::kInterrupted);
+    EXPECT_NE(r.outcome, server::ActiveOutcome::kFailed);
+  }
+  EXPECT_EQ(server.stats().active_interrupted, 0u);
+  // Demotions still happen — only the interruption channel is closed.
+  EXPECT_GT(server.stats().active_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace dosas::core

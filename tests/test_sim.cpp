@@ -1,0 +1,392 @@
+// Unit tests for dosas::sim — event queue semantics, fluid (processor-
+// sharing) resources, and the FCFS server pool.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fluid_resource.hpp"
+#include "sim/server_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace dosas::sim {
+namespace {
+
+// ---------------------------------------------------------------- simulator
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastLastEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(4.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, ExecutedEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 10u);
+}
+
+TEST(Simulator, PendingEventsTracksCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// ---------------------------------------------------------------- fluid
+
+TEST(FluidResource, SingleJobRunsAtFullCapacity) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0, .per_job_cap = 0.0, .name = "cpu"});
+  Time done = -1;
+  cpu.submit(500.0, [&](Time t) { done = t; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(FluidResource, PerJobCapLimitsSingleJob) {
+  Simulator sim;
+  // 2-core node: capacity 200, one core max 100 per job.
+  FluidResource cpu(sim, {.capacity = 200.0, .per_job_cap = 100.0, .name = "cpu"});
+  Time done = -1;
+  cpu.submit(500.0, [&](Time t) { done = t; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);  // capped at one core
+}
+
+TEST(FluidResource, TwoJobsOnTwoCoresRunConcurrently) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 200.0, .per_job_cap = 100.0});
+  std::vector<Time> done;
+  cpu.submit(500.0, [&](Time t) { done.push_back(t); });
+  cpu.submit(500.0, [&](Time t) { done.push_back(t); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 5.0);  // both at a full core each
+  EXPECT_DOUBLE_EQ(done[1], 5.0);
+}
+
+TEST(FluidResource, FourJobsOnTwoCoresHalve) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 200.0, .per_job_cap = 100.0});
+  std::vector<Time> done;
+  for (int i = 0; i < 4; ++i) cpu.submit(500.0, [&](Time t) { done.push_back(t); });
+  sim.run();
+  ASSERT_EQ(done.size(), 4u);
+  // 4 jobs share 200 => 50 each => 10 s.
+  for (Time t : done) EXPECT_DOUBLE_EQ(t, 10.0);
+}
+
+TEST(FluidResource, DepartureSpeedsUpSurvivors) {
+  Simulator sim;
+  FluidResource link(sim, {.capacity = 100.0, .per_job_cap = 0.0});
+  Time small_done = -1, big_done = -1;
+  link.submit(100.0, [&](Time t) { small_done = t; });
+  link.submit(300.0, [&](Time t) { big_done = t; });
+  sim.run();
+  // Phase 1: both at 50/s until the small one finishes at t=2 (100/50).
+  EXPECT_DOUBLE_EQ(small_done, 2.0);
+  // Big job: served 100 by t=2, then 200 left at 100/s => done at t=4.
+  EXPECT_DOUBLE_EQ(big_done, 4.0);
+}
+
+TEST(FluidResource, ArrivalSlowsExistingJob) {
+  Simulator sim;
+  FluidResource link(sim, {.capacity = 100.0});
+  Time first_done = -1;
+  link.submit(200.0, [&](Time t) { first_done = t; });
+  sim.schedule_at(1.0, [&] {
+    link.submit(1000.0, [](Time) {});
+  });
+  sim.run();
+  // First job: 100 served by t=1, then shares 50/s => 100/50 = 2 more s.
+  EXPECT_DOUBLE_EQ(first_done, 3.0);
+}
+
+TEST(FluidResource, CancelReturnsRemainingWork) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  FluidResource::JobId id = 0;
+  id = cpu.submit(1000.0, [](Time) { FAIL() << "cancelled job must not complete"; });
+  double got = -1;
+  sim.schedule_at(3.0, [&] { got = cpu.cancel(id); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(got, 700.0);  // 300 served in 3 s at 100/s
+  EXPECT_EQ(cpu.active_jobs(), 0u);
+}
+
+TEST(FluidResource, CancelUnknownJobIsZero) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  EXPECT_DOUBLE_EQ(cpu.cancel(12345), 0.0);
+}
+
+TEST(FluidResource, RemainingQueriesMidFlight) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  const auto id = cpu.submit(1000.0, [](Time) {});
+  double rem = -1, rate = -1;
+  sim.schedule_at(4.0, [&] {
+    rem = cpu.remaining(id);
+    rate = cpu.current_rate(id);
+  });
+  sim.run_until(4.0);
+  EXPECT_DOUBLE_EQ(rem, 600.0);
+  EXPECT_DOUBLE_EQ(rate, 100.0);
+}
+
+TEST(FluidResource, ZeroWorkJobCompletesImmediately) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  Time done = -1;
+  cpu.submit(0.0, [&](Time t) { done = t; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST(FluidResource, CompletionCallbackMaySubmitFollowUp) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  Time second_done = -1;
+  cpu.submit(100.0, [&](Time) {
+    cpu.submit(200.0, [&](Time t) { second_done = t; });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_done, 3.0);  // 1 s + 2 s
+}
+
+TEST(FluidResource, HeterogeneousCapsWaterFill) {
+  Simulator sim;
+  // Capacity 100; job A capped at 20, job B uncapped.
+  FluidResource link(sim, {.capacity = 100.0, .per_job_cap = 0.0});
+  Time a_done = -1, b_done = -1;
+  link.submit(20.0, [&](Time t) { a_done = t; }, /*cap=*/20.0);
+  link.submit(160.0, [&](Time t) { b_done = t; });
+  sim.run();
+  // A runs at 20 (its cap), B gets the remaining 80.
+  EXPECT_DOUBLE_EQ(a_done, 1.0);
+  // B: 80 served in 1 s, then 80 left at full 100/s => t = 1.8.
+  EXPECT_DOUBLE_EQ(b_done, 1.8);
+}
+
+TEST(FluidResource, BusyTimeIntegratesActivePeriods) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  cpu.submit(200.0, [](Time) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(cpu.busy_time(), 2.0);
+  // Idle gap, then another job.
+  sim.schedule_at(10.0, [&] { cpu.submit(100.0, [](Time) {}); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(cpu.busy_time(), 3.0);
+}
+
+TEST(FluidResource, WorkDoneAccumulates) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  cpu.submit(150.0, [](Time) {});
+  cpu.submit(50.0, [](Time) {});
+  sim.run();
+  EXPECT_NEAR(cpu.work_done(), 200.0, 1e-6);
+}
+
+TEST(FluidResource, ManyJobsCompleteDeterministically) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 64.0, .per_job_cap = 1.0});
+  int completed = 0;
+  for (int i = 0; i < 128; ++i) {
+    cpu.submit(10.0, [&](Time) { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 128);
+  // 128 identical jobs, per-job cap 1, capacity 64 => each runs at 0.5.
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+// ---------------------------------------------------------------- server pool
+
+TEST(ServerPool, SingleServerSerializes) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 1, .service_rate = 10.0});
+  std::vector<Time> done;
+  pool.submit(100.0, [&](Time t) { done.push_back(t); });
+  pool.submit(100.0, [&](Time t) { done.push_back(t); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 10.0);
+  EXPECT_DOUBLE_EQ(done[1], 20.0);
+}
+
+TEST(ServerPool, TwoServersOverlap) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 2, .service_rate = 10.0});
+  std::vector<Time> done;
+  for (int i = 0; i < 3; ++i) pool.submit(100.0, [&](Time t) { done.push_back(t); });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 10.0);
+  EXPECT_DOUBLE_EQ(done[1], 10.0);
+  EXPECT_DOUBLE_EQ(done[2], 20.0);  // queued behind the first pair
+}
+
+TEST(ServerPool, FcfsOrderPreserved) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 1, .service_rate = 1.0});
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit(1.0, [&order, i](Time) { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ServerPool, CancelQueuedJob) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 1, .service_rate = 10.0});
+  pool.submit(100.0, [](Time) {});
+  const auto id = pool.submit(50.0, [](Time) { FAIL() << "cancelled"; });
+  EXPECT_EQ(pool.queued_jobs(), 1u);
+  EXPECT_DOUBLE_EQ(pool.cancel(id), 50.0);
+  EXPECT_EQ(pool.queued_jobs(), 0u);
+  sim.run();
+}
+
+TEST(ServerPool, CancelRunningJobFreesServer) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 1, .service_rate = 10.0});
+  const auto a = pool.submit(100.0, [](Time) { FAIL() << "cancelled"; });
+  Time b_done = -1;
+  pool.submit(100.0, [&](Time t) { b_done = t; });
+  double rem = -1;
+  sim.schedule_at(4.0, [&] { rem = pool.cancel(a); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(rem, 60.0);            // 40 of 100 served by t=4
+  EXPECT_DOUBLE_EQ(b_done, 14.0);         // starts at 4, runs 10 s
+}
+
+TEST(ServerPool, RemainingForQueuedAndRunning) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 1, .service_rate = 10.0});
+  const auto a = pool.submit(100.0, [](Time) {});
+  const auto b = pool.submit(70.0, [](Time) {});
+  double rem_a = -1, rem_b = -1;
+  bool running_a = false, running_b = true;
+  sim.schedule_at(2.0, [&] {
+    rem_a = pool.remaining(a);
+    rem_b = pool.remaining(b);
+    running_a = pool.is_running(a);
+    running_b = pool.is_running(b);
+  });
+  sim.run_until(2.0);
+  EXPECT_DOUBLE_EQ(rem_a, 80.0);
+  EXPECT_DOUBLE_EQ(rem_b, 70.0);
+  EXPECT_TRUE(running_a);
+  EXPECT_FALSE(running_b);
+}
+
+TEST(ServerPool, BusyServerTimeIntegral) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 2, .service_rate = 10.0});
+  pool.submit(100.0, [](Time) {});
+  pool.submit(100.0, [](Time) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(pool.busy_server_time(), 20.0);  // 2 servers × 10 s
+}
+
+TEST(ServerPool, ZeroWorkJobCompletes) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 1, .service_rate = 10.0});
+  Time done = -1;
+  pool.submit(0.0, [&](Time t) { done = t; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST(ServerPool, CompletionCallbackMaySubmit) {
+  Simulator sim;
+  ServerPool pool(sim, {.servers = 1, .service_rate = 1.0});
+  Time t2 = -1;
+  pool.submit(1.0, [&](Time) {
+    pool.submit(2.0, [&](Time t) { t2 = t; });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(t2, 3.0);
+}
+
+}  // namespace
+}  // namespace dosas::sim

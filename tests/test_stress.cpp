@@ -1,0 +1,207 @@
+// Stress & boundary suites:
+//   * every registered kernel fed one byte at a time (and with empty
+//     chunks interleaved) must match its whole-buffer result exactly;
+//   * a mixed-operation thread storm against one DOSAS cluster must return
+//     reference-exact results for every request;
+//   * repeated interrupt/restore cycles (checkpoint ping-pong) preserve
+//     kernel state across arbitrarily many migrations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "kernels/registry.hpp"
+
+namespace dosas {
+namespace {
+
+std::vector<std::uint8_t> test_payload(std::size_t doubles, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(doubles);
+  for (auto& v : values) v = rng.uniform(0.0, 1.0);
+  std::vector<std::uint8_t> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+/// Operations with small enough state to ping-pong quickly; one per
+/// registered kernel family.
+const char* kOps[] = {
+    "sum",
+    "minmax",
+    "meanstddev",
+    "histogram:bins=8,lo=0,hi=1",
+    "thresholdcount:t=0.5",
+    "gaussian2d:width=32",
+    "gaussian2d:width=32,mode=full",
+    "bytegrep:pat=xyz",
+    "sobel2d:width=32,t=1",
+    "topk:k=7",
+    "reservoir:n=9,seed=3",
+    "scale:a=2,b=0.5",
+    "pipe:ops=scale;a=2|sum",
+};
+
+class EveryKernel : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EveryKernel, SingleByteFeedingMatchesWholeBuffer) {
+  const auto reg = kernels::Registry::with_builtins();
+  const auto bytes = test_payload(32 * 40, 11);  // 40 rows of width 32
+
+  auto whole = reg.create(GetParam());
+  auto drip = reg.create(GetParam());
+  ASSERT_TRUE(whole.is_ok());
+  ASSERT_TRUE(drip.is_ok());
+  whole.value()->reset();
+  whole.value()->consume(bytes);
+
+  drip.value()->reset();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    drip.value()->consume(std::span(bytes.data() + i, 1));
+  }
+  EXPECT_EQ(drip.value()->finalize(), whole.value()->finalize());
+  EXPECT_EQ(drip.value()->consumed(), bytes.size());
+}
+
+TEST_P(EveryKernel, EmptyChunksAreNoops) {
+  const auto reg = kernels::Registry::with_builtins();
+  const auto bytes = test_payload(32 * 10, 13);
+
+  auto a = reg.create(GetParam());
+  auto b = reg.create(GetParam());
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  a.value()->reset();
+  a.value()->consume(bytes);
+
+  b.value()->reset();
+  b.value()->consume({});
+  b.value()->consume(std::span(bytes.data(), 100));
+  b.value()->consume({});
+  b.value()->consume(std::span(bytes.data() + 100, bytes.size() - 100));
+  b.value()->consume({});
+  EXPECT_EQ(a.value()->finalize(), b.value()->finalize());
+}
+
+TEST_P(EveryKernel, CheckpointPingPongPreservesState) {
+  // Migrate the kernel between "nodes" after every 97-byte slice: each hop
+  // encodes + decodes the checkpoint into a brand-new instance.
+  const auto reg = kernels::Registry::with_builtins();
+  const auto bytes = test_payload(32 * 20, 17);
+
+  auto ref = reg.create(GetParam());
+  ASSERT_TRUE(ref.is_ok());
+  ref.value()->reset();
+  ref.value()->consume(bytes);
+
+  auto current = reg.create(GetParam());
+  ASSERT_TRUE(current.is_ok());
+  current.value()->reset();
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t n = std::min<std::size_t>(97, bytes.size() - pos);
+    current.value()->consume(std::span(bytes.data() + pos, n));
+    pos += n;
+
+    auto decoded = Checkpoint::decode(current.value()->checkpoint().encode());
+    ASSERT_TRUE(decoded.is_ok()) << "at " << pos;
+    auto next = reg.create(GetParam());
+    ASSERT_TRUE(next.is_ok());
+    ASSERT_TRUE(next.value()->restore(decoded.value()).is_ok()) << "at " << pos;
+    current = std::move(next);
+  }
+  EXPECT_EQ(current.value()->finalize(), ref.value()->finalize());
+  EXPECT_EQ(current.value()->consumed(), bytes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, EveryKernel, ::testing::ValuesIn(kOps),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------- cluster storm
+
+TEST(Stress, MixedOperationThreadStormIsReferenceExact) {
+  core::ClusterConfig cfg;
+  cfg.scheme = core::SchemeKind::kDosas;
+  cfg.storage_nodes = 2;
+  cfg.strip_size = 16_KiB;
+  cfg.server_chunk_size = 32_KiB;
+  cfg.result_cache_entries = 4;  // exercise the cache concurrently too
+  core::Cluster cluster(cfg);
+
+  constexpr std::size_t kFiles = 4;
+  constexpr std::size_t kDoubles = 64 * 256;  // 128 KiB each
+  for (std::size_t f = 0; f < kFiles; ++f) {
+    // One node per file: striped-sum merging would change the float
+    // summation order and break the byte-exact comparison below.
+    pfs::StripingParams striping;
+    striping.strip_size = cfg.strip_size;
+    striping.server_count = 1;
+    striping.base_server = static_cast<pfs::ServerId>(f % 2);
+    auto meta = cluster.pfs_client().create("/s" + std::to_string(f), striping);
+    ASSERT_TRUE(meta.is_ok());
+    std::vector<double> values(kDoubles);
+    for (std::size_t i = 0; i < kDoubles; ++i) {
+      values[i] = static_cast<double>((i * (f + 1)) % 100) / 100.0;
+    }
+    auto written = cluster.pfs_client().write(
+        meta.value(), 0,
+        std::span(reinterpret_cast<const std::uint8_t*>(values.data()), kDoubles * 8));
+    ASSERT_TRUE(written.is_ok());
+  }
+
+  const char* storm_ops[] = {"sum", "minmax", "histogram:bins=8,lo=0,hi=1",
+                             "thresholdcount:t=0.5", "pipe:ops=scale;a=2|sum"};
+  constexpr int kThreads = 10;
+  constexpr int kRequestsPerThread = 8;
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      const auto reg = kernels::Registry::with_builtins();
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        const std::size_t f = rng.uniform_index(kFiles);
+        const char* op = storm_ops[rng.uniform_index(std::size(storm_ops))];
+        auto meta = cluster.pfs_client().open("/s" + std::to_string(f));
+        if (!meta.is_ok()) {
+          failures[t] = meta.status().to_string();
+          return;
+        }
+        auto out = cluster.asc().read_ex(meta.value(), 0, meta.value().size, op);
+        if (!out.is_ok()) {
+          failures[t] = out.status().to_string();
+          return;
+        }
+        // Reference: sequential local pass over the same bytes.
+        auto raw = cluster.pfs_client().read_all(meta.value());
+        auto ref = reg.create(op);
+        if (!raw.is_ok() || !ref.is_ok()) {
+          failures[t] = "reference setup failed";
+          return;
+        }
+        ref.value()->reset();
+        ref.value()->consume(raw.value());
+        if (out.value() != ref.value()->finalize()) {
+          failures[t] = std::string("mismatch for ") + op;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+  }
+}
+
+}  // namespace
+}  // namespace dosas

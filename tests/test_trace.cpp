@@ -1,0 +1,152 @@
+// Tests for the workload-trace module: size parsing, trace parse/render
+// round-trips, error reporting, and conversion to model requests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/trace.hpp"
+
+namespace dosas::core {
+namespace {
+
+// ---------------------------------------------------------------- parse_size
+
+TEST(ParseSize, RawBytes) {
+  EXPECT_EQ(parse_size("0").value(), 0u);
+  EXPECT_EQ(parse_size("1234").value(), 1234u);
+}
+
+TEST(ParseSize, BinaryUnits) {
+  EXPECT_EQ(parse_size("4KiB").value(), 4_KiB);
+  EXPECT_EQ(parse_size("128MiB").value(), 128_MiB);
+  EXPECT_EQ(parse_size("2GiB").value(), 2_GiB);
+}
+
+TEST(ParseSize, DecimalAliasesAreBinary) {
+  EXPECT_EQ(parse_size("128MB").value(), 128_MiB);
+  EXPECT_EQ(parse_size("1GB").value(), 1_GiB);
+  EXPECT_EQ(parse_size("16k").value(), 16_KiB);
+}
+
+TEST(ParseSize, CaseAndWhitespaceInsensitive) {
+  EXPECT_EQ(parse_size("64 mib").value(), 64_MiB);
+  EXPECT_EQ(parse_size("64MIB").value(), 64_MiB);
+}
+
+TEST(ParseSize, FractionalValues) {
+  EXPECT_EQ(parse_size("0.5MiB").value(), 512_KiB);
+  EXPECT_EQ(parse_size("1.5KiB").value(), 1536u);
+}
+
+TEST(ParseSize, Rejections) {
+  EXPECT_FALSE(parse_size("").is_ok());
+  EXPECT_FALSE(parse_size("abc").is_ok());
+  EXPECT_FALSE(parse_size("12XB").is_ok());
+  EXPECT_FALSE(parse_size("-5MiB").is_ok());
+}
+
+TEST(SizeToText, PicksLargestExactUnit) {
+  EXPECT_EQ(size_to_text(128_MiB), "128MiB");
+  EXPECT_EQ(size_to_text(2_GiB), "2GiB");
+  EXPECT_EQ(size_to_text(1536), "1536B");  // not an exact KiB multiple? 1536 = 1.5KiB
+  EXPECT_EQ(size_to_text(3_KiB), "3KiB");
+  EXPECT_EQ(size_to_text(100), "100B");
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(Trace, ParsesFieldsInAnyOrder) {
+  auto trace = Trace::parse_text(
+      "size=128MiB t=1.5 node=2 op=gaussian2d:width=64\n"
+      "op=sum size=4KiB\n");
+  ASSERT_TRUE(trace.is_ok());
+  ASSERT_EQ(trace.value().records.size(), 2u);
+  const auto& a = trace.value().records[0];
+  EXPECT_DOUBLE_EQ(a.arrival, 1.5);
+  EXPECT_EQ(a.node, 2u);
+  EXPECT_EQ(a.size, 128_MiB);
+  EXPECT_EQ(a.operation, "gaussian2d:width=64");
+  const auto& b = trace.value().records[1];
+  EXPECT_DOUBLE_EQ(b.arrival, 0.0);
+  EXPECT_EQ(b.node, 0u);
+  EXPECT_EQ(b.operation, "sum");
+}
+
+TEST(Trace, SkipsCommentsAndBlankLines) {
+  auto trace = Trace::parse_text(
+      "# header comment\n"
+      "\n"
+      "t=0 size=1KiB   # trailing comment\n"
+      "   \n");
+  ASSERT_TRUE(trace.is_ok());
+  EXPECT_EQ(trace.value().records.size(), 1u);
+}
+
+TEST(Trace, RejectsMissingSize) {
+  auto trace = Trace::parse_text("t=0 node=1\n");
+  ASSERT_FALSE(trace.is_ok());
+  EXPECT_NE(trace.status().message().find("missing size"), std::string::npos);
+}
+
+TEST(Trace, RejectsUnknownKeyWithLineNumber) {
+  auto trace = Trace::parse_text("size=1KiB\nsize=1KiB bogus=1\n");
+  ASSERT_FALSE(trace.is_ok());
+  EXPECT_NE(trace.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Trace, RejectsNegativeArrival) {
+  EXPECT_FALSE(Trace::parse_text("t=-1 size=1KiB\n").is_ok());
+}
+
+TEST(Trace, TextRoundTrips) {
+  Trace trace;
+  trace.records.push_back({0.0, 0, 128_MiB, "sum"});
+  trace.records.push_back({2.5, 3, 4_KiB, "gaussian2d:width=32"});
+  auto again = Trace::parse_text(trace.to_text());
+  ASSERT_TRUE(again.is_ok());
+  ASSERT_EQ(again.value().records.size(), 2u);
+  EXPECT_EQ(again.value().records[1].size, 4_KiB);
+  EXPECT_EQ(again.value().records[1].node, 3u);
+  EXPECT_EQ(again.value().records[1].operation, "gaussian2d:width=32");
+  EXPECT_DOUBLE_EQ(again.value().records[1].arrival, 2.5);
+}
+
+TEST(Trace, FileRoundTrip) {
+  Trace trace;
+  trace.records.push_back({1.0, 1, 64_MiB, "minmax"});
+  const std::string path = ::testing::TempDir() + "dosas_trace_test.trace";
+  ASSERT_TRUE(trace.save(path).is_ok());
+  auto loaded = Trace::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  ASSERT_EQ(loaded.value().records.size(), 1u);
+  EXPECT_EQ(loaded.value().records[0].size, 64_MiB);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileFails) {
+  EXPECT_EQ(Trace::load("/no/such/file.trace").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Trace, ConvertsToModelRequests) {
+  Trace trace;
+  trace.records.push_back({0.0, 0, 1_MiB, "sum"});
+  trace.records.push_back({1.0, 2, 2_MiB, "sum"});
+  const auto single = trace.to_model_requests();
+  ASSERT_EQ(single.size(), 2u);
+  EXPECT_EQ(single[1].size, 2_MiB);
+  EXPECT_DOUBLE_EQ(single[1].arrival, 1.0);
+
+  const auto multi = trace.to_multi_node_requests();
+  ASSERT_EQ(multi.size(), 2u);
+  EXPECT_EQ(multi[1].node, 2u);
+  EXPECT_EQ(trace.node_count(), 3u);
+}
+
+TEST(Trace, EmptyTraceNodeCountIsZero) {
+  Trace trace;
+  EXPECT_EQ(trace.node_count(), 0u);
+  EXPECT_TRUE(trace.to_model_requests().empty());
+}
+
+}  // namespace
+}  // namespace dosas::core

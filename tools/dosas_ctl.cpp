@@ -1,0 +1,299 @@
+// dosas_ctl — command-line driver for the DOSAS experiment models.
+//
+//   dosas_ctl sweep     --kernel gaussian --size 128MiB [--ios 1,2,4,...]
+//                       [--no-dosas] [--csv out.csv]
+//   dosas_ctl bandwidth --kernel gaussian --size 256MiB [--csv out.csv]
+//   dosas_ctl accuracy  [--seed 2012]
+//   dosas_ctl multinode --nodes 4 --per-node 8 --size 128MiB
+//                       [--dedicated-links] [--naive-ce]
+//   dosas_ctl replay    --trace workload.trace [--scheme ts|as|dosas]
+//   dosas_ctl calibrate [--mb 64]
+//   dosas_ctl trace-gen --ios 32 --size 128MiB [--gap 0.25] [--nodes 4]
+//                       [--out workload.trace]
+//
+// Everything the bench binaries do, parameterized — the entry point for
+// users running their own what-if studies.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/multi_node.hpp"
+#include "core/trace.hpp"
+#include "kernels/calibrate.hpp"
+#include "kernels/registry.hpp"
+
+namespace {
+
+using namespace dosas;
+using namespace dosas::core;
+
+/// Minimal --flag / --flag=value / --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+        ok_ = false;
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+ModelConfig config_for_kernel(const std::string& kernel) {
+  if (kernel == "sum") return ModelConfig::sum();
+  return ModelConfig::gaussian();
+}
+
+std::vector<std::size_t> parse_ios(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    out.push_back(static_cast<std::size_t>(
+        std::strtoul(text.substr(pos, comma - pos).c_str(), nullptr, 10)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void write_csv_if_requested(const Args& args, const Table& table) {
+  if (!args.has("csv")) return;
+  const std::string path = args.get("csv", "");
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const auto csv = table.to_csv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
+
+int cmd_sweep(const Args& args) {
+  const auto cfg = config_for_kernel(args.get("kernel", "gaussian"));
+  auto size = parse_size(args.get("size", "128MiB"));
+  if (!size.is_ok()) {
+    std::fprintf(stderr, "%s\n", size.status().to_string().c_str());
+    return 1;
+  }
+  const auto ios =
+      args.has("ios") ? parse_ios(args.get("ios", "")) : paper_io_counts();
+  const bool with_dosas = !args.has("no-dosas");
+  const auto points = scheme_sweep(cfg, ios, size.value(), with_dosas);
+  const auto table = sweep_table(points, with_dosas);
+  table.print(std::cout);
+  write_csv_if_requested(args, table);
+  return 0;
+}
+
+int cmd_bandwidth(const Args& args) {
+  const auto cfg = config_for_kernel(args.get("kernel", "gaussian"));
+  auto size = parse_size(args.get("size", "256MiB"));
+  if (!size.is_ok()) {
+    std::fprintf(stderr, "%s\n", size.status().to_string().c_str());
+    return 1;
+  }
+  const auto ios =
+      args.has("ios") ? parse_ios(args.get("ios", "")) : paper_io_counts();
+  const auto table = bandwidth_table(bandwidth_sweep(cfg, ios, size.value()));
+  table.print(std::cout);
+  write_csv_if_requested(args, table);
+  return 0;
+}
+
+int cmd_accuracy(const Args& args) {
+  const auto report =
+      scheduler_accuracy(static_cast<std::uint64_t>(args.get_int("seed", 2012)));
+  const auto table = accuracy_table(report);
+  table.print(std::cout);
+  std::printf("\noverall accuracy: %.1f%%\n", 100.0 * report.accuracy);
+  write_csv_if_requested(args, table);
+  return 0;
+}
+
+int cmd_multinode(const Args& args) {
+  MultiNodeConfig cfg;
+  cfg.node = config_for_kernel(args.get("kernel", "gaussian"));
+  cfg.storage_nodes = static_cast<std::uint32_t>(args.get_int("nodes", 4));
+  cfg.shared_link = !args.has("dedicated-links");
+  cfg.ce_bandwidth_aware = !args.has("naive-ce");
+  auto size = parse_size(args.get("size", "128MiB"));
+  if (!size.is_ok()) {
+    std::fprintf(stderr, "%s\n", size.status().to_string().c_str());
+    return 1;
+  }
+  const auto per_node = static_cast<std::size_t>(args.get_int("per-node", 8));
+  const auto workload = balanced_workload(cfg.storage_nodes, per_node, size.value());
+
+  Table table({"scheme", "makespan (s)", "agg bw (MiB/s)", "active", "demoted",
+               "interrupted"});
+  for (auto scheme : {SchemeKind::kTraditional, SchemeKind::kActive, SchemeKind::kDosas}) {
+    const auto r = simulate_multi_node(scheme, cfg, workload);
+    table.add_row({scheme_name(scheme), fmt(r.makespan), fmt(r.aggregate_bandwidth_mbps),
+                   std::to_string(r.served_active), std::to_string(r.demoted),
+                   std::to_string(r.interrupted)});
+  }
+  table.print(std::cout);
+  write_csv_if_requested(args, table);
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (!args.has("trace")) {
+    std::fprintf(stderr, "replay requires --trace <file>\n");
+    return 1;
+  }
+  auto trace = Trace::load(args.get("trace", ""));
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  MultiNodeConfig cfg;
+  cfg.node = config_for_kernel(args.get("kernel", "gaussian"));
+  cfg.storage_nodes = std::max(1u, trace.value().node_count());
+  cfg.shared_link = !args.has("dedicated-links");
+
+  const std::string scheme_s = args.get("scheme", "all");
+  std::vector<SchemeKind> schemes;
+  if (scheme_s == "ts") {
+    schemes = {SchemeKind::kTraditional};
+  } else if (scheme_s == "as") {
+    schemes = {SchemeKind::kActive};
+  } else if (scheme_s == "dosas") {
+    schemes = {SchemeKind::kDosas};
+  } else {
+    schemes = {SchemeKind::kTraditional, SchemeKind::kActive, SchemeKind::kDosas};
+  }
+
+  std::printf("replaying %zu request(s) over %u storage node(s)\n\n",
+              trace.value().records.size(), cfg.storage_nodes);
+  Table table({"scheme", "makespan (s)", "mean completion (s)", "demoted", "interrupted"});
+  for (auto scheme : schemes) {
+    const auto r = simulate_multi_node(scheme, cfg, trace.value().to_multi_node_requests());
+    table.add_row({scheme_name(scheme), fmt(r.makespan), fmt(r.mean_completion),
+                   std::to_string(r.demoted), std::to_string(r.interrupted)});
+  }
+  table.print(std::cout);
+  write_csv_if_requested(args, table);
+  return 0;
+}
+
+int cmd_calibrate(const Args& args) {
+  const auto mb = static_cast<Bytes>(args.get_int("mb", 64));
+  kernels::CalibrationOptions opts;
+  opts.total_bytes = mb * 1_MiB;
+  const auto registry = kernels::Registry::with_builtins();
+  Table table({"kernel", "rate (MiB/s)"});
+  for (const auto& name : registry.names()) {
+    auto kernel = registry.create(name);
+    if (!kernel.is_ok()) continue;
+    const auto r = kernels::calibrate(*kernel.value(), opts);
+    table.add_row({name, fmt(to_mib_per_sec(r.rate), 1)});
+  }
+  table.print(std::cout);
+  write_csv_if_requested(args, table);
+  return 0;
+}
+
+int cmd_trace_gen(const Args& args) {
+  auto size = parse_size(args.get("size", "128MiB"));
+  if (!size.is_ok()) {
+    std::fprintf(stderr, "%s\n", size.status().to_string().c_str());
+    return 1;
+  }
+  const auto ios = static_cast<std::size_t>(args.get_int("ios", 32));
+  const auto nodes = static_cast<std::uint32_t>(args.get_int("nodes", 1));
+  const double gap = args.get_double("gap", 0.0);
+  const std::string op = args.get("op", "gaussian2d");
+
+  Trace trace;
+  for (std::size_t i = 0; i < ios; ++i) {
+    TraceRecord rec;
+    rec.arrival = gap * static_cast<double>(i);
+    rec.node = static_cast<std::uint32_t>(i % nodes);
+    rec.size = size.value();
+    rec.operation = op;
+    trace.records.push_back(rec);
+  }
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fputs(trace.to_text().c_str(), stdout);
+  } else {
+    Status st = trace.save(out);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu request(s) to %s\n", trace.records.size(), out.c_str());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: dosas_ctl <command> [flags]\n"
+      "  sweep      --kernel gaussian|sum --size 128MiB [--ios 1,2,4] [--no-dosas] [--csv f]\n"
+      "  bandwidth  --kernel gaussian|sum --size 256MiB [--ios ...] [--csv f]\n"
+      "  accuracy   [--seed 2012] [--csv f]\n"
+      "  multinode  --nodes 4 --per-node 8 --size 128MiB [--dedicated-links] [--naive-ce]\n"
+      "  replay     --trace file [--scheme ts|as|dosas|all] [--kernel ...]\n"
+      "  calibrate  [--mb 64]\n"
+      "  trace-gen  --ios 32 --size 128MiB [--gap 0.25] [--nodes 4] [--out file]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args(argc, argv);
+  if (!args.ok()) return usage();
+
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "bandwidth") return cmd_bandwidth(args);
+  if (cmd == "accuracy") return cmd_accuracy(args);
+  if (cmd == "multinode") return cmd_multinode(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "calibrate") return cmd_calibrate(args);
+  if (cmd == "trace-gen") return cmd_trace_gen(args);
+  return usage();
+}
