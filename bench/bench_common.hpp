@@ -12,6 +12,7 @@
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "core/sim_model.hpp"
+#include "obs/metrics.hpp"
 
 namespace dosas::bench {
 
@@ -31,6 +32,9 @@ inline void maybe_write_csv(const std::string& slug, const core::Table& table) {
 }
 
 inline void banner(const std::string& experiment, const std::string& description) {
+  // Opt-in observability for every bench: DOSAS_METRICS=1 prints a metrics
+  // snapshot at exit, DOSAS_TRACE_OUT=<file> writes a Chrome trace.
+  obs::init_from_env();
   std::printf("==============================================================\n");
   std::printf("DOSAS reproduction — %s\n", experiment.c_str());
   std::printf("%s\n", description.c_str());

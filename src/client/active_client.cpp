@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pfs/layout.hpp"
 
 namespace dosas::client {
@@ -57,6 +59,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::read(const pfs::FileMeta& meta, 
 Result<std::vector<std::uint8_t>> ActiveClient::read_ex(const pfs::FileMeta& meta, Bytes offset,
                                                         Bytes length,
                                                         const std::string& operation) {
+  obs::ScopedTrace span("client.read_ex", "client");
   {
     std::lock_guard lock(mu_);
     ++stats_.reads_ex;
@@ -149,7 +152,16 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
       auto kernel = registry_.create(operation);
       if (!kernel.is_ok()) return kernel.status();
       kernel.value()->reset();
-      return finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
+      // Client-side compute time for a demoted kernel: the cost the CE's
+      // y_i + z terms predict the client pays instead of the server.
+      const bool obs_on = obs::metrics_enabled();
+      const double t0 = obs_on ? obs::now_us() : 0.0;
+      auto result = finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
+      if (obs_on) {
+        obs::count("client.demoted");
+        obs::observe("client.demoted_compute_us", obs::now_us() - t0);
+      }
+      return result;
     }
 
     case server::ActiveOutcome::kInterrupted: {
@@ -197,7 +209,14 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
       if (!kernel.is_ok()) return kernel.status();
       Status st = kernel.value()->restore(decoded.value());
       if (!st.is_ok()) return st;
-      return finish_locally(server, meta, ext, resp.resume_offset, *kernel.value());
+      const bool obs_on = obs::metrics_enabled();
+      const double t0 = obs_on ? obs::now_us() : 0.0;
+      auto result = finish_locally(server, meta, ext, resp.resume_offset, *kernel.value());
+      if (obs_on) {
+        obs::count("client.resumed");
+        obs::observe("client.resume_compute_us", obs::now_us() - t0);
+      }
+      return result;
     }
 
     case server::ActiveOutcome::kFailed: {
@@ -333,6 +352,9 @@ Result<std::vector<std::uint8_t>> ActiveClient::finish_locally(server::StorageSe
 Result<std::vector<std::uint8_t>> ActiveClient::local_kernel(const pfs::FileMeta& meta,
                                                              Bytes offset, Bytes length,
                                                              const std::string& operation) {
+  obs::ScopedTrace span("client.local_kernel", "client");
+  const bool obs_on = obs::metrics_enabled();
+  const double t0 = obs_on ? obs::now_us() : 0.0;
   {
     std::lock_guard lock(mu_);
     ++stats_.local_kernel_runs;
@@ -357,7 +379,9 @@ Result<std::vector<std::uint8_t>> ActiveClient::local_kernel(const pfs::FileMeta
     pos += chunk.value().size();
     if (short_read) break;
   }
-  return kernel.value()->finalize();
+  auto result = kernel.value()->finalize();
+  if (obs_on) obs::observe("client.local_kernel_us", obs::now_us() - t0);
+  return result;
 }
 
 ActiveClient::Stats ActiveClient::stats() const {

@@ -67,6 +67,105 @@ class Ewma {
   bool primed_ = false;
 };
 
+/// P² streaming quantile estimator (Jain & Chlamtac, CACM 1985): tracks a
+/// single quantile in O(1) memory with five markers, no sample storage.
+/// Used by the metrics layer for p50/p90/p99 summaries of unbounded event
+/// streams (per-kernel rates, decision latencies).
+class P2Quantile {
+ public:
+  /// q in (0,1): the quantile to track (0.5 = median).
+  explicit P2Quantile(double q = 0.5) : q_(q) {}
+
+  void add(double x) {
+    ++count_;
+    if (count_ <= 5) {
+      heights_[count_ - 1] = x;
+      if (count_ == 5) {
+        std::sort(heights_, heights_ + 5);
+        for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+        desired_[0] = 1.0;
+        desired_[1] = 1.0 + 2.0 * q_;
+        desired_[2] = 1.0 + 4.0 * q_;
+        desired_[3] = 3.0 + 2.0 * q_;
+        desired_[4] = 5.0;
+      }
+      return;
+    }
+
+    // Locate the cell containing x, extending the extremes when needed.
+    int k = 0;
+    if (x < heights_[0]) {
+      heights_[0] = x;
+      k = 0;
+    } else if (x >= heights_[4]) {
+      heights_[4] = x;
+      k = 3;
+    } else {
+      while (k < 3 && x >= heights_[k + 1]) ++k;
+    }
+    for (int i = k + 1; i < 5; ++i) ++pos_[i];
+    desired_[1] += q_ / 2.0;
+    desired_[2] += q_;
+    desired_[3] += (1.0 + q_) / 2.0;
+    desired_[4] += 1.0;
+
+    // Nudge the interior markers toward their desired positions, using a
+    // piecewise-parabolic height prediction (linear fallback).
+    for (int i = 1; i <= 3; ++i) {
+      const double d = desired_[i] - static_cast<double>(pos_[i]);
+      if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1) || (d <= -1.0 && pos_[i - 1] - pos_[i] < -1)) {
+        const int s = d >= 0.0 ? 1 : -1;
+        const double h = parabolic(i, s);
+        heights_[i] = (heights_[i - 1] < h && h < heights_[i + 1]) ? h : linear(i, s);
+        pos_[i] += s;
+      }
+    }
+  }
+
+  std::size_t count() const { return count_; }
+
+  /// Current estimate; exact (nearest-rank interpolation) below 5 samples.
+  double value() const {
+    if (count_ == 0) return 0.0;
+    if (count_ < 5) {
+      double tmp[5];
+      std::copy(heights_, heights_ + count_, tmp);
+      std::sort(tmp, tmp + count_);
+      const double rank = q_ * static_cast<double>(count_ - 1);
+      const auto lo = static_cast<std::size_t>(rank);
+      const auto hi = std::min(lo + 1, count_ - 1);
+      const double frac = rank - static_cast<double>(lo);
+      return tmp[lo] * (1.0 - frac) + tmp[hi] * frac;
+    }
+    return heights_[2];
+  }
+
+  void reset() { *this = P2Quantile{q_}; }
+
+ private:
+  double parabolic(int i, int s) const {
+    const double ds = static_cast<double>(s);
+    const double np = static_cast<double>(pos_[i + 1]);
+    const double n = static_cast<double>(pos_[i]);
+    const double nm = static_cast<double>(pos_[i - 1]);
+    return heights_[i] +
+           ds / (np - nm) *
+               ((n - nm + ds) * (heights_[i + 1] - heights_[i]) / (np - n) +
+                (np - n - ds) * (heights_[i] - heights_[i - 1]) / (n - nm));
+  }
+
+  double linear(int i, int s) const {
+    return heights_[i] + static_cast<double>(s) * (heights_[i + s] - heights_[i]) /
+                             static_cast<double>(pos_[i + s] - pos_[i]);
+  }
+
+  double q_;
+  std::size_t count_ = 0;
+  double heights_[5] = {};
+  long long pos_[5] = {};
+  double desired_[5] = {};
+};
+
 /// Stores samples and answers percentile queries; used by benches.
 class Samples {
  public:

@@ -9,7 +9,8 @@
 // Fields may appear in any order; `node` and `op` are optional (default 0
 // / "sum"). Sizes accept B/KiB/MiB/GiB suffixes (also KB/MB/GB treated as
 // binary) or raw byte counts. Traces let experiments be captured,
-// versioned, and replayed (`examples/trace_replay`, `tools/dosas_ctl`).
+// versioned, and replayed (`dosas_ctl replay` against the calibrated model,
+// `dosas_ctl runtime` against the real in-process cluster).
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,258 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace dosas::obs {
+
+// ---------------------------------------------------------------- Histogram
+
+std::vector<double> Histogram::default_bounds() {
+  // Powers of 4 from 1e-3 to ~1.1e9: 21 buckets spanning sub-millisecond
+  // latencies, MiB/s rates, byte counts, and 0..1 utilizations. Summary
+  // statistics (not buckets) carry the precision; buckets give shape.
+  std::vector<double> b;
+  double v = 1e-3;
+  for (int i = 0; i < 21; ++i) {
+    b.push_back(v);
+    v *= 4.0;
+  }
+  return b;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? default_bounds() : std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double x) {
+  // Lower-bound search: first bucket whose upper bound admits x.
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  stats_.add(x);
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+}
+
+Histogram::Summary Histogram::summary() const {
+  std::lock_guard lock(mu_);
+  Summary s;
+  s.count = stats_.count();
+  if (s.count == 0) return s;
+  s.mean = stats_.mean();
+  s.min = stats_.min();
+  s.max = stats_.max();
+  s.p50 = p50_.value();
+  s.p90 = p90_.value();
+  s.p99 = p99_.value();
+  return s;
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         histograms_.count(name) != 0;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "counter  " << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "gauge    " << name << " = " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->summary();
+    out << "hist     " << name << "  count=" << s.count << " mean=" << s.mean
+        << " min=" << s.min << " max=" << s.max << " p50=" << s.p50 << " p90=" << s.p90
+        << " p99=" << s.p99 << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ':' << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ':' << g->value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    const auto s = h->summary();
+    out << ":{\"count\":" << s.count << ",\"mean\":" << s.mean << ",\"min\":" << s.min
+        << ",\"max\":" << s.max << ",\"p50\":" << s.p50 << ",\"p90\":" << s.p90
+        << ",\"p99\":" << s.p99 << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      if (i != 0) out << ',';
+      out << "{\"le\":";
+      if (i < h->bucket_count() - 1) {
+        out << h->bound(i);
+      } else {
+        out << "\"+inf\"";
+      }
+      out << ",\"count\":" << h->bucket(i) << '}';
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// ------------------------------------------------------------ free helpers
+
+void count(const std::string& name, std::uint64_t n) {
+  auto& r = MetricsRegistry::global();
+  if (!r.enabled()) return;
+  r.counter(name).inc(n);
+}
+
+void gauge_set(const std::string& name, double v) {
+  auto& r = MetricsRegistry::global();
+  if (!r.enabled()) return;
+  r.gauge(name).set(v);
+}
+
+void observe(const std::string& name, double v) {
+  auto& r = MetricsRegistry::global();
+  if (!r.enabled()) return;
+  r.histogram(name).observe(v);
+}
+
+double now_us() {
+  using namespace std::chrono;
+  return static_cast<double>(
+             duration_cast<nanoseconds>(steady_clock::now().time_since_epoch()).count()) /
+         1e3;
+}
+
+namespace {
+
+void dump_at_exit() {
+  const char* trace_out = std::getenv("DOSAS_TRACE_OUT");
+  if (trace_out != nullptr && Tracer::global().event_count() > 0) {
+    Status st = Tracer::global().write(trace_out);
+    if (st.is_ok()) {
+      std::fprintf(stderr, "[obs] wrote %zu trace event(s) to %s\n",
+                   Tracer::global().event_count(), trace_out);
+    } else {
+      std::fprintf(stderr, "[obs] %s\n", st.to_string().c_str());
+    }
+  }
+  if (std::getenv("DOSAS_METRICS") != nullptr) {
+    const std::string text = MetricsRegistry::global().to_text();
+    std::fputs("\n-- metrics snapshot --\n", stdout);
+    std::fputs(text.c_str(), stdout);
+  }
+}
+
+}  // namespace
+
+void init_from_env() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  bool dump = false;
+  if (std::getenv("DOSAS_METRICS") != nullptr) {
+    MetricsRegistry::global().set_enabled(true);
+    dump = true;
+  }
+  if (std::getenv("DOSAS_TRACE_OUT") != nullptr) {
+    Tracer::global().set_enabled(true);
+    dump = true;
+  }
+  if (dump) std::atexit(dump_at_exit);
+}
+
+}  // namespace dosas::obs

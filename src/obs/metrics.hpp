@@ -1,0 +1,158 @@
+// metrics.hpp — process-wide metrics registry: named counters, gauges, and
+// fixed-bucket histograms, thread-safe and near-zero-cost while disabled.
+//
+// The paper's whole argument rests on *seeing* contention (Figs. 2/4/5: AS
+// collapses past ~4 concurrent active I/Os per node), and the Contention
+// Estimator's demote/offload decisions are only as good as the utilization
+// signals feeding them. This registry is the runtime feedback surface: the
+// storage server, CE, optimizer, client, and simulator publish queue
+// depths, demotion/interrupt counts, per-kernel throughput, solver
+// latencies, and link utilization here (docs/OBSERVABILITY.md catalogues
+// every name).
+//
+// Cost discipline: the registry is DISABLED by default. Instrumented hot
+// paths gate on `obs::metrics_enabled()` (one relaxed atomic load) before
+// building names or reading clocks, so tier-1 timings are unaffected.
+// Histograms are backed by the RunningStats / P2Quantile accumulators of
+// src/common/stats.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+
+namespace dosas::obs {
+
+/// Monotonic event counter. Thread-safe; relaxed ordering (metrics never
+/// synchronize program state).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value-wins instantaneous measurement (queue depth, utilization).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with streaming summary statistics. Buckets use
+/// Prometheus-style "le" semantics: a sample x lands in the first bucket i
+/// with x <= bound(i); samples above the last bound land in the implicit
+/// overflow bucket. Bucket counts are lock-free; the mean/min/max and
+/// p50/p90/p99 accumulators take a short mutex.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending upper bounds; empty selects the
+  /// registry-wide default (powers of 4 from 1e-3, wide enough for µs
+  /// latencies, MiB/s rates, and 0..1 utilizations alike).
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double x);
+
+  std::size_t bucket_count() const { return bounds_.size() + 1; }  ///< incl. overflow
+  double bound(std::size_t i) const { return bounds_[i]; }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+  Summary summary() const;
+
+  static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  P2Quantile p50_{0.5}, p90_{0.9}, p99_{0.99};
+};
+
+/// Named metric store. Handles returned by counter()/gauge()/histogram()
+/// stay valid for the registry's lifetime (metrics are never deallocated
+/// except by clear(), which callers holding handles must not race with).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented subsystem publishes to.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Find-or-create. The first histogram() call for a name fixes its
+  /// bucket bounds; later calls ignore `bounds`.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const;
+
+  /// Human-readable snapshot (one metric per line, sorted by name).
+  std::string to_text() const;
+  /// JSON snapshot: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  std::string to_json() const;
+
+  /// Drop every metric. Invalidates outstanding handles — tests only.
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// ---- free helpers: the form instrumented call sites use ----
+//
+// All of these are complete no-ops (no lookup, no allocation) while the
+// global registry is disabled. Call sites doing more than one emission, or
+// computing values to emit, should gate the whole block on
+// `obs::metrics_enabled()`.
+
+inline bool metrics_enabled() { return MetricsRegistry::global().enabled(); }
+
+void count(const std::string& name, std::uint64_t n = 1);
+void gauge_set(const std::string& name, double v);
+void observe(const std::string& name, double v);
+
+/// Wall-clock microseconds on the steady clock (for enabled-path timing).
+double now_us();
+
+/// Read DOSAS_METRICS / DOSAS_TRACE_OUT from the environment, enable the
+/// corresponding collectors, and register an atexit dump (metrics text
+/// snapshot to stdout, Chrome trace JSON to the DOSAS_TRACE_OUT path).
+/// Idempotent; used by bench_common.hpp so every bench can emit a trace.
+void init_from_env();
+
+}  // namespace dosas::obs

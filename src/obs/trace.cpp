@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace dosas::obs {
+
+namespace {
+
+/// Small dense thread ids for Chrome's tid field (hash-of-thread-id would
+/// scatter lanes unreadably).
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const {
+  using namespace std::chrono;
+  return static_cast<double>(
+             duration_cast<nanoseconds>(steady_clock::now() - epoch_).count()) /
+         1e3;
+}
+
+void Tracer::push(TraceEvent e) {
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::complete(std::string name, std::string cat, double ts_us, double dur_us) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = kWallPid;
+  e.tid = this_thread_tid();
+  push(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string cat) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'i';
+  e.ts_us = now_us();
+  e.pid = kWallPid;
+  e.tid = this_thread_tid();
+  push(std::move(e));
+}
+
+void Tracer::counter(std::string name, double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.ph = 'C';
+  e.ts_us = now_us();
+  e.pid = kWallPid;
+  e.value = value;
+  push(std::move(e));
+}
+
+void Tracer::counter_at(std::string name, double value, double ts_us, std::uint32_t pid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.ph = 'C';
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.value = value;
+  push(std::move(e));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Process-name metadata so the two timelines are labelled in the viewer.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kWallPid
+      << ",\"args\":{\"name\":\"dosas runtime (wall clock)\"}},";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSimPid
+      << ",\"args\":{\"name\":\"dosas sim (virtual time)\"}}";
+  for (const auto& e : events_) {
+    out << ",{\"name\":";
+    append_json_string(out, e.name);
+    if (!e.cat.empty()) {
+      out << ",\"cat\":";
+      append_json_string(out, e.cat);
+    }
+    out << ",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us << ",\"pid\":" << e.pid
+        << ",\"tid\":" << e.tid;
+    if (e.ph == 'X') out << ",\"dur\":" << e.dur_us;
+    if (e.ph == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
+    if (e.ph == 'C') out << ",\"args\":{\"value\":" << e.value << '}';
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status Tracer::write(const std::string& path) const {
+  const std::string json = to_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return error(ErrorCode::kInternal, "cannot write trace file " + path);
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    return error(ErrorCode::kInternal, "short write to trace file " + path);
+  }
+  return Status::ok();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+ScopedTrace::ScopedTrace(std::string name, std::string cat) {
+  auto& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  cat_ = std::move(cat);
+  start_us_ = tracer.now_us();
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (!active_) return;
+  auto& tracer = Tracer::global();
+  tracer.complete(std::move(name_), std::move(cat_), start_us_,
+                  tracer.now_us() - start_us_);
+}
+
+}  // namespace dosas::obs

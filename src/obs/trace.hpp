@@ -1,0 +1,104 @@
+// trace.hpp — lightweight scoped-event tracer with Chrome trace_event JSON
+// export (loadable in chrome://tracing and https://ui.perfetto.dev).
+//
+// Two timelines share one trace file, separated by pid:
+//   * pid 1 ("dosas runtime"): wall-clock events from the real runtime —
+//     kernel executions, CE policy evaluations, client-side completions;
+//   * pid 2 ("dosas sim, virtual time"): virtual-time counter samples from
+//     the discrete-event models (per-link utilization), with virtual
+//     seconds rendered as microseconds.
+//
+// Like the metrics registry, the tracer is disabled by default and every
+// emission gates on one relaxed atomic load; ScopedTrace is a no-op when
+// tracing is off, so instrumented hot paths cost nothing in tier-1 runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dosas::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';        ///< 'X' complete, 'i' instant, 'C' counter
+  double ts_us = 0.0;   ///< µs since the tracer epoch (or virtual µs)
+  double dur_us = 0.0;  ///< 'X' only
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 0;
+  double value = 0.0;  ///< 'C' only: the counter sample
+};
+
+class Tracer {
+ public:
+  static constexpr std::uint32_t kWallPid = 1;  ///< wall-clock runtime events
+  static constexpr std::uint32_t kSimPid = 2;   ///< virtual-time simulator events
+
+  /// The process-wide tracer every instrumented subsystem emits to.
+  static Tracer& global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this tracer's construction (steady clock).
+  double now_us() const;
+
+  /// Record a complete ('X') event with explicit timing.
+  void complete(std::string name, std::string cat, double ts_us, double dur_us);
+  /// Record an instant ('i') event at the current wall time.
+  void instant(std::string name, std::string cat);
+  /// Record a counter ('C') sample at the current wall time.
+  void counter(std::string name, double value);
+  /// Record a counter sample at an explicit timestamp — the virtual-time
+  /// hook the simulator uses (pass sim-now seconds × 1e6 and kSimPid).
+  void counter_at(std::string name, double value, double ts_us,
+                  std::uint32_t pid = kSimPid);
+
+  std::size_t event_count() const;
+
+  /// Full Chrome trace_event JSON object ({"traceEvents":[...], ...}).
+  std::string to_chrome_json() const;
+  /// Write to_chrome_json() to `path`.
+  Status write(const std::string& path) const;
+
+  void clear();
+
+ private:
+  void push(TraceEvent e);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+inline bool tracing_enabled() { return Tracer::global().enabled(); }
+
+/// RAII scope producing one complete event on the global tracer; measures
+/// nothing and stores nothing while tracing is disabled.
+class ScopedTrace {
+ public:
+  ScopedTrace(std::string name, std::string cat);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::string cat_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace dosas::obs

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dosas::sched {
 
 namespace {
@@ -19,6 +21,17 @@ Policy make_policy(const CostModel& model, std::span<const ActiveRequest> reques
 }
 
 }  // namespace
+
+Policy Optimizer::run(const CostModel& model, std::span<const ActiveRequest> requests) const {
+  if (!obs::metrics_enabled()) return optimize(model, requests);
+  const double t0 = obs::now_us();
+  Policy policy = optimize(model, requests);
+  const std::string strategy = name();
+  obs::observe("sched.solver_us." + strategy, obs::now_us() - t0);
+  obs::observe("sched.solver_k." + strategy, static_cast<double>(requests.size()));
+  obs::count("sched.demotions." + strategy, requests.size() - policy.active_count());
+  return policy;
+}
 
 // -------------------------------------------------------------- exhaustive
 

@@ -26,6 +26,14 @@ class Optimizer {
   /// Policy's predicted_time is the model objective of that assignment.
   virtual Policy optimize(const CostModel& model,
                           std::span<const ActiveRequest> requests) const = 0;
+
+  /// Instrumented entry point the Contention Estimator calls: runs
+  /// optimize() and, when the metrics registry is enabled, records solver
+  /// wall time, queue size, and demotions under the strategy's name
+  /// (sched.solver_us.<name>, sched.solver_k.<name>,
+  /// sched.demotions.<name> — see docs/OBSERVABILITY.md). Zero-cost while
+  /// metrics are disabled.
+  Policy run(const CostModel& model, std::span<const ActiveRequest> requests) const;
 };
 
 /// Brute-force enumeration of all 2^k assignments (the paper's "try all

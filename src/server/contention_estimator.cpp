@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace dosas::server {
 
 ContentionEstimator::ContentionEstimator(Config config, RateTable rates)
@@ -18,6 +20,16 @@ void ContentionEstimator::observe(const SystemStatus& status) {
   last_ = status;
   cpu_ewma_.add(status.cpu_utilization);
   mem_ewma_.add(status.memory_utilization);
+  if (obs::metrics_enabled()) {
+    // Raw probe vs the smoothed estimate the scheduler actually acts on —
+    // the estimated-vs-observed gap the estimator ablation studies.
+    obs::gauge_set("ce.cpu_observed", status.cpu_utilization);
+    obs::gauge_set("ce.cpu_estimated", cpu_ewma_.value());
+    obs::gauge_set("ce.queue_active",
+                   static_cast<double>(status.queued_active + status.running_kernels));
+    obs::observe("ce.queue_depth_samples",
+                 static_cast<double>(status.queued_active + status.running_kernels));
+  }
 }
 
 SystemStatus ContentionEstimator::smoothed() const {
@@ -52,6 +64,22 @@ Result<sched::CostModel> ContentionEstimator::model_for(const std::string& op) c
 
 Result<sched::Policy> ContentionEstimator::schedule(
     const std::string& op, std::span<const sched::ActiveRequest> requests) const {
+  // Decision latency: model construction + solver, the full CE response
+  // time the runtime blocks on per policy evaluation.
+  const bool obs_on = obs::metrics_enabled();
+  const double t0 = obs_on ? obs::now_us() : 0.0;
+  auto finish = [&](Result<sched::Policy> policy) {
+    if (obs_on) {
+      obs::observe("ce.decision_us", obs::now_us() - t0);
+      obs::count("ce.decisions");
+      if (policy.is_ok()) {
+        obs::count("ce.demotions_decided",
+                   requests.size() - policy.value().active_count());
+      }
+    }
+    return policy;
+  };
+
   auto model = model_for(op);
   if (!model.is_ok()) {
     // Static policies (the TS/AS baselines) ignore the cost model entirely,
@@ -63,7 +91,7 @@ Result<sched::Policy> ContentionEstimator::schedule(
         std::lock_guard lock(mu_);
         ++decisions_;
       }
-      return optimizer_->optimize(dummy, requests);
+      return finish(optimizer_->run(dummy, requests));
     }
     return model.status();
   }
@@ -71,7 +99,7 @@ Result<sched::Policy> ContentionEstimator::schedule(
     std::lock_guard lock(mu_);
     ++decisions_;
   }
-  return optimizer_->optimize(model.value(), requests);
+  return finish(optimizer_->run(model.value(), requests));
 }
 
 std::uint64_t ContentionEstimator::decisions() const {

@@ -5,6 +5,8 @@
 
 #include "common/logging.hpp"
 #include "kernels/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dosas::server {
 
@@ -26,7 +28,15 @@ StorageServer::StorageServer(pfs::FileSystem& fs, pfs::ServerId server_id,
       registry_(std::move(registry)),
       ce_(std::move(ce_config), std::move(rates)),
       config_(config),
+      obs_name_("server" + std::to_string(server_id)),
       pool_(config.cores) {}
+
+void StorageServer::obs_queue_depth_locked() const {
+  if (!obs::metrics_enabled()) return;
+  const auto depth = static_cast<double>(entries_.size());
+  obs::gauge_set(obs_name_ + ".queue_depth", depth);
+  obs::observe(obs_name_ + ".queue_depth_samples", depth);
+}
 
 StorageServer::~StorageServer() {
   // Interrupt anything still running so pool shutdown doesn't wait on long
@@ -48,6 +58,7 @@ Result<std::vector<std::uint8_t>> StorageServer::serve_normal(pfs::FileHandle ha
     ++normal_inflight_;
     ++stats_.normal_requests;
   }
+  if (obs::metrics_enabled()) obs::count(obs_name_ + ".normal_requests");
   auto data = fs_.data_server(server_id_).read_object(handle, object_offset, length);
   {
     std::lock_guard lock(mu_);
@@ -70,6 +81,7 @@ std::pair<sched::RequestId, std::shared_ptr<StorageServer::Entry>> StorageServer
   entry->interrupt = std::make_shared<std::atomic<bool>>(false);
   entry->progress = std::make_shared<std::atomic<Bytes>>(0);
   entries_.emplace(id, entry);
+  obs_queue_depth_locked();
   return {id, entry};
 }
 
@@ -80,6 +92,10 @@ bool StorageServer::launch_or_reject(sched::RequestId id, const std::shared_ptr<
     if (entry->reject_before_start) {
       entries_.erase(id);
       ++stats_.active_rejected;
+      if (obs::metrics_enabled()) {
+        obs::count(obs_name_ + ".demoted");
+        obs_queue_depth_locked();
+      }
       rejected_response.outcome = ActiveOutcome::kRejected;
       rejected_response.status =
           error(ErrorCode::kRejected, "demoted to normal I/O by scheduling policy");
@@ -103,6 +119,18 @@ ActiveIoResponse StorageServer::await_entry(sched::RequestId id,
       case ActiveOutcome::kRejected: ++stats_.active_rejected; break;
       case ActiveOutcome::kInterrupted: ++stats_.active_interrupted; break;
       case ActiveOutcome::kFailed: ++stats_.active_failed; break;
+    }
+    if (obs::metrics_enabled()) {
+      switch (resp.outcome) {
+        case ActiveOutcome::kCompleted: obs::count(obs_name_ + ".completed"); break;
+        case ActiveOutcome::kRejected: obs::count(obs_name_ + ".demoted"); break;
+        case ActiveOutcome::kInterrupted:
+          obs::count(obs_name_ + ".interrupted");
+          obs::count(obs_name_ + ".checkpoint_bytes", resp.checkpoint.size());
+          break;
+        case ActiveOutcome::kFailed: obs::count(obs_name_ + ".failed"); break;
+      }
+      obs_queue_depth_locked();
     }
   }
   // Charge the payload that crosses the network to the link model.
@@ -152,6 +180,7 @@ void StorageServer::cache_insert(const ActiveIoRequest& request, std::uint64_t v
 }
 
 ActiveIoResponse StorageServer::serve_active(ActiveIoRequest request) {
+  obs::ScopedTrace span(obs_name_ + ".serve_active", "server");
   if (auto cached = cache_lookup(request)) return std::move(*cached);
 
   auto [id, entry] = register_entry(std::move(request));
@@ -201,6 +230,7 @@ void StorageServer::probe() {
     std::lock_guard lock(mu_);
     status = snapshot_status_locked();
   }
+  if (obs::metrics_enabled()) obs::count(obs_name_ + ".probes");
   ce_.observe(status);
   evaluate_policy();
 }
@@ -264,6 +294,7 @@ Bytes StorageServer::result_size_for(const std::string& operation, Bytes input) 
 }
 
 void StorageServer::evaluate_policy() {
+  obs::ScopedTrace span(obs_name_ + ".evaluate_policy", "ce");
   // Snapshot the schedulable queue (queued + running, not yet demoted).
   struct Item {
     sched::RequestId id;
@@ -322,6 +353,7 @@ void StorageServer::evaluate_policy() {
         if (static_cast<double>(remaining) >
             config_.interrupt_min_remaining * static_cast<double>(total)) {
           entry.interrupt->store(true);
+          if (obs::metrics_enabled()) obs::count(obs_name_ + ".interrupts_signalled");
         }
       }
     }
@@ -349,6 +381,10 @@ void StorageServer::run_kernel(sched::RequestId id) {
     request = entry->request;
     interrupt = entry->interrupt;
   }
+
+  obs::ScopedTrace span(request.operation, "kernel");
+  const bool obs_on = obs::metrics_enabled();
+  const double t0 = obs_on ? obs::now_us() : 0.0;
 
   auto finish = [&](ActiveIoResponse resp, Bytes processed) {
     std::lock_guard lock(mu_);
@@ -425,6 +461,14 @@ void StorageServer::run_kernel(sched::RequestId id) {
   // Resumed results are not cacheable: part of the scan predates
   // version_at_start, so freshness cannot be vouched for.
   if (!request.is_resumption()) cache_insert(request, version_at_start, resp.result);
+  if (obs_on && processed > 0) {
+    const double secs = (obs::now_us() - t0) * 1e-6;
+    if (secs > 0.0) {
+      const std::string kernel_key = request.operation.substr(0, request.operation.find(':'));
+      obs::observe(obs_name_ + ".kernel_mibps." + kernel_key,
+                   static_cast<double>(processed) / (1024.0 * 1024.0) / secs);
+    }
+  }
   finish(std::move(resp), processed);
 }
 

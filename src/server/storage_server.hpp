@@ -157,11 +157,15 @@ class StorageServer {
 
   SystemStatus snapshot_status_locked() const;
 
+  /// Update the `server<id>.queue_depth` gauge/histogram; caller holds mu_.
+  void obs_queue_depth_locked() const;
+
   pfs::FileSystem& fs_;
   const pfs::ServerId server_id_;
   kernels::Registry registry_;
   ContentionEstimator ce_;
   Config config_;
+  const std::string obs_name_;  ///< metric prefix: "server<id>"
 
   mutable std::mutex mu_;
   std::condition_variable response_cv_;

@@ -5,6 +5,9 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dosas::sim {
 
 namespace {
@@ -87,7 +90,10 @@ void FluidResource::reschedule() {
     sim_.cancel(pending_event_);
     has_pending_event_ = false;
   }
-  if (jobs_.empty()) return;
+  if (jobs_.empty()) {
+    obs_utilization(0.0);
+    return;
+  }
 
   // Water-filling: process jobs in ascending cap order; each takes
   // min(cap, fair share of what's left). Uncapped jobs (cap<=0) sort last
@@ -109,6 +115,7 @@ void FluidResource::reschedule() {
     left -= rate;
     --n;
   }
+  obs_utilization((cfg_.capacity - left) / cfg_.capacity);
 
   // Earliest completion among active jobs.
   Time best_dt = std::numeric_limits<double>::infinity();
@@ -121,6 +128,19 @@ void FluidResource::reschedule() {
 
   pending_event_ = sim_.schedule_after(best_dt, [this] { on_completion_event(); });
   has_pending_event_ = true;
+}
+
+void FluidResource::obs_utilization(double util) const {
+  // One sample per reschedule: every membership change (submit, cancel,
+  // completion) re-derives the water-filling allocation, so the sample
+  // stream is exactly the piecewise-constant utilization signal.
+  if (obs::metrics_enabled()) {
+    obs::observe("sim.util." + cfg_.name, util);
+  }
+  if (obs::tracing_enabled()) {
+    obs::Tracer::global().counter_at(cfg_.name + ".util", util, sim_.now() * 1e6,
+                                     obs::Tracer::kSimPid);
+  }
 }
 
 void FluidResource::on_completion_event() {

@@ -77,6 +77,8 @@ class FluidResource {
   void advance();
   /// Recompute water-filling rates and (re)schedule the next completion.
   void reschedule();
+  /// Record a `sim.util.<name>` sample and a virtual-time trace counter.
+  void obs_utilization(double util) const;
   /// Completion event body.
   void on_completion_event();
 

@@ -1,0 +1,226 @@
+// Tests for the observability subsystem: metrics registry thread safety,
+// histogram bucket semantics, the disabled-path no-op guarantee, and the
+// Chrome trace JSON export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dosas::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, LeBucketBoundaries) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+
+  h.observe(0.5);  // <= 1   -> bucket 0
+  h.observe(1.0);  // <= 1   -> bucket 0 ("le" semantics: boundary inclusive)
+  h.observe(1.5);  // <= 2   -> bucket 1
+  h.observe(2.0);  // <= 2   -> bucket 1
+  h.observe(3.0);  // <= 4   -> bucket 2
+  h.observe(9.0);  // > 4    -> overflow
+
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+
+  const auto s = h.summary();
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.mean, (0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 9.0) / 6.0, 1e-12);
+}
+
+TEST(Histogram, ConcurrentObservesKeepTotalCount) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>((t * kPerThread + i) % 100));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) total += h.bucket(b);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.summary().count, static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(P2Quantile, TracksMedianOfShuffledStream) {
+  std::vector<double> values(2001);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i);
+  std::mt19937 rng(2012);
+  std::shuffle(values.begin(), values.end(), rng);
+
+  P2Quantile p50(0.5);
+  for (double v : values) p50.add(v);
+  EXPECT_EQ(p50.count(), values.size());
+  // P² is approximate; the true median is 1000.
+  EXPECT_NEAR(p50.value(), 1000.0, 50.0);
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  P2Quantile q(0.5);
+  q.add(10.0);
+  q.add(30.0);
+  q.add(20.0);
+  EXPECT_DOUBLE_EQ(q.value(), 20.0);
+}
+
+TEST(Registry, FindOrCreateAndSnapshots) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("a.depth").set(7.0);
+  reg.histogram("a.lat").observe(0.5);
+  EXPECT_EQ(&reg.counter("a.count"), &reg.counter("a.count"));
+  EXPECT_TRUE(reg.contains("a.depth"));
+  EXPECT_FALSE(reg.contains("missing"));
+  EXPECT_EQ(reg.size(), 3u);
+
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("a.depth"), std::string::npos);
+  EXPECT_NE(text.find("a.lat"), std::string::npos);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos);  // overflow bucket
+
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Registry, DisabledHelpersAreNoOps) {
+  auto& reg = MetricsRegistry::global();
+  reg.set_enabled(false);
+  count("test_obs.disabled_counter");
+  gauge_set("test_obs.disabled_gauge", 1.0);
+  observe("test_obs.disabled_hist", 1.0);
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_FALSE(reg.contains("test_obs.disabled_counter"));
+  EXPECT_FALSE(reg.contains("test_obs.disabled_gauge"));
+  EXPECT_FALSE(reg.contains("test_obs.disabled_hist"));
+}
+
+TEST(Registry, EnabledHelpersRecord) {
+  auto& reg = MetricsRegistry::global();
+  reg.set_enabled(true);
+  count("test_obs.enabled_counter", 2);
+  gauge_set("test_obs.enabled_gauge", 4.0);
+  observe("test_obs.enabled_hist", 8.0);
+  EXPECT_EQ(reg.counter("test_obs.enabled_counter").value(), 2u);
+  EXPECT_DOUBLE_EQ(reg.gauge("test_obs.enabled_gauge").value(), 4.0);
+  EXPECT_EQ(reg.histogram("test_obs.enabled_hist").summary().count, 1u);
+  reg.set_enabled(false);
+}
+
+TEST(Trace, ChromeJsonRoundTrip) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete("kernel:gaussian2d", "kernel", 10.0, 25.0);
+  tracer.instant("demote", "ce");
+  tracer.counter("queue_depth", 3.0);
+  tracer.counter_at("link.util", 0.75, 1.5e6, Tracer::kSimPid);
+  EXPECT_EQ(tracer.event_count(), 4u);
+
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);  // pid metadata
+  EXPECT_NE(json.find("kernel:gaussian2d"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // Structurally balanced (no trailing-comma truncation).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.back(), '}');
+
+  const std::string path = ::testing::TempDir() + "test_obs_trace.json";
+  ASSERT_TRUE(tracer.write(path).is_ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string back(json.size() + 1, '\0');
+  back.resize(std::fread(back.data(), 1, back.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(back, json);
+}
+
+TEST(Trace, JsonStringsAreEscaped) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.instant("quote\"back\\slash", "cat\n");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("cat\\n"), std::string::npos);
+}
+
+TEST(Trace, DisabledEmissionsAndScopesAreDropped) {
+  Tracer tracer;
+  tracer.complete("x", "y", 0.0, 1.0);
+  tracer.instant("x", "y");
+  tracer.counter("x", 1.0);
+  EXPECT_EQ(tracer.event_count(), 0u);
+
+  auto& global = Tracer::global();
+  global.set_enabled(false);
+  const std::size_t before = global.event_count();
+  { ScopedTrace scope("test_obs.scope", "test"); }
+  EXPECT_EQ(global.event_count(), before);
+}
+
+TEST(Trace, ScopedTraceRecordsWhenEnabled) {
+  auto& global = Tracer::global();
+  global.set_enabled(true);
+  const std::size_t before = global.event_count();
+  { ScopedTrace scope("test_obs.scope", "test"); }
+  EXPECT_EQ(global.event_count(), before + 1);
+  const std::string json = global.to_chrome_json();
+  EXPECT_NE(json.find("test_obs.scope"), std::string::npos);
+  global.set_enabled(false);
+  global.clear();
+}
+
+}  // namespace
+}  // namespace dosas::obs

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# check_docs.sh — lint the repo's Markdown for dangling file references.
+#
+# Scans every tracked .md file for path-like tokens (src/..., tests/...,
+# bench/..., tools/..., docs/..., examples/...) and verifies each one
+# resolves to a real file. `file.cpp:123` anchors are checked against the
+# file; `path/name` without an extension is accepted if `name.cpp`/`name.hpp`
+# exists there (binary-style references like examples/quickstart). Globs
+# (src/core/sim_model.*) are expanded. Also checks that every `bench_*` /
+# `test_*` binary name mentioned in docs has a matching source file.
+#
+# Usage: tools/check_docs.sh [repo-root]   (exit 0 = clean, 1 = dangling)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+fail=0
+
+note() {
+  echo "dangling reference: '$2' (in $1)" >&2
+  fail=1
+}
+
+# Path-like tokens. Colon is excluded from the token charset so that
+# `src/foo.cpp:42` anchors reduce to the plain path. Meta documents that
+# quote external repos or prospective work (ISSUE, SNIPPETS, PAPERS) are
+# not part of the user-facing documentation and are skipped.
+docs=$(ls ./*.md docs/*.md 2>/dev/null \
+  | grep -v -E '(ISSUE|SNIPPETS|PAPERS|CHANGES)\.md$')
+for doc in $docs; do
+  refs=$(grep -oE '\b(src|tests|bench|tools|docs|examples)/[A-Za-z0-9_./*-]+' "$doc" \
+    | sed 's/[).,;]*$//' | sort -u)
+  for ref in $refs; do
+    ref="${ref%/}"
+    case "$ref" in
+      *'*'*)  # glob reference: must match at least one file
+        if ! compgen -G "$ref" > /dev/null; then note "$doc" "$ref"; fi
+        ;;
+      *)
+        if [ -e "$ref" ]; then continue; fi
+        # Binary-style reference: path/name -> path/name.cpp or .hpp
+        if [ -e "$ref.cpp" ] || [ -e "$ref.hpp" ] || [ -e "$ref.sh" ]; then continue; fi
+        note "$doc" "$ref"
+        ;;
+    esac
+  done
+
+  # bench_* / test_* binary names must have a matching source file.
+  bins=$(grep -oE '\b(bench|test)_[a-z0-9_]+\b' "$doc" | sort -u)
+  for bin in $bins; do
+    if compgen -G "bench/$bin*" > /dev/null; then continue; fi
+    if compgen -G "tests/$bin*" > /dev/null; then continue; fi
+    note "$doc" "$bin"
+  done
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: all documentation file references resolve"
+fi
+exit "$fail"

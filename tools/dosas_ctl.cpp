@@ -7,12 +7,19 @@
 //   dosas_ctl multinode --nodes 4 --per-node 8 --size 128MiB
 //                       [--dedicated-links] [--naive-ce]
 //   dosas_ctl replay    --trace workload.trace [--scheme ts|as|dosas]
+//   dosas_ctl runtime   --trace workload.trace [--scheme ts|as|dosas]
+//                       [--strip 64KiB] [--chunk 1MiB]
 //   dosas_ctl calibrate [--mb 64]
 //   dosas_ctl trace-gen --ios 32 --size 128MiB [--gap 0.25] [--nodes 4]
 //                       [--out workload.trace]
 //
+// Global flags (any command): --metrics prints a metrics snapshot at exit;
+// --trace-out=<file> writes a Chrome trace_event JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev). See docs/OBSERVABILITY.md.
+//
 // Everything the bench binaries do, parameterized — the entry point for
 // users running their own what-if studies.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -20,11 +27,15 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "core/experiments.hpp"
 #include "core/multi_node.hpp"
+#include "core/runner.hpp"
 #include "core/trace.hpp"
 #include "kernels/calibrate.hpp"
 #include "kernels/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -215,6 +226,95 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+int cmd_runtime(const Args& args) {
+  if (!args.has("trace")) {
+    std::fprintf(stderr, "runtime requires --trace <file>\n");
+    return 1;
+  }
+  auto trace = Trace::load(args.get("trace", ""));
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  auto strip = parse_size(args.get("strip", "64KiB"));
+  auto chunk = parse_size(args.get("chunk", "1MiB"));
+  if (!strip.is_ok() || !chunk.is_ok()) {
+    std::fprintf(stderr, "bad --strip/--chunk size\n");
+    return 1;
+  }
+
+  ClusterConfig cfg;
+  cfg.storage_nodes = std::max(1u, trace.value().node_count());
+  cfg.strip_size = strip.value();
+  cfg.server_chunk_size = chunk.value();
+  cfg.client_chunk_size = chunk.value();
+  const std::string scheme_s = args.get("scheme", "dosas");
+  if (scheme_s == "ts") {
+    cfg.scheme = SchemeKind::kTraditional;
+  } else if (scheme_s == "as") {
+    cfg.scheme = SchemeKind::kActive;
+  } else if (scheme_s == "dosas") {
+    cfg.scheme = SchemeKind::kDosas;
+  } else {
+    std::fprintf(stderr, "unknown --scheme '%s' (expected ts|as|dosas)\n", scheme_s.c_str());
+    return 1;
+  }
+  Cluster cluster(cfg);
+
+  // Materialize each trace record as a file pinned to its node (a one-server
+  // stripe group based at that data server), filled with deterministic data.
+  std::vector<WorkloadRequest> requests;
+  requests.reserve(trace.value().records.size());
+  for (std::size_t i = 0; i < trace.value().records.size(); ++i) {
+    const auto& rec = trace.value().records[i];
+    pfs::StripingParams striping;
+    striping.strip_size = cfg.strip_size;
+    striping.server_count = 1;
+    striping.base_server = rec.node % cfg.storage_nodes;
+    const std::string path = "/runtime/req" + std::to_string(i);
+    auto meta = cluster.pfs_client().create(path, striping);
+    if (!meta.is_ok()) {
+      std::fprintf(stderr, "%s\n", meta.status().to_string().c_str());
+      return 1;
+    }
+    auto written = pfs::write_doubles(cluster.pfs_client(), path, rec.size / sizeof(double),
+                                      [&](std::size_t j) {
+                                        return std::sin(static_cast<double>(i + j) * 0.001);
+                                      });
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "%s\n", written.status().to_string().c_str());
+      return 1;
+    }
+    requests.push_back({path, 0, 0, rec.operation});
+  }
+
+  std::printf("running %zu request(s) against the real %u-node cluster (%s scheme)\n\n",
+              requests.size(), cluster.storage_node_count(), scheme_name(cfg.scheme));
+  const auto report = run_workload(cluster, requests);
+
+  Table table({"request", "node", "op", "size", "outcome", "latency (s)"});
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const auto& rec = trace.value().records[i];
+    const auto& out = report.outcomes[i];
+    table.add_row({std::to_string(i), std::to_string(rec.node), rec.operation,
+                   size_to_text(rec.size), out.ok ? "ok" : out.error, fmt(out.latency, 3)});
+  }
+  table.print(std::cout);
+
+  Table servers({"server", "completed", "demoted", "interrupted", "failed", "normal I/O"});
+  for (std::uint32_t s = 0; s < cluster.storage_node_count(); ++s) {
+    const auto st = cluster.storage_server(s).stats();
+    servers.add_row({std::to_string(s), std::to_string(st.active_completed),
+                     std::to_string(st.active_rejected), std::to_string(st.active_interrupted),
+                     std::to_string(st.active_failed), std::to_string(st.normal_requests)});
+  }
+  std::printf("\n");
+  servers.print(std::cout);
+  std::printf("\nwall time: %.3f s  (%zu failure(s))\n", report.wall_time, report.failures);
+  write_csv_if_requested(args, table);
+  return report.failures == 0 ? 0 : 1;
+}
+
 int cmd_calibrate(const Args& args) {
   const auto mb = static_cast<Bytes>(args.get_int("mb", 64));
   kernels::CalibrationOptions opts;
@@ -274,13 +374,27 @@ int usage() {
       "  accuracy   [--seed 2012] [--csv f]\n"
       "  multinode  --nodes 4 --per-node 8 --size 128MiB [--dedicated-links] [--naive-ce]\n"
       "  replay     --trace file [--scheme ts|as|dosas|all] [--kernel ...]\n"
+      "  runtime    --trace file [--scheme ts|as|dosas] [--strip 64KiB] [--chunk 1MiB]\n"
       "  calibrate  [--mb 64]\n"
-      "  trace-gen  --ios 32 --size 128MiB [--gap 0.25] [--nodes 4] [--out file]\n",
+      "  trace-gen  --ios 32 --size 128MiB [--gap 0.25] [--nodes 4] [--out file]\n"
+      "global flags: --metrics (snapshot at exit)  --trace-out=<file> (Chrome trace)\n",
       stderr);
   return 2;
 }
 
 }  // namespace
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "bandwidth") return cmd_bandwidth(args);
+  if (cmd == "accuracy") return cmd_accuracy(args);
+  if (cmd == "multinode") return cmd_multinode(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "runtime") return cmd_runtime(args);
+  if (cmd == "calibrate") return cmd_calibrate(args);
+  if (cmd == "trace-gen") return cmd_trace_gen(args);
+  return usage();
+}
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
@@ -288,12 +402,27 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   if (!args.ok()) return usage();
 
-  if (cmd == "sweep") return cmd_sweep(args);
-  if (cmd == "bandwidth") return cmd_bandwidth(args);
-  if (cmd == "accuracy") return cmd_accuracy(args);
-  if (cmd == "multinode") return cmd_multinode(args);
-  if (cmd == "replay") return cmd_replay(args);
-  if (cmd == "calibrate") return cmd_calibrate(args);
-  if (cmd == "trace-gen") return cmd_trace_gen(args);
-  return usage();
+  // Global observability flags: enable BEFORE the command runs so every
+  // instrumentation site along the way records.
+  const bool want_metrics = args.has("metrics");
+  const std::string trace_out = args.get("trace-out", "");
+  if (want_metrics) obs::MetricsRegistry::global().set_enabled(true);
+  if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
+
+  const int rc = dispatch(cmd, args);
+
+  if (want_metrics) {
+    std::printf("\n-- metrics snapshot --\n%s",
+                obs::MetricsRegistry::global().to_text().c_str());
+  }
+  if (!trace_out.empty()) {
+    Status st = obs::Tracer::global().write(trace_out);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::printf("wrote %zu trace event(s) to %s\n", obs::Tracer::global().event_count(),
+                trace_out.c_str());
+  }
+  return rc;
 }
