@@ -20,6 +20,98 @@ ActiveClient::ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
     assert(servers_[i] != nullptr);
     assert(servers_[i]->server_id() == i && "servers must be indexed by data-server id");
   }
+  circuit_.resize(servers_.size());
+}
+
+bool ActiveClient::circuit_open(pfs::ServerId server) {
+  if (config_.circuit_threshold <= 0) return false;
+  std::lock_guard lock(mu_);
+  auto& st = circuit_[server];
+  if (st.consecutive_unavailable < config_.circuit_threshold) return false;
+  // Every 4th short-circuited request re-probes the node so the breaker
+  // closes again once the node recovers.
+  ++st.skips;
+  return st.skips % 4 != 0;
+}
+
+void ActiveClient::note_remote_result(pfs::ServerId server, bool unavailable) {
+  if (config_.circuit_threshold <= 0) return;
+  std::lock_guard lock(mu_);
+  auto& st = circuit_[server];
+  if (unavailable) {
+    ++st.consecutive_unavailable;
+  } else {
+    st.consecutive_unavailable = 0;
+    st.skips = 0;
+  }
+}
+
+server::ActiveIoResponse ActiveClient::send_active(server::StorageServer& server,
+                                                   const server::ActiveIoRequest& req) {
+  const auto& fi = config_.faults;
+  auto attempt_once = [&]() -> server::ActiveIoResponse {
+    if (fi != nullptr && fi->inject_net_error()) {
+      server::ActiveIoResponse r;
+      r.outcome = server::ActiveOutcome::kFailed;
+      r.status = error(ErrorCode::kUnavailable, "injected network error on active RPC");
+      return r;
+    }
+    return server.serve_active(req);
+  };
+
+  auto resp = attempt_once();
+  const auto transient_failure = [](const server::ActiveIoResponse& r) {
+    return r.outcome == server::ActiveOutcome::kFailed && is_transient(r.status.code());
+  };
+  if (config_.retry.enabled() && transient_failure(resp)) {
+    std::uint64_t seq;
+    {
+      std::lock_guard lock(mu_);
+      seq = retry_seq_++;
+    }
+    Backoff backoff(config_.retry, config_.retry_seed + seq);
+    for (int attempt = 1; attempt < config_.retry.max_attempts && transient_failure(resp);
+         ++attempt) {
+      backoff.next_delay(attempt);
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.remote_retries;
+      }
+      if (obs::metrics_enabled()) obs::count("client.retries");
+      resp = attempt_once();
+    }
+    {
+      std::lock_guard lock(mu_);
+      stats_.backoff_total += backoff.total();
+      if (transient_failure(resp)) ++stats_.exhausted_retries;
+    }
+    if (obs::metrics_enabled()) {
+      obs::count(transient_failure(resp) ? "client.retries_exhausted"
+                                         : "client.retry_recovered");
+    }
+  }
+  if (resp.outcome == server::ActiveOutcome::kFailed &&
+      resp.status.code() == ErrorCode::kTimedOut) {
+    std::lock_guard lock(mu_);
+    ++stats_.timed_out;
+  }
+  note_remote_result(server.server_id(), transient_failure(resp));
+  return resp;
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::serve_extent_locally(
+    server::StorageServer& server, const pfs::FileMeta& meta, const ServerExtent& ext,
+    const std::string& operation) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.node_down_demotes;
+    ++stats_.local_kernel_runs;
+  }
+  if (obs::metrics_enabled()) obs::count("client.node_down_demotes");
+  auto kernel = registry_.create(operation);
+  if (!kernel.is_ok()) return kernel.status();
+  kernel.value()->reset();
+  return finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
 }
 
 std::vector<ActiveClient::ServerExtent> ActiveClient::server_extents(const pfs::FileMeta& meta,
@@ -121,12 +213,20 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_extent(const pfs::FileMe
   }
   server::StorageServer& server = *servers_[ext.server];
 
+  // Open circuit: the node's active runtime has stopped responding, so
+  // skip the doomed remote attempt entirely — normal I/O + local kernel
+  // (the node's data path survives an active-runtime crash).
+  if (circuit_open(ext.server)) {
+    return serve_extent_locally(server, meta, ext, operation);
+  }
+
   server::ActiveIoRequest req;
   req.handle = meta.handle;
   req.object_offset = ext.object_offset;
   req.length = ext.length;
   req.operation = operation;
-  return resolve_response(server, meta, ext, operation, server.serve_active(req));
+  req.timeout = config_.request_timeout;
+  return resolve_response(server, meta, ext, operation, send_active(server, req));
 }
 
 Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
@@ -181,7 +281,8 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
         again.operation = operation;
         again.resume_checkpoint = resp.checkpoint;
         again.resume_from = resp.resume_offset;
-        auto second = server.serve_active(again);
+        again.timeout = config_.request_timeout;
+        auto second = send_active(server, again);
         if (second.outcome == server::ActiveOutcome::kCompleted) {
           std::lock_guard lock(mu_);
           ++stats_.completed_remote;
@@ -203,15 +304,27 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
         ++stats_.local_kernel_runs;
         stats_.result_bytes_received += resp.checkpoint.size();
       }
-      auto decoded = Checkpoint::decode(resp.checkpoint);
-      if (!decoded.is_ok()) return decoded.status();
       auto kernel = registry_.create(operation);
       if (!kernel.is_ok()) return kernel.status();
-      Status st = kernel.value()->restore(decoded.value());
-      if (!st.is_ok()) return st;
+      Bytes resume_from = resp.resume_offset;
+      auto decoded = Checkpoint::decode(resp.checkpoint);
+      Status st = decoded.is_ok() ? kernel.value()->restore(decoded.value()) : decoded.status();
+      if (!st.is_ok()) {
+        // A dropped/corrupted checkpoint (checksum mismatch -> kCorrupted)
+        // loses the server's progress but never correctness: restart the
+        // kernel cleanly over the whole extent instead of resuming from
+        // garbage — and never from silently-defaulted state.
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.checkpoint_corrupt_restarts;
+        }
+        if (obs::metrics_enabled()) obs::count("client.ckpt_corrupt_restarts");
+        kernel.value()->reset();
+        resume_from = ext.object_offset;
+      }
       const bool obs_on = obs::metrics_enabled();
       const double t0 = obs_on ? obs::now_us() : 0.0;
-      auto result = finish_locally(server, meta, ext, resp.resume_offset, *kernel.value());
+      auto result = finish_locally(server, meta, ext, resume_from, *kernel.value());
       if (obs_on) {
         obs::count("client.resumed");
         obs::observe("client.resume_compute_us", obs::now_us() - t0);
@@ -305,6 +418,7 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
       req.object_offset = p.ext.object_offset;
       req.length = p.ext.length;
       req.operation = items[p.index].operation;
+      req.timeout = config_.request_timeout;
       reqs.push_back(std::move(req));
     }
     auto responses = server.serve_active_batch(std::move(reqs));

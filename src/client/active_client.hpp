@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/token_bucket.hpp"
+#include "fault/fault.hpp"
 #include "kernels/registry.hpp"
 #include "pfs/client.hpp"
 #include "server/storage_server.hpp"
@@ -43,6 +45,32 @@ struct ActiveClientConfig {
   /// direct PFS paths (read(), striped local fallback) are charged here;
   /// server-side paths charge themselves. May be null.
   std::shared_ptr<TokenBucket> network;
+
+  /// Remote retry discipline: a failed active RPC whose error is transient
+  /// (kUnavailable/kTimedOut, see is_transient) is re-sent up to
+  /// retry.max_attempts times with capped exponential backoff before the
+  /// client falls back to local compute. Default (max_attempts = 1): off —
+  /// a transient failure goes straight to the single local retry.
+  RetryPolicy retry;
+
+  /// Per-request deadline forwarded to the server (0 = wait forever): a
+  /// request still unanswered after this many seconds fails kTimedOut and
+  /// the client recovers locally.
+  Seconds request_timeout = 0;
+
+  /// Shared fault injector (usually the cluster's): models transient
+  /// network errors on the client->server active RPC. May be null.
+  std::shared_ptr<fault::FaultInjector> faults;
+
+  /// Demote-to-local circuit breaker: after this many *consecutive*
+  /// kUnavailable failures from one storage node, the client stops
+  /// offloading to it and serves requests via normal I/O + local kernel
+  /// (every 4th request re-probes the node so recovery is noticed).
+  /// 0 disables.
+  int circuit_threshold = 0;
+
+  /// Seed for retry backoff jitter (deterministic per client).
+  std::uint64_t retry_seed = 1234;
 };
 
 class ActiveClient {
@@ -60,6 +88,12 @@ class ActiveClient {
     std::uint64_t resubmitted = 0;            ///< interrupted kernels re-offloaded
     Bytes raw_bytes_read = 0;               ///< raw data pulled over "the network"
     Bytes result_bytes_received = 0;        ///< kernel results/checkpoints received
+    std::uint64_t remote_retries = 0;       ///< transient active RPCs re-sent
+    std::uint64_t exhausted_retries = 0;    ///< retry budget spent without success
+    std::uint64_t timed_out = 0;            ///< responses that hit the deadline
+    std::uint64_t node_down_demotes = 0;    ///< circuit open: straight to local compute
+    std::uint64_t checkpoint_corrupt_restarts = 0;  ///< bad checkpoint -> clean local restart
+    Seconds backoff_total = 0;              ///< accrued retry backoff (virtual or slept)
   };
 
   /// `servers[i]` must be the Active Storage Server wrapping PFS data
@@ -119,6 +153,26 @@ class ActiveClient {
                                                    const ServerExtent& ext,
                                                    const std::string& operation);
 
+  /// Send one active RPC with net-error injection and the config's
+  /// transient-retry policy; feeds the circuit breaker.
+  server::ActiveIoResponse send_active(server::StorageServer& server,
+                                       const server::ActiveIoRequest& req);
+
+  /// True when the circuit for `server` is open (too many consecutive
+  /// kUnavailable) and this request is not a re-probe.
+  bool circuit_open(pfs::ServerId server);
+
+  /// Record a remote outcome for the breaker: unavailability opens it,
+  /// anything else resets it.
+  void note_remote_result(pfs::ServerId server, bool unavailable);
+
+  /// Full local service of one extent (normal I/O + local kernel), used
+  /// when the circuit is open. Reuses the node's still-live data path.
+  Result<std::vector<std::uint8_t>> serve_extent_locally(server::StorageServer& server,
+                                                         const pfs::FileMeta& meta,
+                                                         const ServerExtent& ext,
+                                                         const std::string& operation);
+
   /// Resolve an already-received server response for one extent (the
   /// completion/demotion/resume/retry state machine shared by the single
   /// and batch paths).
@@ -144,6 +198,13 @@ class ActiveClient {
 
   mutable std::mutex mu_;
   Stats stats_;
+  std::uint64_t retry_seq_ = 0;  ///< distinct Backoff seed per retry sequence
+
+  struct CircuitState {
+    int consecutive_unavailable = 0;
+    std::uint64_t skips = 0;  ///< requests short-circuited while open
+  };
+  std::vector<CircuitState> circuit_;  ///< indexed by server id
 };
 
 }  // namespace dosas::client

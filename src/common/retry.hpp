@@ -1,0 +1,66 @@
+// retry.hpp — capped exponential backoff with jitter, for client-side
+// recovery from transient storage-node faults.
+//
+// Active storage treats storage-node failure and slow-node stragglers as
+// the common case (ASF, Zest-style resilient staging), so the clients need
+// a uniform retry discipline: only errors that a later attempt can fix
+// (see is_transient in status.hpp) are retried, delays grow exponentially
+// up to a cap, and jitter decorrelates the retry storms of many concurrent
+// clients. Delays are deterministic given the seed; by default they are
+// *accounted* (like the virtual TokenBucket) rather than slept, so tests
+// stay fast — set sleep_real for wall-clock pacing.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dosas {
+
+struct RetryPolicy {
+  int max_attempts = 1;        ///< total tries; 1 = retry layer disabled
+  Seconds base_delay = 0.002;  ///< backoff before the 2nd attempt
+  Seconds max_delay = 0.250;   ///< cap on any single backoff
+  double multiplier = 2.0;     ///< growth per attempt
+  double jitter = 0.2;         ///< delay scaled by U[1-jitter, 1+jitter]
+  bool sleep_real = false;     ///< false: account only; true: actually sleep
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+/// One retry sequence: next_delay(k) is the backoff after failed attempt
+/// k (1-based), i.e. min(base * multiplier^(k-1), cap) * jitter-factor.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  Seconds next_delay(int failed_attempt) {
+    const double exp =
+        policy_.base_delay *
+        std::pow(policy_.multiplier, static_cast<double>(failed_attempt - 1));
+    Seconds d = std::min(policy_.max_delay, exp);
+    if (policy_.jitter > 0.0) {
+      d *= rng_.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    }
+    total_ += d;
+    if (policy_.sleep_real && d > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(d));
+    }
+    return d;
+  }
+
+  /// Accrued (virtual or slept) backoff across this sequence.
+  Seconds total() const { return total_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  Seconds total_ = 0.0;
+};
+
+}  // namespace dosas

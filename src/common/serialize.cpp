@@ -4,7 +4,21 @@ namespace dosas {
 
 namespace {
 constexpr std::uint32_t kMagic = 0xD05A5CE0;  // "DOSAS checkpoint"
+
+// FNV-1a 64 over the encoded payload. A checkpoint crosses "the network"
+// between storage and compute nodes; a corrupted one that still parses
+// would silently restore default field values (restart-from-zero) and
+// produce a wrong result, so integrity is verified before any field is
+// trusted.
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
+}  // namespace
 
 std::vector<std::uint8_t> Checkpoint::encode() const {
   ByteWriter w;
@@ -30,6 +44,7 @@ std::vector<std::uint8_t> Checkpoint::encode() const {
     w.put_u8(static_cast<std::uint8_t>(FieldType::kBlob));
     w.put_blob(v);
   }
+  w.put_u64(fnv1a(w.bytes().data(), w.bytes().size()));
   return w.take();
 }
 
@@ -39,6 +54,16 @@ Result<Checkpoint> Checkpoint::decode(const std::vector<std::uint8_t>& bytes) {
   std::uint32_t count = 0;
   if (!r.get_u32(magic) || magic != kMagic) {
     return error(ErrorCode::kInvalidArgument, "checkpoint: bad magic");
+  }
+  // Verify the trailing checksum before trusting any field.
+  if (bytes.size() < sizeof(std::uint64_t)) {
+    return error(ErrorCode::kInvalidArgument, "checkpoint: truncated header");
+  }
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
+  if (stored != fnv1a(bytes.data(), body)) {
+    return error(ErrorCode::kCorrupted, "checkpoint: checksum mismatch");
   }
   if (!r.get_u32(count)) {
     return error(ErrorCode::kInvalidArgument, "checkpoint: truncated header");
@@ -79,7 +104,7 @@ Result<Checkpoint> Checkpoint::decode(const std::vector<std::uint8_t>& bytes) {
         return error(ErrorCode::kInvalidArgument, "checkpoint: unknown field type");
     }
   }
-  if (!r.exhausted()) {
+  if (r.remaining() != sizeof(std::uint64_t)) {  // only the checksum may remain
     return error(ErrorCode::kInvalidArgument, "checkpoint: trailing bytes");
   }
   return ck;

@@ -12,6 +12,8 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kRejected: return "REJECTED";
     case ErrorCode::kInterrupted: return "INTERRUPTED";
+    case ErrorCode::kCorrupted: return "CORRUPTED";
+    case ErrorCode::kTimedOut: return "TIMED_OUT";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

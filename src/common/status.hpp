@@ -20,11 +20,20 @@ enum class ErrorCode {
   kAlreadyExists,   // create of an existing file
   kInvalidArgument, // malformed request
   kOutOfRange,      // read past EOF, bad stripe index
-  kUnavailable,     // server refused (overloaded / draining)
+  kUnavailable,     // server refused (overloaded / draining / crashed)
   kRejected,        // active request demoted to normal I/O by policy
   kInterrupted,     // active request interrupted mid-kernel; checkpoint attached
+  kCorrupted,       // payload failed an integrity check (e.g. checkpoint checksum)
+  kTimedOut,        // request exceeded its deadline
   kInternal,        // invariant violation
 };
+
+/// Failures that a retry (possibly after backoff) can plausibly fix:
+/// overloaded/crashed-and-restarting servers and expired deadlines. Errors
+/// like kNotFound or kInvalidArgument are deterministic and never retried.
+inline bool is_transient(ErrorCode c) {
+  return c == ErrorCode::kUnavailable || c == ErrorCode::kTimedOut;
+}
 
 /// Human-readable name for an error code ("NOT_FOUND", ...).
 const char* error_code_name(ErrorCode c);

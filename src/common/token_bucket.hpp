@@ -5,6 +5,13 @@
 // account for it, each transfer acquires bytes from a shared TokenBucket.
 // Virtual mode accrues the wait analytically (no sleeping) and reports it;
 // real mode actually blocks, so wall-clock measurements show the contention.
+//
+// Clock discipline: virtual mode runs entirely on an injectable virtual
+// clock that only advance() moves. It used to refill from wall-clock
+// Clock::now(), so real time elapsing between simulated transfers silently
+// granted free tokens and under-reported contention — back-to-back virtual
+// acquires now accrue the full deficit regardless of how long the caller
+// computed in between.
 #pragma once
 
 #include <chrono>
@@ -44,14 +51,27 @@ class TokenBucket {
         // itself advances so concurrent acquirers queue behind this one.
         virtual_debt_ += wait;
         tokens_ = 0.0;
-        last_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(wait));
+        if (mode_ == Mode::kVirtual) {
+          vlast_ = vnow_ + wait;  // booked into the virtual future
+        } else {
+          last_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(wait));
+        }
       }
     }
     if (mode_ == Mode::kReal && wait > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(wait));
     }
     return wait;
+  }
+
+  /// Advance the virtual clock by `dt` seconds: the only way virtual mode
+  /// earns tokens back. Tests and simulators call this to model idle link
+  /// time. No-op in real mode (wall clock is the clock there).
+  void advance(Seconds dt) {
+    if (dt <= 0.0) return;
+    std::lock_guard lock(mu_);
+    vnow_ += dt;
   }
 
   /// Total virtual waiting accrued so far (both modes).
@@ -67,11 +87,18 @@ class TokenBucket {
   using Clock = std::chrono::steady_clock;
 
   void refill_locked() {
-    const auto now = Clock::now();
-    if (now <= last_) return;
-    const double dt = std::chrono::duration<double>(now - last_).count();
+    double dt = 0.0;
+    if (mode_ == Mode::kVirtual) {
+      if (vnow_ <= vlast_) return;
+      dt = vnow_ - vlast_;
+      vlast_ = vnow_;
+    } else {
+      const auto now = Clock::now();
+      if (now <= last_) return;
+      dt = std::chrono::duration<double>(now - last_).count();
+      last_ = now;
+    }
     tokens_ = std::min(burst_, tokens_ + dt * rate_);
-    last_ = now;
   }
 
   const BytesPerSec rate_;
@@ -80,7 +107,9 @@ class TokenBucket {
 
   mutable std::mutex mu_;
   double tokens_;
-  Clock::time_point last_;
+  Clock::time_point last_;   // real mode: last refill instant
+  Seconds vnow_ = 0.0;       // virtual mode: injectable clock
+  Seconds vlast_ = 0.0;      // virtual mode: last refill instant
   Seconds virtual_debt_ = 0.0;
 };
 

@@ -27,6 +27,10 @@ Cluster::Cluster(ClusterConfig config)
     servers_.push_back(std::make_unique<server::StorageServer>(
         fs_, i, kernels::Registry::with_builtins(), ce, config_.rates, sc));
     servers_.back()->set_network(network_);
+    if (config_.faults != nullptr) {
+      servers_.back()->set_fault_injector(config_.faults);
+      fs_.data_server(i).set_fault_injector(config_.faults);
+    }
   }
 
   std::vector<server::StorageServer*> raw;
@@ -36,6 +40,10 @@ Cluster::Cluster(ClusterConfig config)
   cc.chunk_size = config_.client_chunk_size;
   cc.resubmit_interrupted = config_.resubmit_interrupted;
   cc.network = network_;
+  cc.retry = config_.client_retry;
+  cc.request_timeout = config_.request_timeout;
+  cc.faults = config_.faults;
+  cc.circuit_threshold = config_.circuit_threshold;
   asc_ = std::make_unique<client::ActiveClient>(pfs_client_, registry_, std::move(raw), cc);
 }
 

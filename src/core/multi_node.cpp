@@ -87,11 +87,15 @@ MultiNodeStats simulate_multi_node(SchemeKind scheme, const MultiNodeConfig& con
     return config.shared_link ? *links[0] : *links[node];
   };
 
-  // Per-node storage CPUs.
+  // Per-node storage CPUs (stragglers get a derated capacity).
   std::vector<std::unique_ptr<sim::FluidResource>> cpus;
   for (std::uint32_t n = 0; n < config.storage_nodes; ++n) {
+    const double factor = n < config.node_capacity_factor.size() &&
+                                  config.node_capacity_factor[n] > 0.0
+                              ? config.node_capacity_factor[n]
+                              : 1.0;
     cpus.push_back(std::make_unique<sim::FluidResource>(
-        s, sim::FluidResource::Config{.capacity = mb_per_sec(mc.storage_kernel_mbps),
+        s, sim::FluidResource::Config{.capacity = mb_per_sec(mc.storage_kernel_mbps) * factor,
                                       .per_job_cap = mb_per_sec(mc.storage_core_mbps),
                                       .name = "cpu" + std::to_string(n)}));
   }

@@ -34,6 +34,10 @@ struct MultiNodeConfig {
   /// of currently busy storage nodes — the network analogue of the paper's
   /// CPU-utilization probing. Ignored for dedicated links.
   bool ce_bandwidth_aware = true;
+  /// Straggler injection: per-node kernel-capacity multiplier (index =
+  /// node id). Missing entries default to 1.0; e.g. {1.0, 0.25} makes
+  /// node 1 a 4x-slow straggler. Values must be > 0.
+  std::vector<double> node_capacity_factor;
 };
 
 struct MultiNodeRequest {

@@ -168,7 +168,7 @@ Checkpoint Gaussian2dKernel::checkpoint() const {
 
   auto rows_to_blob = [](const std::vector<double>& row) {
     std::vector<std::uint8_t> b(row.size() * sizeof(double));
-    std::memcpy(b.data(), row.data(), b.size());
+    if (!row.empty()) std::memcpy(b.data(), row.data(), b.size());
     return b;
   };
   ck.set_blob("prev1", rows_to_blob(prev1_));
@@ -199,7 +199,7 @@ Status Gaussian2dKernel::restore(const Checkpoint& ck) {
 
   auto blob_to_rows = [](const std::vector<std::uint8_t>& b, std::vector<double>& out) {
     out.resize(b.size() / sizeof(double));
-    std::memcpy(out.data(), b.data(), out.size() * sizeof(double));
+    if (!out.empty()) std::memcpy(out.data(), b.data(), out.size() * sizeof(double));
   };
   const auto* pending = ck.get_blob("pending");
   const auto* prev1 = ck.get_blob("prev1");

@@ -12,7 +12,9 @@ void ItemwiseKernel::consume(std::span<const std::uint8_t> chunk) {
   if (carry_len_ > 0) {
     const std::size_t need = sizeof(double) - carry_len_;
     const std::size_t take = std::min(need, chunk.size());
-    std::memcpy(carry_ + carry_len_, chunk.data(), take);
+    // Empty chunks have a null data(); memcpy's pointers must be non-null
+    // even for size 0.
+    if (take > 0) std::memcpy(carry_ + carry_len_, chunk.data(), take);
     carry_len_ += take;
     chunk = chunk.subspan(take);
     if (carry_len_ == sizeof(double)) {
@@ -65,7 +67,7 @@ Status ItemwiseKernel::load_carry(const Checkpoint& ck) {
   if (carry.size() >= sizeof(double)) {
     return error(ErrorCode::kInvalidArgument, "checkpoint carry too large");
   }
-  std::memcpy(carry_, carry.data(), carry.size());
+  if (!carry.empty()) std::memcpy(carry_, carry.data(), carry.size());
   carry_len_ = carry.size();
   return Status::ok();
 }

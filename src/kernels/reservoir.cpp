@@ -54,7 +54,9 @@ Checkpoint ReservoirKernel::checkpoint() const {
   ck.set_i64("seed", static_cast<std::int64_t>(seed_));
   ck.set_i64("count", static_cast<std::int64_t>(count_));
   std::vector<std::uint8_t> sample_bytes(sample_.size() * sizeof(double));
-  std::memcpy(sample_bytes.data(), sample_.data(), sample_bytes.size());
+  if (!sample_.empty()) {
+    std::memcpy(sample_bytes.data(), sample_.data(), sample_bytes.size());
+  }
   ck.set_blob("sample", std::move(sample_bytes));
   // Algorithm R consumes exactly one draw per item past the fill phase, so
   // the RNG can be reconstructed by replaying; storing the draw count
@@ -79,7 +81,9 @@ Status ReservoirKernel::restore(const Checkpoint& ck) {
   const auto* sample = ck.get_blob("sample");
   if (sample == nullptr) return error(ErrorCode::kInvalidArgument, "reservoir: missing sample");
   sample_.resize(sample->size() / sizeof(double));
-  std::memcpy(sample_.data(), sample->data(), sample_.size() * sizeof(double));
+  if (!sample_.empty()) {
+    std::memcpy(sample_.data(), sample->data(), sample_.size() * sizeof(double));
+  }
   // Reconstruct the RNG by replaying the draws made so far (one per item
   // after the fill phase). Deterministic and exact.
   rng_.reseed(seed_);

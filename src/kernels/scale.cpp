@@ -11,7 +11,7 @@ Result<std::unique_ptr<Kernel>> ScaleKernel::from_spec(const OperationSpec& spec
 
 std::vector<std::uint8_t> ScaleKernel::finalize() const {
   std::vector<std::uint8_t> bytes(out_.size() * sizeof(double));
-  std::memcpy(bytes.data(), out_.data(), bytes.size());
+  if (!out_.empty()) std::memcpy(bytes.data(), out_.data(), bytes.size());
   return bytes;
 }
 
@@ -40,7 +40,7 @@ Status ScaleKernel::restore(const Checkpoint& ck) {
   const auto* out = ck.get_blob("out");
   if (out == nullptr) return error(ErrorCode::kInvalidArgument, "scale: missing output");
   out_.resize(out->size() / sizeof(double));
-  std::memcpy(out_.data(), out->data(), out_.size() * sizeof(double));
+  if (!out_.empty()) std::memcpy(out_.data(), out->data(), out_.size() * sizeof(double));
   return load_carry(ck);
 }
 

@@ -127,7 +127,7 @@ Checkpoint Sobel2dKernel::checkpoint() const {
   ck.set_blob("pending", pending_);
   auto row_blob = [](const std::vector<double>& row) {
     std::vector<std::uint8_t> b(row.size() * sizeof(double));
-    std::memcpy(b.data(), row.data(), b.size());
+    if (!row.empty()) std::memcpy(b.data(), row.data(), b.size());
     return b;
   };
   ck.set_blob("prev1", row_blob(prev1_));
@@ -159,7 +159,7 @@ Status Sobel2dKernel::restore(const Checkpoint& ck) {
   pending_ = *pending;
   auto blob_rows = [](const std::vector<std::uint8_t>& b, std::vector<double>& out) {
     out.resize(b.size() / sizeof(double));
-    std::memcpy(out.data(), b.data(), out.size() * sizeof(double));
+    if (!out.empty()) std::memcpy(out.data(), b.data(), out.size() * sizeof(double));
   };
   blob_rows(*prev1, prev1_);
   blob_rows(*prev2, prev2_);

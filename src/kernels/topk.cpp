@@ -54,7 +54,9 @@ Checkpoint TopKKernel::checkpoint() const {
   ck.set_i64("k", static_cast<std::int64_t>(k_));
   ck.set_i64("count", static_cast<std::int64_t>(count_));
   std::vector<std::uint8_t> heap_bytes(heap_.size() * sizeof(double));
-  std::memcpy(heap_bytes.data(), heap_.data(), heap_bytes.size());
+  if (!heap_.empty()) {
+    std::memcpy(heap_bytes.data(), heap_.data(), heap_bytes.size());
+  }
   ck.set_blob("heap", std::move(heap_bytes));
   save_carry(ck);
   return ck;
@@ -71,7 +73,9 @@ Status TopKKernel::restore(const Checkpoint& ck) {
   const auto* heap = ck.get_blob("heap");
   if (heap == nullptr) return error(ErrorCode::kInvalidArgument, "topk: missing heap");
   heap_.resize(heap->size() / sizeof(double));
-  std::memcpy(heap_.data(), heap->data(), heap_.size() * sizeof(double));
+  if (!heap_.empty()) {
+    std::memcpy(heap_.data(), heap->data(), heap_.size() * sizeof(double));
+  }
   // The blob preserves heap order, but re-establish the invariant anyway
   // (cheap, and robust to hand-built checkpoints).
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});

@@ -26,11 +26,21 @@ std::size_t DataServer::injected_failures() const {
   return injected_failures_;
 }
 
+void DataServer::set_fault_injector(std::shared_ptr<fault::FaultInjector> fi) {
+  std::lock_guard lock(mu_);
+  faults_ = std::move(fi);
+}
+
 Result<std::vector<std::uint8_t>> DataServer::read_object(FileHandle fh, Bytes offset,
                                                           Bytes length) const {
   std::lock_guard lock(mu_);
   if (fail_reads_ > 0) {
     --fail_reads_;
+    ++injected_failures_;
+    return error(ErrorCode::kUnavailable,
+                 "data server " + std::to_string(id_) + ": injected read fault");
+  }
+  if (faults_ != nullptr && faults_->inject_read_fault(id_)) {
     ++injected_failures_;
     return error(ErrorCode::kUnavailable,
                  "data server " + std::to_string(id_) + ": injected read fault");

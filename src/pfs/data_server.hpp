@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -15,6 +16,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "pfs/layout.hpp"
 
 namespace dosas::pfs {
@@ -33,8 +35,14 @@ class DataServer {
   /// transient data-server brownout (I/O timeouts under load).
   void fail_next_reads(std::size_t count);
 
-  /// Reads injected-failed so far (monotonic).
+  /// Reads injected-failed so far (monotonic; both fail_next_reads and the
+  /// probabilistic injector count here).
   std::size_t injected_failures() const;
+
+  /// Attach a (usually cluster-shared) probabilistic fault injector: each
+  /// read_object call may fail kUnavailable per its read_fault rate. Pass
+  /// nullptr to detach.
+  void set_fault_injector(std::shared_ptr<fault::FaultInjector> fi);
 
   /// Write `data` at `offset` within the object for `fh`, growing it
   /// (zero-filled) as needed.
@@ -70,6 +78,7 @@ class DataServer {
   Bytes bytes_written_ = 0;
   mutable std::size_t fail_reads_ = 0;       // remaining injected read failures
   mutable std::size_t injected_failures_ = 0;
+  std::shared_ptr<fault::FaultInjector> faults_;
   std::unordered_map<FileHandle, std::uint64_t> versions_;
 };
 

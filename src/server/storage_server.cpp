@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <exception>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "kernels/pipeline.hpp"
@@ -29,7 +32,21 @@ StorageServer::StorageServer(pfs::FileSystem& fs, pfs::ServerId server_id,
       ce_(std::move(ce_config), std::move(rates)),
       config_(config),
       obs_name_("server" + std::to_string(server_id)),
-      pool_(config.cores) {}
+      pool_(config.cores, [this](std::exception_ptr) {
+        // Backstop for exceptions escaping run_kernel itself (run_kernel
+        // already converts kernel throws to kFailed responses): count and
+        // keep the worker alive rather than letting the process die.
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.kernel_exceptions;
+        }
+        if (obs::metrics_enabled()) obs::count(obs_name_ + ".worker_exceptions");
+      }) {}
+
+void StorageServer::set_fault_injector(std::shared_ptr<fault::FaultInjector> fi) {
+  std::lock_guard lock(mu_);
+  faults_ = std::move(fi);
+}
 
 void StorageServer::obs_queue_depth_locked() const {
   if (!obs::metrics_enabled()) return;
@@ -85,6 +102,20 @@ std::pair<sched::RequestId, std::shared_ptr<StorageServer::Entry>> StorageServer
   return {id, entry};
 }
 
+std::shared_ptr<fault::FaultInjector> StorageServer::faults() const {
+  std::lock_guard lock(mu_);
+  return faults_;
+}
+
+ActiveIoResponse StorageServer::crashed_response(pfs::ServerId server_id) {
+  ActiveIoResponse resp;
+  resp.outcome = ActiveOutcome::kFailed;
+  resp.status = error(ErrorCode::kUnavailable,
+                      "storage node " + std::to_string(server_id) +
+                          ": active runtime down (injected crash)");
+  return resp;
+}
+
 bool StorageServer::launch_or_reject(sched::RequestId id, const std::shared_ptr<Entry>& entry,
                                      ActiveIoResponse& rejected_response) {
   {
@@ -102,7 +133,22 @@ bool StorageServer::launch_or_reject(sched::RequestId id, const std::shared_ptr<
       return false;
     }
   }
-  pool_.submit([this, id] { run_kernel(id); });
+  if (!pool_.submit([this, id] { run_kernel(id); })) {
+    // Pool already shut down: without this the entry would sit in the
+    // table forever and the client would hang in await_entry. Fail typed.
+    std::lock_guard lock(mu_);
+    entries_.erase(id);
+    ++stats_.active_failed;
+    ++stats_.pool_rejections;
+    if (obs::metrics_enabled()) {
+      obs::count(obs_name_ + ".pool_rejections");
+      obs_queue_depth_locked();
+    }
+    rejected_response.outcome = ActiveOutcome::kFailed;
+    rejected_response.status =
+        error(ErrorCode::kUnavailable, "worker pool shut down; active request not scheduled");
+    return false;
+  }
   return true;
 }
 
@@ -111,7 +157,32 @@ ActiveIoResponse StorageServer::await_entry(sched::RequestId id,
   ActiveIoResponse resp;
   {
     std::unique_lock lock(mu_);
-    response_cv_.wait(lock, [&] { return entry->response_ready; });
+    const Seconds timeout = entry->request.timeout;
+    if (timeout > 0.0) {
+      const bool ready = response_cv_.wait_for(
+          lock, std::chrono::duration<double>(timeout), [&] { return entry->response_ready; });
+      if (!ready) {
+        // Deadline passed: abandon the request. The interrupt flag stops
+        // the kernel at its next chunk boundary; the worker's late finish()
+        // writes into the shared Entry (kept alive by its shared_ptr) and
+        // is discarded.
+        entry->interrupt->store(true);
+        entries_.erase(id);
+        ++stats_.active_failed;
+        ++stats_.active_timed_out;
+        if (obs::metrics_enabled()) {
+          obs::count(obs_name_ + ".timed_out");
+          obs_queue_depth_locked();
+        }
+        resp.outcome = ActiveOutcome::kFailed;
+        resp.status = error(ErrorCode::kTimedOut,
+                            "active request " + std::to_string(id) + " exceeded its " +
+                                std::to_string(timeout) + "s deadline");
+        return resp;
+      }
+    } else {
+      response_cv_.wait(lock, [&] { return entry->response_ready; });
+    }
     resp = std::move(entry->response);
     entries_.erase(id);
     switch (resp.outcome) {
@@ -181,6 +252,12 @@ void StorageServer::cache_insert(const ActiveIoRequest& request, std::uint64_t v
 
 ActiveIoResponse StorageServer::serve_active(ActiveIoRequest request) {
   obs::ScopedTrace span(obs_name_ + ".serve_active", "server");
+  if (auto fi = faults(); fi != nullptr && fi->node_crashed(server_id_, true)) {
+    std::lock_guard lock(mu_);
+    ++stats_.active_failed;
+    ++stats_.crash_rejections;
+    return crashed_response(server_id_);
+  }
   if (auto cached = cache_lookup(request)) return std::move(*cached);
 
   auto [id, entry] = register_entry(std::move(request));
@@ -194,6 +271,15 @@ ActiveIoResponse StorageServer::serve_active(ActiveIoRequest request) {
 std::vector<ActiveIoResponse> StorageServer::serve_active_batch(
     std::vector<ActiveIoRequest> requests) {
   std::vector<ActiveIoResponse> responses(requests.size());
+  if (auto fi = faults(); fi != nullptr && fi->node_crashed(server_id_, true)) {
+    std::lock_guard lock(mu_);
+    for (auto& resp : responses) {
+      resp = crashed_response(server_id_);
+      ++stats_.active_failed;
+      ++stats_.crash_rejections;
+    }
+    return responses;
+  }
   // (request index, registered id/entry) for the cache misses.
   std::vector<std::pair<std::size_t, std::pair<sched::RequestId, std::shared_ptr<Entry>>>>
       registered;
@@ -364,10 +450,11 @@ void StorageServer::run_kernel(sched::RequestId id) {
   std::shared_ptr<Entry> entry;
   ActiveIoRequest request;
   std::shared_ptr<std::atomic<bool>> interrupt;
+  std::shared_ptr<fault::FaultInjector> fi;
   {
     std::lock_guard lock(mu_);
     auto it = entries_.find(id);
-    if (it == entries_.end()) return;  // client gave up (not expected)
+    if (it == entries_.end()) return;  // client gave up (timeout or shutdown)
     entry = it->second;
     if (entry->reject_before_start) {
       entry->response.outcome = ActiveOutcome::kRejected;
@@ -380,7 +467,9 @@ void StorageServer::run_kernel(sched::RequestId id) {
     entry->state = EntryState::kRunning;
     request = entry->request;
     interrupt = entry->interrupt;
+    fi = faults_;
   }
+  if (fi != nullptr) fi->note_kernel_start(server_id_);
 
   obs::ScopedTrace span(request.operation, "kernel");
   const bool obs_on = obs::metrics_enabled();
@@ -404,72 +493,126 @@ void StorageServer::run_kernel(sched::RequestId id) {
     return;
   }
   auto kernel = std::move(kernel_or).value();
-  kernel->reset();
+  try {
+    kernel->reset();
 
-  Bytes pos = request.object_offset;
-  if (request.is_resumption()) {
-    // Cooperative resumption: adopt the shipped state and continue.
-    auto decoded = Checkpoint::decode(request.resume_checkpoint);
-    Status restored = decoded.is_ok() ? kernel->restore(decoded.value()) : decoded.status();
-    if (!restored.is_ok()) {
-      ActiveIoResponse resp;
-      resp.outcome = ActiveOutcome::kFailed;
-      resp.status = restored;
-      finish(std::move(resp), 0);
-      return;
+    Bytes pos = request.object_offset;
+    if (request.is_resumption()) {
+      // Cooperative resumption: adopt the shipped state and continue. A
+      // corrupted checkpoint fails the decode's checksum (kCorrupted) and
+      // the request fails typed — never a silent restart from zero state.
+      auto decoded = Checkpoint::decode(request.resume_checkpoint);
+      Status restored = decoded.is_ok() ? kernel->restore(decoded.value()) : decoded.status();
+      if (!restored.is_ok()) {
+        ActiveIoResponse resp;
+        resp.outcome = ActiveOutcome::kFailed;
+        resp.status = restored;
+        finish(std::move(resp), 0);
+        return;
+      }
+      pos = request.resume_from;
     }
-    pos = request.resume_from;
+
+    const auto& ds = fs_.data_server(server_id_);
+    // Version observed before the scan: the result is cacheable only if the
+    // object is unchanged when the kernel finishes.
+    const std::uint64_t version_at_start = ds.object_version(request.handle);
+    const Bytes end = request.object_offset + request.length;
+    Bytes processed = 0;
+
+    while (pos < end) {
+      if (interrupt->load()) {
+        ActiveIoResponse resp;
+        resp.outcome = ActiveOutcome::kInterrupted;
+        resp.checkpoint = kernel->checkpoint().encode();
+        if (fi != nullptr) fi->inject_checkpoint_corruption(resp.checkpoint);
+        resp.resume_offset = pos;
+        resp.status = error(ErrorCode::kInterrupted, "kernel interrupted by scheduling policy");
+        finish(std::move(resp), processed);
+        return;
+      }
+      if (fi != nullptr && fi->node_crashed(server_id_)) {
+        // The node's active runtime dies mid-kernel. Model a Zest-style
+        // graceful drain: flush a checkpoint so the client can resume the
+        // scan elsewhere (here: locally) instead of starting over.
+        ActiveIoResponse resp;
+        resp.outcome = ActiveOutcome::kInterrupted;
+        resp.checkpoint = kernel->checkpoint().encode();
+        fi->inject_checkpoint_corruption(resp.checkpoint);
+        resp.resume_offset = pos;
+        resp.status = error(ErrorCode::kUnavailable,
+                            "storage node crashed mid-kernel; checkpoint flushed");
+        finish(std::move(resp), processed);
+        return;
+      }
+      if (fi != nullptr) {
+        // Straggler injection: sleep in interruptible slices so a timed-out
+        // (abandoned) request stops stalling the worker promptly.
+        Seconds stall = fi->inject_stall();
+        while (stall > 0.0 && !interrupt->load()) {
+          const Seconds slice = std::min(stall, 0.005);
+          std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+          stall -= slice;
+        }
+        if (fi->inject_kernel_throw()) {
+          throw std::runtime_error("injected kernel fault");
+        }
+      }
+      const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
+      auto chunk = ds.read_object(request.handle, pos, n);
+      if (!chunk.is_ok()) {
+        ActiveIoResponse resp;
+        resp.outcome = ActiveOutcome::kFailed;
+        resp.status = chunk.status();
+        finish(std::move(resp), processed);
+        return;
+      }
+      if (chunk.value().empty()) break;  // short object: end of data
+      kernel->consume(chunk.value());
+      pos += chunk.value().size();
+      processed += chunk.value().size();
+      entry->progress->store(processed, std::memory_order_relaxed);
+      if (chunk.value().size() < n) break;  // short read: end of object
+    }
+
+    ActiveIoResponse resp;
+    resp.outcome = ActiveOutcome::kCompleted;
+    resp.result = kernel->finalize();
+    // Resumed results are not cacheable: part of the scan predates
+    // version_at_start, so freshness cannot be vouched for.
+    if (!request.is_resumption()) cache_insert(request, version_at_start, resp.result);
+    if (obs_on && processed > 0) {
+      const double secs = (obs::now_us() - t0) * 1e-6;
+      if (secs > 0.0) {
+        const std::string kernel_key = request.operation.substr(0, request.operation.find(':'));
+        obs::observe(obs_name_ + ".kernel_mibps." + kernel_key,
+                     static_cast<double>(processed) / (1024.0 * 1024.0) / secs);
+      }
+    }
+    finish(std::move(resp), processed);
+  } catch (const std::exception& e) {
+    // A throwing kernel fails its own request, never the worker (and never
+    // the process): surface a typed error and count it.
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.kernel_exceptions;
+    }
+    if (obs_on) obs::count(obs_name_ + ".kernel_exceptions");
+    ActiveIoResponse resp;
+    resp.outcome = ActiveOutcome::kFailed;
+    resp.status = error(ErrorCode::kInternal, std::string("kernel threw: ") + e.what());
+    finish(std::move(resp), 0);
+  } catch (...) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.kernel_exceptions;
+    }
+    if (obs_on) obs::count(obs_name_ + ".kernel_exceptions");
+    ActiveIoResponse resp;
+    resp.outcome = ActiveOutcome::kFailed;
+    resp.status = error(ErrorCode::kInternal, "kernel threw a non-std exception");
+    finish(std::move(resp), 0);
   }
-
-  const auto& ds = fs_.data_server(server_id_);
-  // Version observed before the scan: the result is cacheable only if the
-  // object is unchanged when the kernel finishes.
-  const std::uint64_t version_at_start = ds.object_version(request.handle);
-  const Bytes end = request.object_offset + request.length;
-  Bytes processed = 0;
-
-  while (pos < end) {
-    if (interrupt->load()) {
-      ActiveIoResponse resp;
-      resp.outcome = ActiveOutcome::kInterrupted;
-      resp.checkpoint = kernel->checkpoint().encode();
-      resp.resume_offset = pos;
-      resp.status = error(ErrorCode::kInterrupted, "kernel interrupted by scheduling policy");
-      finish(std::move(resp), processed);
-      return;
-    }
-    const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
-    auto chunk = ds.read_object(request.handle, pos, n);
-    if (!chunk.is_ok()) {
-      ActiveIoResponse resp;
-      resp.outcome = ActiveOutcome::kFailed;
-      resp.status = chunk.status();
-      finish(std::move(resp), processed);
-      return;
-    }
-    if (chunk.value().empty()) break;  // short object: end of data
-    kernel->consume(chunk.value());
-    pos += chunk.value().size();
-    processed += chunk.value().size();
-    entry->progress->store(processed, std::memory_order_relaxed);
-    if (chunk.value().size() < n) break;  // short read: end of object
-  }
-
-  ActiveIoResponse resp;
-  resp.outcome = ActiveOutcome::kCompleted;
-  resp.result = kernel->finalize();
-  // Resumed results are not cacheable: part of the scan predates
-  // version_at_start, so freshness cannot be vouched for.
-  if (!request.is_resumption()) cache_insert(request, version_at_start, resp.result);
-  if (obs_on && processed > 0) {
-    const double secs = (obs::now_us() - t0) * 1e-6;
-    if (secs > 0.0) {
-      const std::string kernel_key = request.operation.substr(0, request.operation.find(':'));
-      obs::observe(obs_name_ + ".kernel_mibps." + kernel_key,
-                   static_cast<double>(processed) / (1024.0 * 1024.0) / secs);
-    }
-  }
-  finish(std::move(resp), processed);
 }
 
 StorageServer::Stats StorageServer::stats() const {

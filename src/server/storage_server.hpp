@@ -26,6 +26,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/token_bucket.hpp"
+#include "fault/fault.hpp"
 #include "kernels/registry.hpp"
 #include "pfs/file_system.hpp"
 #include "server/contention_estimator.hpp"
@@ -66,6 +67,10 @@ class StorageServer {
     std::uint64_t normal_requests = 0;
     std::uint64_t cache_hits = 0;      ///< active requests served from the result cache
     std::uint64_t cache_misses = 0;    ///< cache-enabled requests that ran a kernel
+    std::uint64_t active_timed_out = 0;   ///< requests abandoned at their deadline
+    std::uint64_t kernel_exceptions = 0;  ///< kernels that threw (caught -> kFailed)
+    std::uint64_t pool_rejections = 0;    ///< submits refused (pool shut down)
+    std::uint64_t crash_rejections = 0;   ///< active requests refused: node "crashed"
   };
 
   StorageServer(pfs::FileSystem& fs, pfs::ServerId server_id, kernels::Registry registry,
@@ -99,6 +104,13 @@ class StorageServer {
   /// charged against it. Virtual mode accounts delay without sleeping;
   /// real mode actually paces the transfers. Pass nullptr to detach.
   void set_network(std::shared_ptr<TokenBucket> link) { network_ = std::move(link); }
+
+  /// Attach a (usually cluster-shared) fault injector. While this node is
+  /// marked crashed, serve_active fails with kUnavailable (the normal-I/O
+  /// data path keeps serving, as in a PFS whose active runtime died);
+  /// running kernels may be injected with throws, stalls, and checkpoint
+  /// corruption per the injector's spec. Pass nullptr to detach.
+  void set_fault_injector(std::shared_ptr<fault::FaultInjector> fi);
 
   pfs::ServerId server_id() const { return server_id_; }
   ContentionEstimator& estimator() { return ce_; }
@@ -150,6 +162,13 @@ class StorageServer {
   /// h(d) for an operation, via a throwaway kernel instance (cached).
   Bytes result_size_for(const std::string& operation, Bytes input);
 
+  /// Snapshot of the attached injector (nullable); takes mu_.
+  std::shared_ptr<fault::FaultInjector> faults() const;
+
+  /// Fail an un-launched request because this node is "crashed": a typed
+  /// kFailed/kUnavailable response the client recovers from locally.
+  static ActiveIoResponse crashed_response(pfs::ServerId server_id);
+
   /// Scheduling group for a "pipe" operation: the stage with the lowest
   /// storage rate (the chain's bottleneck), or "pipe" (no rates -> stays
   /// active under DOSAS) when any stage is unknown.
@@ -173,6 +192,7 @@ class StorageServer {
   sched::RequestId next_id_ = 1;
   Stats stats_;
   std::shared_ptr<TokenBucket> network_;
+  std::shared_ptr<fault::FaultInjector> faults_;
   std::size_t normal_inflight_ = 0;
 
   // Cache of h(d)-per-byte behaviour: operation -> (probe input, result).

@@ -37,6 +37,13 @@ FluidResource::JobId FluidResource::submit(double work, CompletionFn on_complete
   return id;
 }
 
+void FluidResource::set_capacity(double capacity) {
+  assert(capacity > 0.0);
+  advance();  // settle work already served at the old rate allocation
+  cfg_.capacity = capacity;
+  reschedule();
+}
+
 double FluidResource::cancel(JobId id) {
   advance();
   auto it = jobs_.find(id);

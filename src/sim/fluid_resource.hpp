@@ -65,6 +65,11 @@ class FluidResource {
   const std::string& name() const { return cfg_.name; }
   double capacity() const { return cfg_.capacity; }
 
+  /// Change the total service rate mid-run (straggler / degraded-node
+  /// injection): elapsed work is settled at the old capacity first, then
+  /// rates and the pending completion are re-derived. Must be > 0.
+  void set_capacity(double capacity);
+
  private:
   struct Job {
     double remaining = 0.0;

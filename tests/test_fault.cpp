@@ -1,0 +1,315 @@
+// Unit tests for the fault-injection library and the robustness primitives
+// it exercises: FaultSpec parsing, injector determinism, checkpoint
+// checksums, the exception-safe ThreadPool, the virtual-clock TokenBucket,
+// and the retry Backoff schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "common/retry.hpp"
+#include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
+#include "common/token_bucket.hpp"
+#include "fault/fault.hpp"
+#include "pfs/data_server.hpp"
+
+namespace dosas {
+namespace {
+
+// ---------------------------------------------------------------- FaultSpec
+
+TEST(FaultSpec, ParsesEveryKey) {
+  auto spec = fault::FaultSpec::parse(
+      "seed=7,read_fault=0.05,kernel_throw=0.1,corrupt_ckpt=1,net_error=0.2,"
+      "stall=0.5,stall_ms=20,crash=1@5,crash=2");
+  ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+  const auto& s = spec.value();
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_DOUBLE_EQ(s.read_fault, 0.05);
+  EXPECT_DOUBLE_EQ(s.kernel_throw, 0.1);
+  EXPECT_DOUBLE_EQ(s.corrupt_ckpt, 1.0);
+  EXPECT_DOUBLE_EQ(s.net_error, 0.2);
+  EXPECT_DOUBLE_EQ(s.stall, 0.5);
+  EXPECT_DOUBLE_EQ(s.stall_delay, 0.020);
+  ASSERT_EQ(s.crashes.size(), 2u);
+  EXPECT_EQ(s.crashes[0].node, 1u);
+  EXPECT_EQ(s.crashes[0].after_kernels, 5u);
+  EXPECT_EQ(s.crashes[1].node, 2u);
+  EXPECT_EQ(s.crashes[1].after_kernels, 0u);
+  EXPECT_TRUE(s.any());
+}
+
+TEST(FaultSpec, RoundTripsThroughToString) {
+  auto spec = fault::FaultSpec::parse("seed=3,read_fault=0.25,crash=1@2");
+  ASSERT_TRUE(spec.is_ok());
+  auto again = fault::FaultSpec::parse(spec.value().to_string());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().seed, 3u);
+  EXPECT_DOUBLE_EQ(again.value().read_fault, 0.25);
+  ASSERT_EQ(again.value().crashes.size(), 1u);
+  EXPECT_EQ(again.value().crashes[0].node, 1u);
+  EXPECT_EQ(again.value().crashes[0].after_kernels, 2u);
+}
+
+TEST(FaultSpec, RejectsBadInput) {
+  EXPECT_EQ(fault::FaultSpec::parse("read_fault=1.5").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fault::FaultSpec::parse("read_fault=-0.1").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fault::FaultSpec::parse("read_fault=abc").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fault::FaultSpec::parse("bogus_key=1").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fault::FaultSpec::parse("notkeyvalue").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FaultSpec, EmptyMeansNoFaults) {
+  auto spec = fault::FaultSpec::parse("");
+  ASSERT_TRUE(spec.is_ok());
+  EXPECT_FALSE(spec.value().any());
+}
+
+// ---------------------------------------------------------------- injector
+
+TEST(FaultInjector, DeterministicForASeed) {
+  fault::FaultSpec spec;
+  spec.seed = 42;
+  spec.read_fault = 0.3;
+  spec.net_error = 0.3;
+  fault::FaultInjector a(spec), b(spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.inject_read_fault(0), b.inject_read_fault(0));
+    EXPECT_EQ(a.inject_net_error(), b.inject_net_error());
+  }
+  EXPECT_EQ(a.stats().read_faults, b.stats().read_faults);
+  EXPECT_GT(a.stats().read_faults, 0u);
+  EXPECT_LT(a.stats().read_faults, 200u);
+}
+
+TEST(FaultInjector, StreamsAreIndependentPerKind) {
+  // Drawing many net-error decisions must not shift the read-fault stream.
+  fault::FaultSpec spec;
+  spec.seed = 9;
+  spec.read_fault = 0.5;
+  spec.net_error = 0.5;
+  fault::FaultInjector a(spec), b(spec);
+  for (int i = 0; i < 100; ++i) b.inject_net_error();  // perturb only b's net stream
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.inject_read_fault(0), b.inject_read_fault(0));
+  }
+}
+
+TEST(FaultInjector, CrashAndRestore) {
+  fault::FaultSpec spec;
+  fault::FaultInjector fi(spec);
+  EXPECT_FALSE(fi.node_crashed(1));
+  fi.crash_node(1);
+  EXPECT_TRUE(fi.node_crashed(1));
+  EXPECT_FALSE(fi.node_crashed(0));
+  EXPECT_TRUE(fi.node_crashed(1, /*count_rejection=*/true));
+  EXPECT_EQ(fi.stats().crash_rejections, 1u);
+  fi.restore_node(1);
+  EXPECT_FALSE(fi.node_crashed(1));
+}
+
+TEST(FaultInjector, CrashArmsAfterNKernelStarts) {
+  auto spec = fault::FaultSpec::parse("crash=0@3");
+  ASSERT_TRUE(spec.is_ok());
+  fault::FaultInjector fi(spec.value());
+  EXPECT_FALSE(fi.node_crashed(0));
+  fi.note_kernel_start(0);
+  fi.note_kernel_start(0);
+  EXPECT_FALSE(fi.node_crashed(0));
+  fi.note_kernel_start(0);  // third start trips the crash
+  EXPECT_TRUE(fi.node_crashed(0));
+}
+
+TEST(FaultInjector, CorruptionIsCaughtByCheckpointChecksum) {
+  Checkpoint ck;
+  ck.set_f64("sum", 123.5);
+  ck.set_i64("count", 99);
+  auto bytes = ck.encode();
+  ASSERT_TRUE(Checkpoint::decode(bytes).is_ok());
+
+  auto spec = fault::FaultSpec::parse("corrupt_ckpt=1");
+  ASSERT_TRUE(spec.is_ok());
+  fault::FaultInjector fi(spec.value());
+  ASSERT_TRUE(fi.inject_checkpoint_corruption(bytes));
+  EXPECT_EQ(fi.stats().checkpoints_corrupted, 1u);
+
+  auto decoded = Checkpoint::decode(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kCorrupted);
+}
+
+TEST(FaultInjector, DataServerReadFaultIntegration) {
+  auto spec = fault::FaultSpec::parse("read_fault=1");
+  ASSERT_TRUE(spec.is_ok());
+  pfs::DataServer ds(0);
+  ASSERT_TRUE(ds.write_object(1, 0, std::vector<std::uint8_t>(64, 7)).is_ok());
+  ds.set_fault_injector(std::make_shared<fault::FaultInjector>(spec.value()));
+  auto r = ds.read_object(1, 0, 16);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ds.injected_failures(), 1u);
+  ds.set_fault_injector(nullptr);  // detach: service recovers
+  EXPECT_TRUE(ds.read_object(1, 0, 16).is_ok());
+}
+
+// ---------------------------------------------------------------- checksum
+
+TEST(CheckpointChecksum, SingleFlippedByteRejectsAsCorrupted) {
+  Checkpoint ck;
+  ck.set_f64("acc", 42.0);
+  auto bytes = ck.encode();
+  // Flip one body byte past the magic: checksum must catch it. (A magic
+  // mismatch stays kInvalidArgument — that is a different-format error.)
+  bytes[6] ^= 0x01;
+  auto decoded = Checkpoint::decode(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kCorrupted);
+}
+
+TEST(CheckpointChecksum, RoundTripStillWorks) {
+  Checkpoint ck;
+  ck.set_f64("sum", -1.25);
+  ck.set_i64("count", 7);
+  auto decoded = Checkpoint::decode(ck.encode());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_DOUBLE_EQ(decoded.value().get_f64("sum"), -1.25);
+  EXPECT_EQ(decoded.value().get_i64("count"), 7u);
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolFaults, ThrowingTaskDoesNotKillWorker) {
+  std::atomic<int> errors{0};
+  std::atomic<int> ran{0};
+  ThreadPool pool(1, [&](std::exception_ptr ep) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom");
+      ++errors;
+    }
+  });
+  ASSERT_TRUE(pool.submit([] { throw std::runtime_error("boom"); }));
+  // The single worker must survive to run this task.
+  ASSERT_TRUE(pool.submit([&] { ++ran; }));
+  pool.shutdown();
+  EXPECT_EQ(errors.load(), 1);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.task_exceptions(), 1u);
+}
+
+TEST(ThreadPoolFaults, NonStdExceptionAlsoCaught) {
+  ThreadPool pool(1);  // no callback: counting still works
+  ASSERT_TRUE(pool.submit([] { throw 42; }));
+  pool.shutdown();
+  EXPECT_EQ(pool.task_exceptions(), 1u);
+}
+
+TEST(ThreadPoolFaults, SubmitAfterShutdownReturnsFalse) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+// ---------------------------------------------------------------- TokenBucket
+
+TEST(TokenBucketVirtualClock, BackToBackAcquiresAccrueFullDeficit) {
+  // 100 B/s, 100 B burst. Three instant 100 B acquires: the first spends
+  // the burst, each later one owes a full second — regardless of how much
+  // wall-clock time the test burns between calls.
+  TokenBucket tb(100.0, 100, TokenBucket::Mode::kVirtual);
+  EXPECT_DOUBLE_EQ(tb.acquire(100), 0.0);
+  EXPECT_DOUBLE_EQ(tb.acquire(100), 1.0);
+  EXPECT_DOUBLE_EQ(tb.acquire(100), 1.0);
+  EXPECT_DOUBLE_EQ(tb.accrued_delay(), 2.0);
+}
+
+TEST(TokenBucketVirtualClock, AdvanceEarnsTokens) {
+  TokenBucket tb(100.0, 100, TokenBucket::Mode::kVirtual);
+  EXPECT_DOUBLE_EQ(tb.acquire(100), 0.0);  // burst spent
+  tb.advance(0.5);                         // idle half a second: +50 tokens
+  EXPECT_DOUBLE_EQ(tb.acquire(100), 0.5);  // only 50 B short now
+}
+
+TEST(TokenBucketVirtualClock, AdvancePastDebtRestoresBurst) {
+  TokenBucket tb(100.0, 100, TokenBucket::Mode::kVirtual);
+  tb.acquire(100);
+  tb.acquire(100);   // 1 s of debt booked into the virtual future
+  tb.advance(10.0);  // long idle: bucket refills to burst (not beyond)
+  EXPECT_DOUBLE_EQ(tb.acquire(100), 0.0);
+}
+
+// ---------------------------------------------------------------- Backoff
+
+TEST(Backoff, DeterministicGivenSeed) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  Backoff a(p, 7), b(p, 7);
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(a.next_delay(k), b.next_delay(k));
+  }
+  EXPECT_DOUBLE_EQ(a.total(), b.total());
+}
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.max_attempts = 10;
+  p.base_delay = 0.010;
+  p.max_delay = 0.050;
+  p.multiplier = 2.0;
+  p.jitter = 0.0;  // exact schedule
+  Backoff bo(p, 1);
+  EXPECT_DOUBLE_EQ(bo.next_delay(1), 0.010);
+  EXPECT_DOUBLE_EQ(bo.next_delay(2), 0.020);
+  EXPECT_DOUBLE_EQ(bo.next_delay(3), 0.040);
+  EXPECT_DOUBLE_EQ(bo.next_delay(4), 0.050);  // capped
+  EXPECT_DOUBLE_EQ(bo.next_delay(5), 0.050);  // stays capped
+  EXPECT_DOUBLE_EQ(bo.total(), 0.170);
+}
+
+TEST(Backoff, JitterStaysWithinBounds) {
+  RetryPolicy p;
+  p.max_attempts = 100;
+  p.base_delay = 0.010;
+  p.max_delay = 10.0;  // cap out of the way
+  p.multiplier = 1.0;  // isolate the jitter factor
+  p.jitter = 0.2;
+  Backoff bo(p, 99);
+  for (int k = 1; k <= 50; ++k) {
+    const Seconds d = bo.next_delay(k);
+    EXPECT_GE(d, 0.008 - 1e-12);
+    EXPECT_LE(d, 0.012 + 1e-12);
+  }
+}
+
+TEST(Backoff, DisabledPolicyHasNoRetries) {
+  RetryPolicy p;  // defaults: max_attempts = 1
+  EXPECT_FALSE(p.enabled());
+  p.max_attempts = 3;
+  EXPECT_TRUE(p.enabled());
+}
+
+// ---------------------------------------------------------------- is_transient
+
+TEST(ErrorCodes, TransientClassification) {
+  EXPECT_TRUE(is_transient(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_transient(ErrorCode::kTimedOut));
+  EXPECT_FALSE(is_transient(ErrorCode::kNotFound));
+  EXPECT_FALSE(is_transient(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(is_transient(ErrorCode::kCorrupted));
+  EXPECT_FALSE(is_transient(ErrorCode::kInternal));
+}
+
+TEST(ErrorCodes, NewCodesHaveNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kCorrupted), "CORRUPTED");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTimedOut), "TIMED_OUT");
+}
+
+}  // namespace
+}  // namespace dosas

@@ -74,6 +74,30 @@ TEST(MultiNode, SharedLinkSlowsTraditional) {
   EXPECT_GT(s.makespan, d.makespan * 2.0);
 }
 
+TEST(MultiNode, StragglerNodeStretchesTheMakespan) {
+  // One 4x-slow kernel CPU (node_capacity_factor straggler injection): the
+  // balanced workload now finishes when the slow node does, well after the
+  // uniform cluster would.
+  MultiNodeConfig uniform;
+  uniform.node = ModelConfig::gaussian();
+  uniform.storage_nodes = 4;
+  uniform.shared_link = false;
+  MultiNodeConfig straggler = uniform;
+  straggler.node_capacity_factor = {1.0, 1.0, 1.0, 0.25};
+
+  const auto workload = balanced_workload(4, 4, 128_MiB);
+  const auto u = simulate_multi_node(SchemeKind::kActive, uniform, workload);
+  const auto s = simulate_multi_node(SchemeKind::kActive, straggler, workload);
+  EXPECT_GT(s.makespan, u.makespan * 1.5);
+
+  // A factor vector shorter than the cluster pads with 1.0 — no straggler,
+  // identical makespan.
+  MultiNodeConfig padded = uniform;
+  padded.node_capacity_factor = {1.0};
+  const auto p = simulate_multi_node(SchemeKind::kActive, padded, workload);
+  EXPECT_NEAR(p.makespan, u.makespan, 1e-9);
+}
+
 TEST(MultiNode, ActiveStorageRelievesTheSharedBackbone) {
   // The active-storage value proposition at scale: on a shared backbone,
   // AS's tiny results dodge the contention that crushes TS.

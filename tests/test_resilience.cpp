@@ -1,11 +1,15 @@
 // Failure-injection tests: transient data-server faults during active I/O,
-// client-side retry, persistent-fault propagation, and the real runtime's
-// interruption-hysteresis knob.
+// client-side retry, persistent-fault propagation, the real runtime's
+// interruption-hysteresis knob, and the seed-driven fault-injection /
+// recovery machinery (throwing kernels, node crashes, net errors, stalls,
+// corrupted checkpoints — every request completes or fails typed).
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "common/serialize.hpp"
 #include "core/cluster.hpp"
+#include "fault/fault.hpp"
 #include "kernels/sum.hpp"
 #include "server/storage_server.hpp"
 
@@ -161,6 +165,250 @@ TEST(Hysteresis, NeverInterruptKeepsKernelsRunning) {
   EXPECT_EQ(server.stats().active_interrupted, 0u);
   // Demotions still happen — only the interruption channel is closed.
   EXPECT_GT(server.stats().active_rejected, 0u);
+}
+
+// ------------------------------------------------- e2e fault injection
+
+struct FaultyOpts {
+  std::string spec;            ///< --fault-spec string; empty = no injector
+  int retries = 0;             ///< extra remote attempts beyond the first
+  Seconds timeout = 0;         ///< per-request deadline (0 = wait forever)
+  int circuit_threshold = 0;   ///< demote-to-local breaker (0 = off)
+};
+
+std::unique_ptr<Cluster> cluster_with_faults(const FaultyOpts& opts, std::size_t count) {
+  ClusterConfig cfg;
+  cfg.scheme = SchemeKind::kActive;
+  cfg.server_chunk_size = 64_KiB;
+  cfg.client_chunk_size = 64_KiB;
+  if (!opts.spec.empty()) {
+    auto spec = fault::FaultSpec::parse(opts.spec);
+    EXPECT_TRUE(spec.is_ok()) << spec.status().to_string();
+    cfg.faults = std::make_shared<fault::FaultInjector>(spec.value());
+  }
+  cfg.client_retry.max_attempts = 1 + opts.retries;
+  cfg.request_timeout = opts.timeout;
+  cfg.circuit_threshold = opts.circuit_threshold;
+  auto cluster = std::make_unique<Cluster>(cfg);
+  auto meta = pfs::write_doubles(cluster->pfs_client(), "/data", count,
+                                 [](std::size_t i) { return static_cast<double>(i % 7); });
+  EXPECT_TRUE(meta.is_ok());
+  return cluster;
+}
+
+void expect_sum_ok(Result<std::vector<std::uint8_t>> out, std::size_t count) {
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  auto sum = kernels::SumResult::decode(out.value());
+  ASSERT_TRUE(sum.is_ok());
+  EXPECT_EQ(sum.value().count, count);
+  EXPECT_NEAR(sum.value().sum, expected_sum(count), 1e-6);
+}
+
+TEST(FaultE2E, ThrowingKernelFailsTypedAndClientRecoversLocally) {
+  // Every remote kernel launch throws. The worker survives (satellite a),
+  // the server answers kFailed/kInternal instead of std::terminate-ing,
+  // and the client finishes the request locally.
+  constexpr std::size_t kCount = 50'000;
+  auto cluster = cluster_with_faults({.spec = "seed=1,kernel_throw=1"}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+
+  EXPECT_EQ(cluster->storage_server(0).stats().kernel_exceptions, 1u);
+  EXPECT_EQ(cluster->asc().stats().failed_remote_retries, 1u);
+  EXPECT_EQ(cluster->fault_injector()->stats().kernel_throws, 1u);
+
+  // The worker pool is still alive: a clean follow-up request would also
+  // throw (P=1), so just confirm the server keeps answering at all.
+  auto again = cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+  expect_sum_ok(std::move(again), kCount);
+  EXPECT_EQ(cluster->storage_server(0).stats().kernel_exceptions, 2u);
+}
+
+TEST(FaultE2E, CrashedNodeOpensCircuitAndClientDemotesToLocalCompute) {
+  // Node 0's active runtime is down from the start; its PFS daemon keeps
+  // serving. After one kUnavailable the breaker opens and later requests
+  // go straight to normal I/O + local kernel — all answers stay correct.
+  constexpr std::size_t kCount = 30'000;
+  auto cluster = cluster_with_faults(
+      {.spec = "seed=2,crash=0", .circuit_threshold = 1}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  for (int i = 0; i < 4; ++i) {
+    expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+  }
+
+  const auto cs = cluster->asc().stats();
+  EXPECT_GE(cs.node_down_demotes, 2u);         // circuit-open short-circuits
+  EXPECT_GE(cluster->fault_injector()->stats().crash_rejections, 1u);
+  EXPECT_EQ(cs.completed_remote, 0u);
+
+  // Restore the node; re-probes close the circuit and offload resumes.
+  cluster->fault_injector()->restore_node(0);
+  for (int i = 0; i < 8; ++i) {
+    expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+  }
+  EXPECT_GT(cluster->asc().stats().completed_remote, 0u);
+}
+
+TEST(FaultE2E, NodeDiesMidKernelAndClientResumesFromCheckpoint) {
+  // crash=0@2: the node goes down as it starts its 2nd kernel. That kernel
+  // drains gracefully (kInterrupted + checkpoint); the client restores the
+  // checkpoint and finishes the extent locally. A 3rd request is refused
+  // at arrival and the client retries locally.
+  constexpr std::size_t kCount = 50'000;
+  auto cluster = cluster_with_faults({.spec = "seed=3,crash=0@2"}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  for (int i = 0; i < 3; ++i) {
+    expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+  }
+
+  const auto cs = cluster->asc().stats();
+  EXPECT_EQ(cs.completed_remote, 1u);      // request #1
+  EXPECT_EQ(cs.resumed_local, 1u);         // request #2, checkpoint resume
+  EXPECT_EQ(cs.failed_remote_retries, 1u); // request #3, refused at arrival
+  EXPECT_GE(cluster->storage_server(0).stats().crash_rejections, 1u);
+}
+
+TEST(FaultE2E, TransientNetErrorsRecoverViaRetryWithBackoff) {
+  // 40% of active RPCs are lost in the network; with a retry budget the
+  // client re-sends with capped exponential backoff and every request
+  // still completes with the right answer.
+  constexpr std::size_t kCount = 20'000;
+  auto cluster = cluster_with_faults(
+      {.spec = "seed=4,net_error=0.4", .retries = 5}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  for (int i = 0; i < 6; ++i) {
+    expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+  }
+
+  const auto cs = cluster->asc().stats();
+  EXPECT_GT(cs.remote_retries, 0u);
+  EXPECT_GT(cs.backoff_total, 0.0);  // accounted, not slept (virtual mode)
+  EXPECT_GT(cluster->fault_injector()->stats().net_errors, 0u);
+}
+
+TEST(FaultE2E, ExhaustedRetriesFallBackLocallyThenFailTyped) {
+  // Every RPC is lost (net_error=1). The retry budget burns down, the
+  // exhaustion is counted, and the client still recovers via local
+  // compute. Once the data path faults too, the caller gets a *typed*
+  // kUnavailable — never a hang, never a silent wrong answer.
+  constexpr std::size_t kCount = 20'000;
+  auto cluster = cluster_with_faults(
+      {.spec = "seed=5,net_error=1", .retries = 2}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+  auto cs = cluster->asc().stats();
+  EXPECT_EQ(cs.remote_retries, 2u);       // attempts 2 and 3
+  EXPECT_EQ(cs.exhausted_retries, 1u);
+  EXPECT_EQ(cs.failed_remote_retries, 1u);
+
+  cluster->fs().data_server(0).fail_next_reads(1000);
+  auto out = cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(FaultE2E, StallingNodeHitsDeadlineAndClientRecovers) {
+  // The node stalls 40 ms at every kernel chunk; the request deadline is
+  // 10 ms. The client gets kTimedOut, the server interrupts the abandoned
+  // kernel, and the answer is computed locally.
+  constexpr std::size_t kCount = 50'000;
+  auto cluster = cluster_with_faults(
+      {.spec = "seed=6,stall=1,stall_ms=40", .timeout = 0.010}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+
+  EXPECT_GE(cluster->asc().stats().timed_out, 1u);
+  EXPECT_GE(cluster->storage_server(0).stats().active_timed_out, 1u);
+  EXPECT_GE(cluster->fault_injector()->stats().stalls, 1u);
+}
+
+TEST(FaultE2E, CorruptedCheckpointIsDetectedAndRestartedCleanly) {
+  // The node dies as it starts kernel #1 and the checkpoint it ships is
+  // garbled in flight. The Checkpoint checksum catches it (kCorrupted),
+  // the client restarts the kernel locally from the extent start — the
+  // corruption is *counted*, never silently restored as zeros.
+  constexpr std::size_t kCount = 50'000;
+  auto cluster =
+      cluster_with_faults({.spec = "seed=7,corrupt_ckpt=1,crash=0@1"}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+
+  EXPECT_EQ(cluster->asc().stats().checkpoint_corrupt_restarts, 1u);
+  EXPECT_EQ(cluster->fault_injector()->stats().checkpoints_corrupted, 1u);
+}
+
+TEST(FaultE2E, ServerRejectsCorruptResumeCheckpointWithTypedError) {
+  // Cooperative resumption with a bit-flipped checkpoint: the server must
+  // answer kFailed/kCorrupted, not restore default field values and
+  // silently recompute from zero.
+  constexpr std::size_t kCount = 10'000;
+  auto cluster = cluster_with_faults({}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  Checkpoint cp;
+  cp.set_f64("sum", 123.0);
+  cp.set_i64("count", 45);
+  auto bytes = cp.encode();
+  bytes.back() ^= 0xFF;  // flip one checksum byte
+
+  server::ActiveIoRequest req;
+  req.handle = meta.value().handle;
+  req.length = meta.value().size;
+  req.operation = "sum";
+  req.resume_checkpoint = bytes;
+  req.resume_from = 4096;
+  auto resp = cluster->storage_server(0).serve_active(req);
+  EXPECT_EQ(resp.outcome, server::ActiveOutcome::kFailed);
+  EXPECT_EQ(resp.status.code(), ErrorCode::kCorrupted);
+}
+
+TEST(FaultE2E, FaultStormEveryRequestCompletesOrFailsTyped) {
+  // The acceptance scenario: kernel throws, lost RPCs, stragglers and
+  // checkpoint corruption all at once. Every request must complete with
+  // the right answer or fail with a typed error — zero lost, zero hung
+  // (the test finishing at all proves no hangs).
+  constexpr std::size_t kCount = 30'000;
+  auto cluster = cluster_with_faults(
+      {.spec = "seed=8,kernel_throw=0.3,net_error=0.3,stall=0.2,stall_ms=5,corrupt_ckpt=1",
+       .retries = 3,
+       .timeout = 0.050},
+      kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+
+  constexpr int kRequests = 20;
+  int ok = 0, typed_failures = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    auto out = cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+    if (out.is_ok()) {
+      auto sum = kernels::SumResult::decode(out.value());
+      ASSERT_TRUE(sum.is_ok());
+      EXPECT_NEAR(sum.value().sum, expected_sum(kCount), 1e-6);
+      ++ok;
+    } else {
+      EXPECT_NE(out.status().code(), ErrorCode::kOk);
+      ++typed_failures;
+    }
+  }
+  EXPECT_EQ(ok + typed_failures, kRequests);
+  // With the data path healthy, every injected fault is recoverable.
+  EXPECT_EQ(ok, kRequests);
+  EXPECT_GT(cluster->fault_injector()->stats().total(), 0u);
 }
 
 }  // namespace

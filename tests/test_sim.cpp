@@ -178,6 +178,18 @@ TEST(FluidResource, ArrivalSlowsExistingJob) {
   EXPECT_DOUBLE_EQ(first_done, 3.0);
 }
 
+TEST(FluidResource, SetCapacityMidFlightReschedules) {
+  Simulator sim;
+  FluidResource cpu(sim, {.capacity = 100.0});
+  Time done = -1;
+  cpu.submit(200.0, [&](Time t) { done = t; });
+  // The node derates to half speed at t=1 (straggler onset).
+  sim.schedule_at(1.0, [&] { cpu.set_capacity(50.0); });
+  sim.run();
+  // 100 served by t=1, then 100 left at 50/s => done at t=3.
+  EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
 TEST(FluidResource, CancelReturnsRemainingWork) {
   Simulator sim;
   FluidResource cpu(sim, {.capacity = 100.0});

@@ -9,6 +9,8 @@
 //   dosas_ctl replay    --trace workload.trace [--scheme ts|as|dosas]
 //   dosas_ctl runtime   --trace workload.trace [--scheme ts|as|dosas]
 //                       [--strip 64KiB] [--chunk 1MiB]
+//                       [--fault-spec seed=7,read_fault=0.05,...] [--retries 3]
+//                       [--timeout-ms 500] [--circuit 3]
 //   dosas_ctl calibrate [--mb 64]
 //   dosas_ctl trace-gen --ios 32 --size 128MiB [--gap 0.25] [--nodes 4]
 //                       [--out workload.trace]
@@ -259,6 +261,23 @@ int cmd_runtime(const Args& args) {
     std::fprintf(stderr, "unknown --scheme '%s' (expected ts|as|dosas)\n", scheme_s.c_str());
     return 1;
   }
+
+  // Fault-injection + recovery knobs (see docs/RESILIENCE.md).
+  if (args.has("fault-spec")) {
+    auto spec = fault::FaultSpec::parse(args.get("fault-spec", ""));
+    if (!spec.is_ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().to_string().c_str());
+      return 1;
+    }
+    cfg.faults = std::make_shared<fault::FaultInjector>(spec.value());
+    std::printf("fault spec: %s\n", cfg.faults->spec().to_string().c_str());
+  }
+  const int retries = static_cast<int>(args.get_int("retries", 0));
+  if (retries > 0) cfg.client_retry.max_attempts = 1 + retries;
+  const double timeout_ms = args.get_double("timeout-ms", 0.0);
+  if (timeout_ms > 0.0) cfg.request_timeout = timeout_ms / 1000.0;
+  cfg.circuit_threshold = static_cast<int>(args.get_int("circuit", 0));
+
   Cluster cluster(cfg);
 
   // Materialize each trace record as a file pinned to its node (a one-server
@@ -310,6 +329,32 @@ int cmd_runtime(const Args& args) {
   }
   std::printf("\n");
   servers.print(std::cout);
+
+  const auto cst = cluster.asc().stats();
+  std::printf(
+      "\nclient recovery: %llu remote retries (%llu exhausted), %llu timed out,\n"
+      "  %llu demoted, %llu resumed, %llu node-down demotes, %llu checkpoint restarts,\n"
+      "  %.3f s accrued backoff\n",
+      static_cast<unsigned long long>(cst.remote_retries),
+      static_cast<unsigned long long>(cst.exhausted_retries),
+      static_cast<unsigned long long>(cst.timed_out),
+      static_cast<unsigned long long>(cst.demoted),
+      static_cast<unsigned long long>(cst.resumed_local),
+      static_cast<unsigned long long>(cst.node_down_demotes),
+      static_cast<unsigned long long>(cst.checkpoint_corrupt_restarts), cst.backoff_total);
+  if (cluster.fault_injector() != nullptr) {
+    const auto fst = cluster.fault_injector()->stats();
+    std::printf(
+        "faults injected: %llu read, %llu kernel-throw, %llu corrupt-ckpt, %llu net,\n"
+        "  %llu stall, %llu crash-rejection (total %llu)\n",
+        static_cast<unsigned long long>(fst.read_faults),
+        static_cast<unsigned long long>(fst.kernel_throws),
+        static_cast<unsigned long long>(fst.checkpoints_corrupted),
+        static_cast<unsigned long long>(fst.net_errors),
+        static_cast<unsigned long long>(fst.stalls),
+        static_cast<unsigned long long>(fst.crash_rejections),
+        static_cast<unsigned long long>(fst.total()));
+  }
   std::printf("\nwall time: %.3f s  (%zu failure(s))\n", report.wall_time, report.failures);
   write_csv_if_requested(args, table);
   return report.failures == 0 ? 0 : 1;
@@ -375,6 +420,7 @@ int usage() {
       "  multinode  --nodes 4 --per-node 8 --size 128MiB [--dedicated-links] [--naive-ce]\n"
       "  replay     --trace file [--scheme ts|as|dosas|all] [--kernel ...]\n"
       "  runtime    --trace file [--scheme ts|as|dosas] [--strip 64KiB] [--chunk 1MiB]\n"
+      "             [--fault-spec k=v,...] [--retries N] [--timeout-ms T] [--circuit N]\n"
       "  calibrate  [--mb 64]\n"
       "  trace-gen  --ios 32 --size 128MiB [--gap 0.25] [--nodes 4] [--out file]\n"
       "global flags: --metrics (snapshot at exit)  --trace-out=<file> (Chrome trace)\n",
