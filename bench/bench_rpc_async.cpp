@@ -1,0 +1,150 @@
+// Extension — async transport pipelining. The ASC's read_ex used to
+// resolve a striped request's per-node extents one blocking RPC at a time;
+// the rpc transport submits them all up front and waits once. This bench
+// measures that difference end to end on the real runtime: N concurrent
+// clients issuing striped active reads, sequential-per-extent vs pipelined
+// fan-out, with a bit-identical result check between the two modes.
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/cluster.hpp"
+#include "pfs/layout.hpp"
+#include "rpc/transport.hpp"
+
+namespace {
+
+using namespace dosas;
+
+/// The pre-transport behaviour: one blocking RPC per server extent, merged
+/// in stripe order as each reply arrives.
+std::vector<std::uint8_t> read_ex_sequential(client::ActiveClient& asc,
+                                             const pfs::FileMeta& meta,
+                                             const std::string& operation) {
+  const pfs::Layout layout(meta.striping);
+  std::map<pfs::ServerId, std::pair<Bytes, Bytes>> extents;  // server -> (offset, length)
+  for (const auto& seg : layout.map_extent(0, meta.size)) {
+    auto [it, inserted] = extents.try_emplace(seg.server,
+                                              std::make_pair(seg.object_offset, seg.length));
+    if (!inserted) it->second.second += seg.length;
+  }
+  auto master = asc.registry().create(operation);
+  assert(master.is_ok());
+  master.value()->reset();
+  for (const auto& [server, ext] : extents) {
+    rpc::Envelope env;
+    env.target = server;
+    env.kind = rpc::OpKind::kActiveIo;
+    env.active.handle = meta.handle;
+    env.active.object_offset = ext.first;
+    env.active.length = ext.second;
+    env.active.operation = operation;
+    auto reply = asc.transport().submit(std::move(env)).wait();  // <- the serialization
+    assert(reply.active.outcome == server::ActiveOutcome::kCompleted);
+    [[maybe_unused]] Status st = master.value()->merge(reply.active.result);
+    assert(st.is_ok());
+  }
+  return master.value()->finalize();
+}
+
+double run_clients(std::size_t clients, std::size_t rounds,
+                   const std::function<std::vector<std::uint8_t>(std::size_t)>& one_read,
+                   std::vector<std::vector<std::uint8_t>>& last_results) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t r = 0; r < rounds; ++r) last_results[c] = one_read(c);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dosas;
+  bench::banner("Extension: async transport pipelining",
+                "striped read_ex fan-out, sequential-per-extent vs pipelined, real runtime");
+
+  constexpr std::uint32_t kNodes = 4;
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRounds = 6;
+  constexpr std::size_t kDoubles = 2 * 1024 * 1024;  // 16 MiB per file, 4 MiB per node
+
+  core::ClusterConfig cfg;
+  cfg.storage_nodes = kNodes;
+  cfg.strip_size = 256_KiB;
+  cfg.cores_per_node = 8;  // headroom: the win is per-request leg parallelism
+  cfg.server_chunk_size = 256_KiB;
+  cfg.scheme = core::SchemeKind::kActive;  // all-active: no demotion noise
+  // Per-chunk service latency at every node, modelled with the straggler
+  // injector (a deterministic 1 ms sleep per kernel chunk). Within one leg
+  // the chunk latencies are serial in both modes; across a read's legs the
+  // sequential client pays all four nodes back to back while the pipelined
+  // client overlaps them — which is the effect under test, and the only one
+  // visible on a host whose core count can't absorb 32 concurrent kernels.
+  fault::FaultSpec stall_spec;
+  stall_spec.seed = 11;
+  stall_spec.stall = 1.0;
+  stall_spec.stall_delay = 1e-3;
+  cfg.faults = std::make_shared<fault::FaultInjector>(stall_spec);
+  core::Cluster cluster(cfg);
+
+  std::vector<pfs::FileMeta> metas;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    auto meta = pfs::write_doubles(cluster.pfs_client(), "/rpc" + std::to_string(c), kDoubles,
+                                   [c](std::size_t i) { return static_cast<double>((i + c) % 61); });
+    assert(meta.is_ok());
+    metas.push_back(meta.value());
+  }
+  client::ActiveClient& asc = cluster.asc();
+
+  std::vector<std::vector<std::uint8_t>> seq_results(kClients), pipe_results(kClients);
+  auto sequential = [&](std::size_t c) { return read_ex_sequential(asc, metas[c], "sum"); };
+  auto pipelined = [&](std::size_t c) {
+    auto r = asc.read_ex(metas[c], 0, metas[c].size, "sum");
+    assert(r.is_ok());
+    return r.value();
+  };
+
+  // Warm both paths (page in the data, spin up pools), then measure.
+  run_clients(kClients, 1, sequential, seq_results);
+  run_clients(kClients, 1, pipelined, pipe_results);
+  const double seq_s = run_clients(kClients, kRounds, sequential, seq_results);
+  const double pipe_s = run_clients(kClients, kRounds, pipelined, pipe_results);
+
+  bool identical = true;
+  for (std::size_t c = 0; c < kClients; ++c) identical &= seq_results[c] == pipe_results[c];
+
+  core::Table t({"mode", "clients", "rounds", "total (s)", "per read (ms)"});
+  const double n = static_cast<double>(kClients * kRounds);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", seq_s);
+  t.add_row({"sequential per extent", std::to_string(kClients), std::to_string(kRounds), buf,
+             std::to_string(seq_s / n * 1e3)});
+  std::snprintf(buf, sizeof buf, "%.4f", pipe_s);
+  t.add_row({"pipelined fan-out", std::to_string(kClients), std::to_string(kRounds), buf,
+             std::to_string(pipe_s / n * 1e3)});
+  t.print(std::cout);
+  bench::maybe_write_csv("rpc_async_pipelining", t);
+
+  std::printf("\nbit-identical results: %s\n", identical ? "yes" : "NO");
+  std::printf("speedup (sequential / pipelined): %.2fx\n", seq_s / pipe_s);
+  std::printf(
+      "\nReading: each striped read touches all %u nodes; the async transport keeps\n"
+      "every node busy for the whole request instead of one at a time, so the\n"
+      "per-request critical path drops toward the slowest single leg.\n",
+      kNodes);
+
+  if (!identical) return 1;
+  return seq_s > pipe_s ? 0 : 2;
+}

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <map>
 #include <optional>
+#include <utility>
 
 #include "common/logging.hpp"
+#include "kernels/stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pfs/layout.hpp"
@@ -20,88 +22,58 @@ ActiveClient::ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
     assert(servers_[i] != nullptr);
     assert(servers_[i]->server_id() == i && "servers must be indexed by data-server id");
   }
-  circuit_.resize(servers_.size());
+  rpc::ChainOptions options;
+  options.retry = config_.retry;
+  options.retry_seed = config_.retry_seed;
+  options.circuit_threshold = config_.circuit_threshold;
+  options.faults = config_.faults;
+  options.network = config_.network;
+  auto chain = rpc::make_chain(servers_, options);
+  transport_ = std::move(chain.head);
+  breaker_ = std::move(chain.breaker);
 }
 
 bool ActiveClient::circuit_open(pfs::ServerId server) {
-  if (config_.circuit_threshold <= 0) return false;
-  std::lock_guard lock(mu_);
-  auto& st = circuit_[server];
-  if (st.consecutive_unavailable < config_.circuit_threshold) return false;
-  // Every 4th short-circuited request re-probes the node so the breaker
-  // closes again once the node recovers.
-  ++st.skips;
-  return st.skips % 4 != 0;
+  return breaker_ != nullptr && breaker_->should_short_circuit(server);
 }
 
-void ActiveClient::note_remote_result(pfs::ServerId server, bool unavailable) {
-  if (config_.circuit_threshold <= 0) return;
-  std::lock_guard lock(mu_);
-  auto& st = circuit_[server];
-  if (unavailable) {
-    ++st.consecutive_unavailable;
-  } else {
-    st.consecutive_unavailable = 0;
-    st.skips = 0;
-  }
-}
-
-server::ActiveIoResponse ActiveClient::send_active(server::StorageServer& server,
-                                                   const server::ActiveIoRequest& req) {
-  const auto& fi = config_.faults;
-  auto attempt_once = [&]() -> server::ActiveIoResponse {
-    if (fi != nullptr && fi->inject_net_error()) {
-      server::ActiveIoResponse r;
-      r.outcome = server::ActiveOutcome::kFailed;
-      r.status = error(ErrorCode::kUnavailable, "injected network error on active RPC");
-      return r;
-    }
-    return server.serve_active(req);
-  };
-
-  auto resp = attempt_once();
-  const auto transient_failure = [](const server::ActiveIoResponse& r) {
-    return r.outcome == server::ActiveOutcome::kFailed && is_transient(r.status.code());
-  };
-  if (config_.retry.enabled() && transient_failure(resp)) {
-    std::uint64_t seq;
-    {
-      std::lock_guard lock(mu_);
-      seq = retry_seq_++;
-    }
-    Backoff backoff(config_.retry, config_.retry_seed + seq);
-    for (int attempt = 1; attempt < config_.retry.max_attempts && transient_failure(resp);
-         ++attempt) {
-      backoff.next_delay(attempt);
-      {
-        std::lock_guard lock(mu_);
-        ++stats_.remote_retries;
-      }
-      if (obs::metrics_enabled()) obs::count("client.retries");
-      resp = attempt_once();
-    }
-    {
-      std::lock_guard lock(mu_);
-      stats_.backoff_total += backoff.total();
-      if (transient_failure(resp)) ++stats_.exhausted_retries;
-    }
-    if (obs::metrics_enabled()) {
-      obs::count(transient_failure(resp) ? "client.retries_exhausted"
-                                         : "client.retry_recovered");
-    }
-  }
+void ActiveClient::note_timed_out(const server::ActiveIoResponse& resp) {
   if (resp.outcome == server::ActiveOutcome::kFailed &&
       resp.status.code() == ErrorCode::kTimedOut) {
     std::lock_guard lock(mu_);
     ++stats_.timed_out;
   }
-  note_remote_result(server.server_id(), transient_failure(resp));
-  return resp;
+}
+
+rpc::Envelope ActiveClient::active_envelope(const pfs::FileMeta& meta, const ServerExtent& ext,
+                                            const std::string& operation) const {
+  rpc::Envelope env;
+  env.target = ext.server;
+  env.kind = rpc::OpKind::kActiveIo;
+  env.active.handle = meta.handle;
+  env.active.object_offset = ext.object_offset;
+  env.active.length = ext.length;
+  env.active.operation = operation;
+  env.deadline = config_.request_timeout;
+  return env;
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::remote_read(pfs::ServerId target,
+                                                            pfs::FileHandle handle,
+                                                            Bytes object_offset, Bytes length) {
+  rpc::Envelope env;
+  env.target = target;
+  env.kind = rpc::OpKind::kRead;
+  env.read.handle = handle;
+  env.read.object_offset = object_offset;
+  env.read.length = length;
+  auto reply = transport_->submit(std::move(env)).wait();
+  if (!reply.read.status.is_ok()) return reply.read.status;
+  return std::move(reply.read.data);
 }
 
 Result<std::vector<std::uint8_t>> ActiveClient::serve_extent_locally(
-    server::StorageServer& server, const pfs::FileMeta& meta, const ServerExtent& ext,
-    const std::string& operation) {
+    const pfs::FileMeta& meta, const ServerExtent& ext, const std::string& operation) {
   {
     std::lock_guard lock(mu_);
     ++stats_.node_down_demotes;
@@ -111,7 +83,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::serve_extent_locally(
   auto kernel = registry_.create(operation);
   if (!kernel.is_ok()) return kernel.status();
   kernel.value()->reset();
-  return finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
+  return finish_locally(meta, ext, ext.object_offset, *kernel.value());
 }
 
 std::vector<ActiveClient::ServerExtent> ActiveClient::server_extents(const pfs::FileMeta& meta,
@@ -135,15 +107,51 @@ std::vector<ActiveClient::ServerExtent> ActiveClient::server_extents(const pfs::
   return out;
 }
 
+Result<std::vector<std::uint8_t>> ActiveClient::assemble_read(const pfs::FileMeta& meta,
+                                                              Bytes offset, Bytes length) {
+  // Refresh size so concurrent extenders are visible, then clamp at EOF.
+  auto fresh = pfs_.file_system().meta().lookup_handle(meta.handle);
+  if (!fresh.is_ok()) return fresh.status();
+  const Bytes size = fresh.value().size;
+  if (offset >= size) return std::vector<std::uint8_t>{};
+  length = std::min(length, size - offset);
+
+  const pfs::Layout layout(meta.striping);
+  const auto segments = layout.map_extent(offset, length);
+  std::vector<rpc::Envelope> envs;
+  envs.reserve(segments.size());
+  for (const auto& seg : segments) {
+    rpc::Envelope env;
+    env.target = seg.server;
+    env.kind = rpc::OpKind::kRead;
+    env.read.handle = meta.handle;
+    env.read.object_offset = seg.object_offset;
+    env.read.length = seg.length;
+    envs.push_back(std::move(env));
+  }
+  auto replies = transport_->submit_batch(std::move(envs));
+
+  std::vector<std::uint8_t> out(length);  // holes/short reads stay zero
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    auto r = replies[i].wait();
+    if (!r.read.status.is_ok()) {
+      // A server with no object for this handle is a hole in a sparse
+      // file: reads as zeros (already in place in `out`).
+      if (r.read.status.code() == ErrorCode::kNotFound) continue;
+      return r.read.status;
+    }
+    std::copy(r.read.data.begin(), r.read.data.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(segments[i].logical_offset - offset));
+  }
+  return out;
+}
+
 Result<std::vector<std::uint8_t>> ActiveClient::read(const pfs::FileMeta& meta, Bytes offset,
                                                      Bytes length) {
-  auto data = pfs_.read(meta, offset, length);
+  auto data = assemble_read(meta, offset, length);
   if (data.is_ok()) {
-    {
-      std::lock_guard lock(mu_);
-      stats_.raw_bytes_read += data.value().size();
-    }
-    if (config_.network != nullptr) config_.network->acquire(data.value().size());
+    std::lock_guard lock(mu_);
+    stats_.raw_bytes_read += data.value().size();
   }
   return data;
 }
@@ -152,6 +160,16 @@ Result<std::vector<std::uint8_t>> ActiveClient::read_ex(const pfs::FileMeta& met
                                                         Bytes length,
                                                         const std::string& operation) {
   obs::ScopedTrace span("client.read_ex", "client");
+  return read_ex_async(meta, offset, length, operation).wait();
+}
+
+ActiveClient::PendingReadEx ActiveClient::read_ex_async(const pfs::FileMeta& meta, Bytes offset,
+                                                        Bytes length,
+                                                        const std::string& operation) {
+  PendingReadEx pending;
+  pending.client_ = this;
+  pending.meta_ = meta;
+  pending.operation_ = operation;
   {
     std::lock_guard lock(mu_);
     ++stats_.reads_ex;
@@ -159,85 +177,118 @@ Result<std::vector<std::uint8_t>> ActiveClient::read_ex(const pfs::FileMeta& met
 
   // Clamp at EOF like a normal read.
   auto fresh = pfs_.file_system().meta().lookup_handle(meta.handle);
-  if (!fresh.is_ok()) return fresh.status();
+  if (!fresh.is_ok()) {
+    pending.immediate_ = fresh.status();
+    return pending;
+  }
   const Bytes size = fresh.value().size;
   if (offset >= size) length = 0;
   length = std::min(length, size > offset ? size - offset : 0);
 
   auto probe = registry_.create(operation);
-  if (!probe.is_ok()) return probe.status();
+  if (!probe.is_ok()) {
+    pending.immediate_ = probe.status();
+    return pending;
+  }
 
   if (length == 0) {
     probe.value()->reset();
-    return probe.value()->finalize();
+    pending.immediate_ = probe.value()->finalize();
+    return pending;
   }
 
-  const auto extents = server_extents(meta, offset, length);
+  auto extents = server_extents(meta, offset, length);
   assert(!extents.empty());
 
-  if (extents.size() == 1) {
-    return resolve_extent(meta, extents[0], operation);
-  }
-
-  // Multi-server extent. Fan out per server and merge when the kernel
-  // supports it and item boundaries align with strip boundaries.
+  // Multi-server extents need fan-out + merge; when the kernel cannot
+  // merge (gaussian2d) or item boundaries misalign with strips, the bytes
+  // must flow in logical file order: one local pass (the TS path).
   const bool aligned = meta.striping.strip_size % sizeof(double) == 0 &&
                        offset % sizeof(double) == 0;
-  if (config_.allow_striped_fanout && probe.value()->mergeable() && aligned) {
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.striped_fanouts;
-    }
-    auto master = probe.value()->clone();
-    master->reset();
-    for (const auto& ext : extents) {
-      auto partial = resolve_extent(meta, ext, operation);
-      if (!partial.is_ok()) return partial.status();
-      Status st = master->merge(partial.value());
-      if (!st.is_ok()) return st;
-    }
-    return master->finalize();
+  if (extents.size() > 1 &&
+      !(config_.allow_striped_fanout && probe.value()->mergeable() && aligned)) {
+    pending.mode_ = PendingReadEx::Mode::kLocalPass;
+    pending.offset_ = offset;
+    pending.length_ = length;
+    return pending;
   }
 
-  // Non-mergeable (or misaligned) kernels need the bytes in logical file
-  // order: plain normal I/O plus one local kernel pass (the TS path).
-  return local_kernel(meta, offset, length, operation);
+  if (extents.size() > 1) {
+    std::lock_guard lock(mu_);
+    ++stats_.striped_fanouts;
+  }
+
+  // Submit every extent's active RPC before waiting on any: a striped
+  // request keeps all its storage nodes busy concurrently, and N pending
+  // read_ex_async() calls pipeline across the cluster.
+  pending.mode_ = PendingReadEx::Mode::kRemote;
+  pending.fanout_ = extents.size() > 1;
+  pending.legs_.reserve(extents.size());
+  for (auto& ext : extents) {
+    PendingReadEx::Leg leg;
+    leg.ext = ext;
+    if (ext.server < servers_.size() && !circuit_open(ext.server)) {
+      leg.reply = transport_->submit(active_envelope(meta, ext, operation));
+    }
+    pending.legs_.push_back(std::move(leg));
+  }
+  return pending;
 }
 
-Result<std::vector<std::uint8_t>> ActiveClient::resolve_extent(const pfs::FileMeta& meta,
-                                                               const ServerExtent& ext,
-                                                               const std::string& operation) {
-  if (ext.server >= servers_.size()) {
+Result<std::vector<std::uint8_t>> ActiveClient::PendingReadEx::wait() {
+  switch (mode_) {
+    case Mode::kImmediate:
+      return std::move(immediate_);
+    case Mode::kLocalPass:
+      return client_->local_kernel(meta_, offset_, length_, operation_);
+    case Mode::kRemote:
+      break;
+  }
+
+  if (!fanout_) return client_->resolve_leg(meta_, legs_[0], operation_);
+
+  auto master = client_->registry_.create(operation_);
+  if (!master.is_ok()) return master.status();
+  master.value()->reset();
+  // Merge in stripe order regardless of completion order, so the result
+  // is bit-identical to the sequential path.
+  for (auto& leg : legs_) {
+    auto partial = client_->resolve_leg(meta_, leg, operation_);
+    if (!partial.is_ok()) return partial.status();
+    Status st = master.value()->merge(partial.value());
+    if (!st.is_ok()) return st;
+  }
+  return master.value()->finalize();
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::resolve_leg(const pfs::FileMeta& meta,
+                                                            PendingReadEx::Leg& leg,
+                                                            const std::string& operation) {
+  if (leg.ext.server >= servers_.size()) {
     return error(ErrorCode::kInternal, "no storage server for data server id " +
-                                           std::to_string(ext.server));
+                                           std::to_string(leg.ext.server));
   }
-  server::StorageServer& server = *servers_[ext.server];
-
-  // Open circuit: the node's active runtime has stopped responding, so
-  // skip the doomed remote attempt entirely — normal I/O + local kernel
-  // (the node's data path survives an active-runtime crash).
-  if (circuit_open(ext.server)) {
-    return serve_extent_locally(server, meta, ext, operation);
+  // Open circuit: the node's active runtime has stopped responding, so the
+  // doomed remote attempt was skipped entirely at submission — normal I/O
+  // + local kernel (the node's data path survives an active-runtime
+  // crash).
+  if (!leg.reply.valid()) {
+    return serve_extent_locally(meta, leg.ext, operation);
   }
-
-  server::ActiveIoRequest req;
-  req.handle = meta.handle;
-  req.object_offset = ext.object_offset;
-  req.length = ext.length;
-  req.operation = operation;
-  req.timeout = config_.request_timeout;
-  return resolve_response(server, meta, ext, operation, send_active(server, req));
+  auto reply = leg.reply.wait();
+  note_timed_out(reply.active);
+  return resolve_response(meta, leg.ext, operation, std::move(reply.active));
 }
 
 Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
-    server::StorageServer& server, const pfs::FileMeta& meta, const ServerExtent& ext,
-    const std::string& operation, server::ActiveIoResponse resp, bool allow_resubmit) {
+    const pfs::FileMeta& meta, const ServerExtent& ext, const std::string& operation,
+    server::ActiveIoResponse resp, bool allow_resubmit) {
   switch (resp.outcome) {
     case server::ActiveOutcome::kCompleted: {
       std::lock_guard lock(mu_);
       ++stats_.completed_remote;
       stats_.result_bytes_received += resp.result.size();
-      return resp.result;
+      return std::move(resp.result);
     }
 
     case server::ActiveOutcome::kRejected: {
@@ -256,7 +307,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
       // y_i + z terms predict the client pays instead of the server.
       const bool obs_on = obs::metrics_enabled();
       const double t0 = obs_on ? obs::now_us() : 0.0;
-      auto result = finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
+      auto result = finish_locally(meta, ext, ext.object_offset, *kernel.value());
       if (obs_on) {
         obs::count("client.demoted");
         obs::observe("client.demoted_compute_us", obs::now_us() - t0);
@@ -274,20 +325,17 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
           std::lock_guard lock(mu_);
           ++stats_.resubmitted;
         }
-        server::ActiveIoRequest again;
-        again.handle = meta.handle;
-        again.object_offset = ext.object_offset;
-        again.length = ext.length;
-        again.operation = operation;
-        again.resume_checkpoint = resp.checkpoint;
-        again.resume_from = resp.resume_offset;
-        again.timeout = config_.request_timeout;
-        auto second = send_active(server, again);
+        auto env = active_envelope(meta, ext, operation);
+        env.active.resume_checkpoint = resp.checkpoint;
+        env.active.resume_from = resp.resume_offset;
+        auto second_reply = transport_->submit(std::move(env)).wait();
+        note_timed_out(second_reply.active);
+        auto second = std::move(second_reply.active);
         if (second.outcome == server::ActiveOutcome::kCompleted) {
           std::lock_guard lock(mu_);
           ++stats_.completed_remote;
           stats_.result_bytes_received += second.result.size();
-          return second.result;
+          return std::move(second.result);
         }
         // Rejected (no progress since the first checkpoint) keeps the
         // original state; a second interruption carries fresher state.
@@ -324,7 +372,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
       }
       const bool obs_on = obs::metrics_enabled();
       const double t0 = obs_on ? obs::now_us() : 0.0;
-      auto result = finish_locally(server, meta, ext, resume_from, *kernel.value());
+      auto result = finish_locally(meta, ext, resume_from, *kernel.value());
       if (obs_on) {
         obs::count("client.resumed");
         obs::observe("client.resume_compute_us", obs::now_us() - t0);
@@ -348,7 +396,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
       auto kernel = registry_.create(operation);
       if (!kernel.is_ok()) return kernel.status();
       kernel.value()->reset();
-      auto retried = finish_locally(server, meta, ext, ext.object_offset, *kernel.value());
+      auto retried = finish_locally(meta, ext, ext.object_offset, *kernel.value());
       if (!retried.is_ok()) return resp.status;  // persistent: surface the original error
       return retried;
     }
@@ -364,7 +412,7 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
     std::size_t index;
     ServerExtent ext;
   };
-  std::map<pfs::ServerId, std::vector<PendingItem>> groups;
+  std::vector<PendingItem> pending;
 
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto& item = items[i];
@@ -394,7 +442,15 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
     }
     const auto extents = server_extents(item.meta, item.offset, length);
     if (extents.size() == 1) {
-      groups[extents[0].server].push_back({i, extents[0]});
+      if (extents[0].server >= servers_.size()) {
+        results[i] = Result<std::vector<std::uint8_t>>(
+            error(ErrorCode::kInternal, "no storage server for data server id " +
+                                            std::to_string(extents[0].server)));
+      } else if (circuit_open(extents[0].server)) {
+        results[i] = serve_extent_locally(item.meta, extents[0], item.operation);
+      } else {
+        pending.push_back({i, extents[0]});
+      }
     } else {
       // Striped items take the individual path (fan-out + merge). Undo the
       // double-counted reads_ex bump from read_ex itself.
@@ -406,27 +462,21 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
     }
   }
 
-  // One batched submission per storage node: the node's CE decides over
-  // the whole group at once.
-  for (auto& [server_id, pending] : groups) {
-    server::StorageServer& server = *servers_[server_id];
-    std::vector<server::ActiveIoRequest> reqs;
-    reqs.reserve(pending.size());
-    for (const auto& p : pending) {
-      server::ActiveIoRequest req;
-      req.handle = items[p.index].meta.handle;
-      req.object_offset = p.ext.object_offset;
-      req.length = p.ext.length;
-      req.operation = items[p.index].operation;
-      req.timeout = config_.request_timeout;
-      reqs.push_back(std::move(req));
-    }
-    auto responses = server.serve_active_batch(std::move(reqs));
-    for (std::size_t j = 0; j < pending.size(); ++j) {
-      const auto& p = pending[j];
-      results[p.index] = resolve_response(server, items[p.index].meta, p.ext,
-                                          items[p.index].operation, std::move(responses[j]));
-    }
+  // One transport batch over all single-node items: the transport hands
+  // each storage node its sub-group in one submit_active_batch, so the
+  // node's CE decides over the whole group at once.
+  std::vector<rpc::Envelope> envs;
+  envs.reserve(pending.size());
+  for (const auto& p : pending) {
+    envs.push_back(active_envelope(items[p.index].meta, p.ext, items[p.index].operation));
+  }
+  auto replies = transport_->submit_batch(std::move(envs));
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    const auto& p = pending[j];
+    auto reply = replies[j].wait();
+    note_timed_out(reply.active);
+    results[p.index] = resolve_response(items[p.index].meta, p.ext, items[p.index].operation,
+                                        std::move(reply.active));
   }
 
   std::vector<Result<std::vector<std::uint8_t>>> out;
@@ -439,27 +489,21 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
   return out;
 }
 
-Result<std::vector<std::uint8_t>> ActiveClient::finish_locally(server::StorageServer& server,
-                                                               const pfs::FileMeta& meta,
+Result<std::vector<std::uint8_t>> ActiveClient::finish_locally(const pfs::FileMeta& meta,
                                                                const ServerExtent& ext,
                                                                Bytes from,
                                                                kernels::Kernel& kernel) {
-  Bytes pos = from;
-  const Bytes end = ext.object_offset + ext.length;
-  while (pos < end) {
-    const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
-    auto chunk = server.serve_normal(meta.handle, pos, n);
-    if (!chunk.is_ok()) return chunk.status();
-    if (chunk.value().empty()) break;
-    {
-      std::lock_guard lock(mu_);
-      stats_.raw_bytes_read += chunk.value().size();
-    }
-    kernel.consume(chunk.value());
-    const bool short_read = chunk.value().size() < n;
-    pos += chunk.value().size();
-    if (short_read) break;
-  }
+  auto streamed = kernels::stream_extent(
+      kernel, from, ext.object_offset + ext.length, config_.chunk_size,
+      [&](Bytes pos, Bytes len) -> Result<std::vector<std::uint8_t>> {
+        auto chunk = remote_read(ext.server, meta.handle, pos, len);
+        if (chunk.is_ok()) {
+          std::lock_guard lock(mu_);
+          stats_.raw_bytes_read += chunk.value().size();
+        }
+        return chunk;
+      });
+  if (!streamed.is_ok()) return streamed.status();
   return kernel.finalize();
 }
 
@@ -476,31 +520,28 @@ Result<std::vector<std::uint8_t>> ActiveClient::local_kernel(const pfs::FileMeta
   auto kernel = registry_.create(operation);
   if (!kernel.is_ok()) return kernel.status();
   kernel.value()->reset();
-  Bytes pos = offset;
-  const Bytes end = offset + length;
-  while (pos < end) {
-    const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
-    auto chunk = pfs_.read(meta, pos, n);
-    if (!chunk.is_ok()) return chunk.status();
-    if (chunk.value().empty()) break;
-    {
-      std::lock_guard lock(mu_);
-      stats_.raw_bytes_read += chunk.value().size();
-    }
-    if (config_.network != nullptr) config_.network->acquire(chunk.value().size());
-    kernel.value()->consume(chunk.value());
-    const bool short_read = chunk.value().size() < n;
-    pos += chunk.value().size();
-    if (short_read) break;
-  }
+  auto streamed = kernels::stream_extent(
+      *kernel.value(), offset, offset + length, config_.chunk_size,
+      // read() clamps each chunk at EOF and counts raw_bytes_read itself.
+      [&](Bytes pos, Bytes len) { return read(meta, pos, len); });
+  if (!streamed.is_ok()) return streamed.status();
   auto result = kernel.value()->finalize();
   if (obs_on) obs::observe("client.local_kernel_us", obs::now_us() - t0);
   return result;
 }
 
 ActiveClient::Stats ActiveClient::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  Stats s;
+  {
+    std::lock_guard lock(mu_);
+    s = stats_;
+  }
+  // Retry accounting lives in the transport's retry interceptor now.
+  const auto t = rpc::stats_of(*transport_);
+  s.remote_retries = t.retries;
+  s.exhausted_retries = t.retries_exhausted;
+  s.backoff_total = t.backoff_total;
+  return s;
 }
 
 }  // namespace dosas::client

@@ -8,11 +8,18 @@
 // bytes). Both paths are transparent to the application: read_ex() always
 // returns the finished kernel result.
 //
+// Every byte the ASC exchanges with a storage node — active RPCs AND
+// normal-I/O object reads — travels through the rpc::Transport chain the
+// client assembles over its servers, so retry, circuit breaking, fault
+// injection, network byte charging, and tracing each exist exactly once,
+// as transport interceptors (rpc/interceptors.hpp).
+//
 // Striped files: when the extent spans several storage nodes and the
-// kernel is mergeable, the ASC fans the request out per node and merges
-// the partial results (the striped-file support of Piernas et al. that the
-// paper cites); non-mergeable kernels (gaussian2d) fall back to normal
-// reads plus one local kernel pass.
+// kernel is mergeable, the ASC fans the request out per node — submitted
+// CONCURRENTLY through the async transport (read_ex_async) — and merges
+// the partial results in stripe order (the striped-file support of Piernas
+// et al. that the paper cites); non-mergeable kernels (gaussian2d) fall
+// back to normal reads plus one local kernel pass.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,7 @@
 #include "fault/fault.hpp"
 #include "kernels/registry.hpp"
 #include "pfs/client.hpp"
+#include "rpc/interceptors.hpp"
 #include "server/storage_server.hpp"
 
 namespace dosas::client {
@@ -41,32 +49,34 @@ struct ActiveClientConfig {
   /// transient. A second interruption/rejection falls back to local
   /// completion as usual.
   bool resubmit_interrupted = false;
-  /// Shared link model (usually the cluster's): bytes pulled through the
-  /// direct PFS paths (read(), striped local fallback) are charged here;
-  /// server-side paths charge themselves. May be null.
+  /// Shared link model (usually the cluster's): installed as the
+  /// transport's NetChargeTransport, which charges every reply payload
+  /// byte (results, checkpoints, raw reads). May be null.
   std::shared_ptr<TokenBucket> network;
 
-  /// Remote retry discipline: a failed active RPC whose error is transient
-  /// (kUnavailable/kTimedOut, see is_transient) is re-sent up to
-  /// retry.max_attempts times with capped exponential backoff before the
-  /// client falls back to local compute. Default (max_attempts = 1): off —
-  /// a transient failure goes straight to the single local retry.
+  /// Remote retry discipline (the transport's RetryTransport): a failed
+  /// active RPC whose error is transient (kUnavailable/kTimedOut, see
+  /// is_transient) is re-sent up to retry.max_attempts times with capped
+  /// exponential backoff before the client falls back to local compute.
+  /// Default (max_attempts = 1): off.
   RetryPolicy retry;
 
-  /// Per-request deadline forwarded to the server (0 = wait forever): a
-  /// request still unanswered after this many seconds fails kTimedOut and
-  /// the client recovers locally.
+  /// Per-request deadline stamped on every active envelope (0 = wait
+  /// forever): a request still unanswered after this many seconds is
+  /// cancelled server-side, fails kTimedOut, and the client recovers
+  /// locally.
   Seconds request_timeout = 0;
 
-  /// Shared fault injector (usually the cluster's): models transient
-  /// network errors on the client->server active RPC. May be null.
+  /// Shared fault injector (usually the cluster's), installed as the
+  /// transport's FaultTransport: models transient network errors on the
+  /// client->server active RPC. May be null.
   std::shared_ptr<fault::FaultInjector> faults;
 
-  /// Demote-to-local circuit breaker: after this many *consecutive*
-  /// kUnavailable failures from one storage node, the client stops
-  /// offloading to it and serves requests via normal I/O + local kernel
-  /// (every 4th request re-probes the node so recovery is noticed).
-  /// 0 disables.
+  /// Demote-to-local circuit breaker (the transport's
+  /// CircuitBreakerTransport): after this many *consecutive* kUnavailable
+  /// failures from one storage node, the client stops offloading to it and
+  /// serves requests via normal I/O + local kernel (every 4th request
+  /// re-probes the node so recovery is noticed). 0 disables.
   int circuit_threshold = 0;
 
   /// Seed for retry backoff jitter (deterministic per client).
@@ -74,6 +84,13 @@ struct ActiveClientConfig {
 };
 
 class ActiveClient {
+ private:
+  struct ServerExtent {
+    pfs::ServerId server = 0;
+    Bytes object_offset = 0;
+    Bytes length = 0;
+  };
+
  public:
   using Config = ActiveClientConfig;
 
@@ -97,18 +114,65 @@ class ActiveClient {
   };
 
   /// `servers[i]` must be the Active Storage Server wrapping PFS data
-  /// server i of the same file system `pfs` operates on.
+  /// server i of the same file system `pfs` operates on. The client builds
+  /// its transport chain over them (rpc::make_chain) from the config's
+  /// retry/fault/network/breaker knobs.
   ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
                std::vector<server::StorageServer*> servers, Config config = {});
+
+  /// Handle for one in-flight read_ex(): the per-extent active RPCs are
+  /// already submitted (concurrent striped fan-out), wait() resolves the
+  /// outcomes — rejection, interruption, failure — on the calling thread
+  /// and returns the finished kernel result. Single consumer: wait() once.
+  class PendingReadEx {
+   public:
+    PendingReadEx() = default;
+
+    /// Block for the remaining replies and finish any handed-back work.
+    Result<std::vector<std::uint8_t>> wait();
+
+   private:
+    friend class ActiveClient;
+
+    enum class Mode {
+      kImmediate,  ///< resolved at submission (EOF, bad operation)
+      kRemote,     ///< one or more in-flight per-extent active RPCs
+      kLocalPass,  ///< non-mergeable striped extent: normal I/O + one kernel
+    };
+
+    struct Leg {
+      ServerExtent ext;
+      rpc::PendingReply reply;  ///< invalid: serve locally (circuit open)
+    };
+
+    ActiveClient* client_ = nullptr;
+    Mode mode_ = Mode::kImmediate;
+    Result<std::vector<std::uint8_t>> immediate_{std::vector<std::uint8_t>{}};
+    pfs::FileMeta meta_;
+    std::string operation_;
+    Bytes offset_ = 0;  ///< clamped extent (kLocalPass)
+    Bytes length_ = 0;
+    std::vector<Leg> legs_;
+    bool fanout_ = false;  ///< merge per-leg partials in stripe order
+  };
 
   /// The enhanced read: run `operation` over file bytes
   /// [offset, offset+length) and return the encoded kernel result.
   /// Equivalent to the paper's MPI_File_read_ex() with the ASC's
-  /// completion duties folded in.
+  /// completion duties folded in. Blocking form of read_ex_async().
   Result<std::vector<std::uint8_t>> read_ex(const pfs::FileMeta& meta, Bytes offset,
                                             Bytes length, const std::string& operation);
 
-  /// Normal read (the unmodified PFS path), for symmetry with read_ex.
+  /// Submit the active read and return without blocking: striped extents
+  /// fan out as concurrent RPCs, so N pending reads pipeline across the
+  /// storage nodes instead of serializing. Results are bit-identical to
+  /// read_ex() (merge order is stripe order regardless of completion
+  /// order).
+  PendingReadEx read_ex_async(const pfs::FileMeta& meta, Bytes offset, Bytes length,
+                              const std::string& operation);
+
+  /// Normal read (the unmodified PFS path), assembled from per-server
+  /// object reads issued through the transport.
   Result<std::vector<std::uint8_t>> read(const pfs::FileMeta& meta, Bytes offset, Bytes length);
 
   /// One active read in a batch.
@@ -120,91 +184,96 @@ class ActiveClient {
   };
 
   /// Collective active read: items whose extents live on a single storage
-  /// node are submitted together per node via the server's batch endpoint,
-  /// so each node's CE makes ONE decision over the whole batch (no
-  /// admit-then-interrupt churn). Striped/multi-node items fall back to
-  /// individual read_ex calls. Results align positionally with `items`.
+  /// node ride one transport batch submission, which hands each node its
+  /// sub-group at once — so each node's CE makes ONE decision over the
+  /// whole batch (no admit-then-interrupt churn). Striped/multi-node items
+  /// fall back to individual read_ex calls. Results align positionally
+  /// with `items`.
   std::vector<Result<std::vector<std::uint8_t>>> read_ex_batch(
       const std::vector<BatchItem>& items);
 
   Stats stats() const;
+
+  /// Aggregated counters of the client's transport chain (in-flight HWM,
+  /// batched/coalesced, latency quantiles, ...). Surfaced by
+  /// `dosas_ctl runtime`.
+  rpc::TransportStats transport_stats() const { return rpc::stats_of(*transport_); }
+
+  /// The transport chain head (tests and tools may submit through it).
+  rpc::Transport& transport() { return *transport_; }
+
   pfs::Client& pfs() { return pfs_; }
   const kernels::Registry& registry() const { return registry_; }
 
  private:
-  struct ServerExtent {
-    pfs::ServerId server = 0;
-    Bytes object_offset = 0;
-    Bytes length = 0;
-  };
-
   /// Decompose a file extent into one contiguous object range per server.
   std::vector<ServerExtent> server_extents(const pfs::FileMeta& meta, Bytes offset,
                                            Bytes length) const;
+
+  /// Build the kActiveIo envelope for one server extent.
+  rpc::Envelope active_envelope(const pfs::FileMeta& meta, const ServerExtent& ext,
+                                const std::string& operation) const;
+
+  /// Blocking object-extent read from one server through the transport.
+  Result<std::vector<std::uint8_t>> remote_read(pfs::ServerId target, pfs::FileHandle handle,
+                                                Bytes object_offset, Bytes length);
+
+  /// EOF-clamped striped read assembled from per-server kRead RPCs (one
+  /// batch submission; holes read as zeros). No stats side effects.
+  Result<std::vector<std::uint8_t>> assemble_read(const pfs::FileMeta& meta, Bytes offset,
+                                                  Bytes length);
 
   /// Run the kernel locally over a file extent (the TS path).
   Result<std::vector<std::uint8_t>> local_kernel(const pfs::FileMeta& meta, Bytes offset,
                                                  Bytes length, const std::string& operation);
 
-  /// Dispatch one server extent as an active request and fully resolve it
-  /// (handling rejection, interruption, and server failure). Returns the
-  /// kernel result for that extent.
-  Result<std::vector<std::uint8_t>> resolve_extent(const pfs::FileMeta& meta,
-                                                   const ServerExtent& ext,
-                                                   const std::string& operation);
-
-  /// Send one active RPC with net-error injection and the config's
-  /// transient-retry policy; feeds the circuit breaker.
-  server::ActiveIoResponse send_active(server::StorageServer& server,
-                                       const server::ActiveIoRequest& req);
+  /// Resolve one leg of a pending read: wait for its reply (or serve it
+  /// locally when the circuit was open) and finish any handed-back work.
+  Result<std::vector<std::uint8_t>> resolve_leg(const pfs::FileMeta& meta,
+                                                PendingReadEx::Leg& leg,
+                                                const std::string& operation);
 
   /// True when the circuit for `server` is open (too many consecutive
   /// kUnavailable) and this request is not a re-probe.
   bool circuit_open(pfs::ServerId server);
 
-  /// Record a remote outcome for the breaker: unavailability opens it,
-  /// anything else resets it.
-  void note_remote_result(pfs::ServerId server, bool unavailable);
-
   /// Full local service of one extent (normal I/O + local kernel), used
   /// when the circuit is open. Reuses the node's still-live data path.
-  Result<std::vector<std::uint8_t>> serve_extent_locally(server::StorageServer& server,
-                                                         const pfs::FileMeta& meta,
+  Result<std::vector<std::uint8_t>> serve_extent_locally(const pfs::FileMeta& meta,
                                                          const ServerExtent& ext,
                                                          const std::string& operation);
 
   /// Resolve an already-received server response for one extent (the
   /// completion/demotion/resume/retry state machine shared by the single
   /// and batch paths).
-  Result<std::vector<std::uint8_t>> resolve_response(server::StorageServer& server,
-                                                     const pfs::FileMeta& meta,
+  Result<std::vector<std::uint8_t>> resolve_response(const pfs::FileMeta& meta,
                                                      const ServerExtent& ext,
                                                      const std::string& operation,
                                                      server::ActiveIoResponse resp,
                                                      bool allow_resubmit = true);
 
-  /// Stream object bytes [from, ext end) through `kernel` via the server's
-  /// normal-I/O path and finalize. The demoted / resumed / retried
-  /// completion loop.
-  Result<std::vector<std::uint8_t>> finish_locally(server::StorageServer& server,
-                                                   const pfs::FileMeta& meta,
+  /// Stream object bytes [from, ext end) through `kernel` via the node's
+  /// normal-I/O path (transport kRead per chunk) and finalize. The
+  /// demoted / resumed / retried completion loop.
+  Result<std::vector<std::uint8_t>> finish_locally(const pfs::FileMeta& meta,
                                                    const ServerExtent& ext, Bytes from,
                                                    kernels::Kernel& kernel);
+
+  /// Count a deadline expiry on a final active response.
+  void note_timed_out(const server::ActiveIoResponse& resp);
 
   pfs::Client& pfs_;
   const kernels::Registry& registry_;
   std::vector<server::StorageServer*> servers_;
   Config config_;
 
+  // The transport chain over servers_; destroyed before the servers (the
+  // owner keeps them alive — see InProcessTransport).
+  std::shared_ptr<rpc::Transport> transport_;
+  std::shared_ptr<rpc::CircuitBreakerTransport> breaker_;  ///< null: no breaker
+
   mutable std::mutex mu_;
   Stats stats_;
-  std::uint64_t retry_seq_ = 0;  ///< distinct Backoff seed per retry sequence
-
-  struct CircuitState {
-    int consecutive_unavailable = 0;
-    std::uint64_t skips = 0;  ///< requests short-circuited while open
-  };
-  std::vector<CircuitState> circuit_;  ///< indexed by server id
 };
 
 }  // namespace dosas::client

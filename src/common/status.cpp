@@ -14,6 +14,7 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::kInterrupted: return "INTERRUPTED";
     case ErrorCode::kCorrupted: return "CORRUPTED";
     case ErrorCode::kTimedOut: return "TIMED_OUT";
+    case ErrorCode::kCancelled: return "CANCELLED";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

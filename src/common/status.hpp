@@ -25,6 +25,7 @@ enum class ErrorCode {
   kInterrupted,     // active request interrupted mid-kernel; checkpoint attached
   kCorrupted,       // payload failed an integrity check (e.g. checkpoint checksum)
   kTimedOut,        // request exceeded its deadline
+  kCancelled,       // caller withdrew the request before completion
   kInternal,        // invariant violation
 };
 

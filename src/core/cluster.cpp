@@ -26,7 +26,6 @@ Cluster::Cluster(ClusterConfig config)
     sc.result_cache_entries = config_.result_cache_entries;
     servers_.push_back(std::make_unique<server::StorageServer>(
         fs_, i, kernels::Registry::with_builtins(), ce, config_.rates, sc));
-    servers_.back()->set_network(network_);
     if (config_.faults != nullptr) {
       servers_.back()->set_fault_injector(config_.faults);
       fs_.data_server(i).set_fault_injector(config_.faults);

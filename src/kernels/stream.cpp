@@ -1,0 +1,30 @@
+#include "kernels/stream.hpp"
+
+#include <algorithm>
+
+namespace dosas::kernels {
+
+Result<StreamResult> stream_extent(Kernel& kernel, Bytes from, Bytes end, Bytes chunk_size,
+                                   const ChunkReader& read, const StopCheck& stop,
+                                   const ProgressFn& progress) {
+  StreamResult r;
+  r.position = from;
+  while (r.position < end) {
+    if (stop && stop()) {
+      r.stopped = true;
+      return r;
+    }
+    const Bytes n = std::min<Bytes>(chunk_size, end - r.position);
+    auto chunk = read(r.position, n);
+    if (!chunk.is_ok()) return chunk.status();
+    if (chunk.value().empty()) break;  // end of data
+    kernel.consume(chunk.value());
+    r.processed += chunk.value().size();
+    r.position += chunk.value().size();
+    if (progress) progress(chunk.value().size(), r.processed);
+    if (chunk.value().size() < n) break;  // short read: end of object
+  }
+  return r;
+}
+
+}  // namespace dosas::kernels

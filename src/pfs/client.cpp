@@ -2,25 +2,7 @@
 
 #include <algorithm>
 
-#include "obs/metrics.hpp"
-
 namespace dosas::pfs {
-
-void Client::set_retry(RetryPolicy policy, std::uint64_t seed) {
-  std::lock_guard lock(retry_mu_);
-  retry_ = policy;
-  retry_seed_ = seed;
-}
-
-std::uint64_t Client::retries() const {
-  std::lock_guard lock(retry_mu_);
-  return retries_;
-}
-
-Seconds Client::backoff_total() const {
-  std::lock_guard lock(retry_mu_);
-  return backoff_total_;
-}
 
 Result<FileMeta> Client::create(const std::string& path, StripingParams striping) {
   if (striping.base_server + striping.server_count > fs_.server_count()) {
@@ -56,43 +38,10 @@ Result<std::vector<std::uint8_t>> Client::read(const FileMeta& meta, Bytes offse
   length = std::min(length, size - offset);
 
   std::vector<std::uint8_t> out(length);
-  RetryPolicy policy;
-  std::uint64_t seed_base;
-  {
-    std::lock_guard lock(retry_mu_);
-    policy = retry_;
-    seed_base = retry_seed_;
-  }
   const Layout layout(meta.striping);
   for (const auto& seg : layout.map_extent(offset, length)) {
     auto piece = fs_.data_server(seg.server).read_object(meta.handle, seg.object_offset,
                                                          seg.length);
-    if (!piece.is_ok() && policy.enabled() && is_transient(piece.status().code())) {
-      std::uint64_t seq;
-      {
-        std::lock_guard lock(retry_mu_);
-        seq = retry_seq_++;
-      }
-      Backoff backoff(policy, seed_base + seq);
-      for (int attempt = 1;
-           attempt < policy.max_attempts && !piece.is_ok() &&
-           is_transient(piece.status().code());
-           ++attempt) {
-        backoff.next_delay(attempt);
-        {
-          std::lock_guard lock(retry_mu_);
-          ++retries_;
-        }
-        obs::count("pfs.retries");
-        piece = fs_.data_server(seg.server).read_object(meta.handle, seg.object_offset,
-                                                        seg.length);
-      }
-      {
-        std::lock_guard lock(retry_mu_);
-        backoff_total_ += backoff.total();
-      }
-      if (piece.is_ok()) obs::count("pfs.retry_recovered");
-    }
     if (!piece.is_ok()) {
       // A server with no object for this handle is a hole in a sparse
       // file: reads as zeros (already in place in `out`).

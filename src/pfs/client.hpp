@@ -7,12 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "common/retry.hpp"
 #include "common/status.hpp"
 #include "pfs/file_system.hpp"
 
@@ -51,27 +49,12 @@ class Client {
 
   FileSystem& file_system() { return fs_; }
 
-  /// Enable transient-error retry on the read path: per-segment reads that
-  /// fail with a transient code (kUnavailable/kTimedOut) are re-issued up
-  /// to policy.max_attempts times with capped exponential backoff. The
-  /// default policy (max_attempts = 1) disables the layer.
-  void set_retry(RetryPolicy policy, std::uint64_t seed = 42);
-
-  /// Segment-read retries issued so far (monotonic).
-  std::uint64_t retries() const;
-
-  /// Accrued backoff (virtual unless policy.sleep_real) across all retry
-  /// sequences.
-  Seconds backoff_total() const;
+  // Transient-error retry for reads issued through the active-storage
+  // stack lives in the transport chain (rpc::RetryTransport), not here:
+  // this client is the bare metadata + layout path.
 
  private:
   FileSystem& fs_;
-  RetryPolicy retry_;
-  std::uint64_t retry_seed_ = 42;
-  mutable std::mutex retry_mu_;
-  mutable std::uint64_t retry_seq_ = 0;   // distinct Backoff seed per sequence
-  mutable std::uint64_t retries_ = 0;
-  mutable Seconds backoff_total_ = 0.0;
 };
 
 /// Convenience for tests/examples: create (or overwrite) `path` holding

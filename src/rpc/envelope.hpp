@@ -1,0 +1,80 @@
+// envelope.hpp — the typed message unit of the ASC <-> ASS transport.
+//
+// Every request the Active Storage Client sends a storage node — an active
+// I/O (kernel offload) or a normal-I/O object read — travels as an
+// Envelope and comes back as a Reply. The envelope carries the routing
+// target (storage-node id), the per-request deadline, and the trace-span
+// name the observability interceptor stamps on the wire, so cross-cutting
+// concerns (retry, fault injection, byte charging, tracing) can act on the
+// message without knowing which layer produced it.
+//
+// The payload is deliberately a pair of plain members rather than a
+// variant: exactly two operations cross this boundary today (paper Fig. 3:
+// active I/O and the unmodified PFS path), and call sites switch on `kind`
+// the same way the server switches on the wire opcode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "server/messages.hpp"
+
+namespace dosas::rpc {
+
+/// Which operation an envelope carries.
+enum class OpKind {
+  kActiveIo,  ///< run a kernel server-side (ActiveIoRequest -> ActiveIoResponse)
+  kRead,      ///< normal I/O: read a server-local object extent
+};
+
+const char* op_kind_name(OpKind k);
+
+/// Normal-I/O read of one contiguous extent of the target server's object.
+struct ReadRequest {
+  pfs::FileHandle handle = 0;
+  Bytes object_offset = 0;
+  Bytes length = 0;
+};
+
+/// Reply payload for OpKind::kRead.
+struct ReadResponse {
+  Status status;                    ///< OK iff `data` is valid
+  std::vector<std::uint8_t> data;  ///< may be short / empty at object end
+};
+
+/// One request on the wire.
+struct Envelope {
+  std::uint64_t rpc_id = 0;   ///< assigned by the transport at submission
+  std::uint32_t target = 0;   ///< storage-node id
+  OpKind kind = OpKind::kActiveIo;
+  server::ActiveIoRequest active;  ///< kActiveIo payload
+  ReadRequest read;                ///< kRead payload
+  /// Per-request deadline in seconds (0 = none). Enforced by the
+  /// transport: an unanswered request is cancelled server-side and fails
+  /// kTimedOut, whether the caller is blocked in wait() or purely async.
+  Seconds deadline = 0;
+  /// Trace-span name; the observability interceptor fills a default
+  /// ("rpc.active.s<target>") when empty. Every envelope gets a span.
+  std::string span;
+};
+
+/// One response. `kind` mirrors the envelope.
+struct Reply {
+  OpKind kind = OpKind::kActiveIo;
+  server::ActiveIoResponse active;  ///< kActiveIo payload
+  ReadResponse read;                ///< kRead payload
+
+  /// The failure/OK status regardless of kind (kActiveIo: the response
+  /// status; kRead: the read status).
+  const Status& status() const {
+    return kind == OpKind::kActiveIo ? active.status : read.status;
+  }
+};
+
+/// A typed failure reply for `kind` (kActiveIo -> ActiveOutcome::kFailed).
+Reply failure_reply(OpKind kind, Status status);
+
+}  // namespace dosas::rpc

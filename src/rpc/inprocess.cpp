@@ -1,0 +1,244 @@
+#include "rpc/inprocess.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dosas::rpc {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double us_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+InProcessTransport::InProcessTransport(std::vector<server::StorageServer*> servers)
+    : servers_(std::move(servers)), watchdog_([this] { watchdog_loop(); }) {}
+
+InProcessTransport::~InProcessTransport() {
+  // Drain: the contract says callers must not destroy the chain with RPCs
+  // outstanding, but completions briefly touch our counters (the track()
+  // callback captures `this`), so wait for in-flight to hit zero as a
+  // backstop before tearing anything down.
+  {
+    std::unique_lock lock(mu_);
+    drained_cv_.wait(lock, [&] { return inflight_ == 0; });
+  }
+  {
+    std::lock_guard lock(watchdog_mu_);
+    shutdown_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_.join();
+}
+
+PendingReply InProcessTransport::track(const Envelope& env) {
+  auto reply = PendingReply::make(env.kind);
+  const auto t0 = SteadyClock::now();
+  {
+    std::lock_guard lock(mu_);
+    ++submitted_;
+    ++inflight_;
+    inflight_hwm_ = std::max(inflight_hwm_, inflight_);
+  }
+  // First registered callback: the transport's own completion accounting.
+  // Registration precedes dispatch, so it runs before any caller callback
+  // and observes every completion path (server reply, deadline, cancel).
+  const OpKind kind = env.kind;
+  reply.on_complete([this, t0, kind](Reply& r) {
+    const double us = us_between(t0, SteadyClock::now());
+    bool drained;
+    {
+      std::lock_guard lock(mu_);
+      ++completed_;
+      --inflight_;
+      drained = inflight_ == 0;
+      if (kind == OpKind::kActiveIo) {
+        active_p50_.add(us);
+        active_p99_.add(us);
+      }
+      if (r.status().code() == ErrorCode::kCancelled) ++cancelled_;
+    }
+    if (drained) drained_cv_.notify_all();
+  });
+  return reply;
+}
+
+void InProcessTransport::dispatch_active(Envelope& env, PendingReply& reply) {
+  server::StorageServer& server = *servers_.at(env.target);
+  PendingReply completion = reply;  // shared state: safe to copy into the callback
+  auto ticket = server.submit_active(std::move(env.active),
+                                     [completion](server::ActiveIoResponse resp) mutable {
+                                       Reply r;
+                                       r.kind = OpKind::kActiveIo;
+                                       r.active = std::move(resp);
+                                       completion.complete(std::move(r));
+                                     });
+  if (ticket.coalesced) {
+    std::lock_guard lock(mu_);
+    ++coalesced_;
+  }
+  if (ticket.id != 0) {
+    server::StorageServer* s = &server;
+    reply.set_canceller(
+        [s, ticket](const Status& reason) { return s->cancel_active(ticket, reason); });
+  }
+  if (env.deadline > 0.0 && !reply.ready()) arm_deadline(reply, env.deadline);
+}
+
+void InProcessTransport::dispatch_read(Envelope& env, PendingReply& reply) {
+  server::StorageServer& server = *servers_.at(env.target);
+  Reply r;
+  r.kind = OpKind::kRead;
+  auto data = server.serve_normal(env.read.handle, env.read.object_offset, env.read.length);
+  if (data.is_ok()) {
+    r.read.data = std::move(data).value();
+  } else {
+    r.read.status = data.status();
+  }
+  reply.complete(std::move(r));
+}
+
+PendingReply InProcessTransport::submit(Envelope env) {
+  {
+    std::lock_guard lock(mu_);
+    env.rpc_id = next_rpc_id_++;
+  }
+  if (env.target >= servers_.size()) {
+    auto reply = track(env);
+    reply.complete(failure_reply(
+        env.kind, error(ErrorCode::kInternal,
+                        "no storage server for target " + std::to_string(env.target))));
+    return reply;
+  }
+  auto reply = track(env);
+  if (env.kind == OpKind::kActiveIo) {
+    dispatch_active(env, reply);
+  } else {
+    dispatch_read(env, reply);
+  }
+  return reply;
+}
+
+std::vector<PendingReply> InProcessTransport::submit_batch(std::vector<Envelope> envs) {
+  // Group kActiveIo envelopes per target: each node's batch endpoint gives
+  // its CE one decision over the whole sub-group. Reads and singletons take
+  // the plain path.
+  std::map<std::uint32_t, std::vector<std::size_t>> active_groups;
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    if (envs[i].kind == OpKind::kActiveIo && envs[i].target < servers_.size()) {
+      active_groups[envs[i].target].push_back(i);
+    }
+  }
+
+  std::vector<PendingReply> replies(envs.size());
+  for (auto& [target, indices] : active_groups) {
+    if (indices.size() < 2) continue;  // no batching benefit; plain path below
+    server::StorageServer& server = *servers_.at(target);
+    std::vector<server::ActiveIoRequest> requests;
+    std::vector<server::StorageServer::ActiveCompletion> dones;
+    requests.reserve(indices.size());
+    dones.reserve(indices.size());
+    for (std::size_t idx : indices) {
+      {
+        std::lock_guard lock(mu_);
+        envs[idx].rpc_id = next_rpc_id_++;
+      }
+      replies[idx] = track(envs[idx]);
+      PendingReply completion = replies[idx];
+      requests.push_back(std::move(envs[idx].active));
+      dones.push_back([completion](server::ActiveIoResponse resp) mutable {
+        Reply r;
+        r.kind = OpKind::kActiveIo;
+        r.active = std::move(resp);
+        completion.complete(std::move(r));
+      });
+    }
+    {
+      std::lock_guard lock(mu_);
+      batched_ += indices.size();
+    }
+    auto tickets = server.submit_active_batch(std::move(requests), std::move(dones));
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const std::size_t idx = indices[j];
+      if (tickets[j].coalesced) {
+        std::lock_guard lock(mu_);
+        ++coalesced_;
+      }
+      if (tickets[j].id != 0) {
+        server::StorageServer* s = &server;
+        const auto ticket = tickets[j];
+        replies[idx].set_canceller(
+            [s, ticket](const Status& reason) { return s->cancel_active(ticket, reason); });
+      }
+      if (envs[idx].deadline > 0.0 && !replies[idx].ready()) {
+        arm_deadline(replies[idx], envs[idx].deadline);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    if (!replies[i].valid()) replies[i] = submit(std::move(envs[i]));
+  }
+  return replies;
+}
+
+void InProcessTransport::arm_deadline(PendingReply reply, Seconds deadline) {
+  const auto when = SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
+                                             std::chrono::duration<double>(deadline));
+  {
+    std::lock_guard lock(watchdog_mu_);
+    if (shutdown_) return;
+    expiries_.push(Expiry{when, std::move(reply), deadline});
+  }
+  watchdog_cv_.notify_all();
+}
+
+void InProcessTransport::watchdog_loop() {
+  std::unique_lock lock(watchdog_mu_);
+  while (true) {
+    if (shutdown_) return;
+    if (expiries_.empty()) {
+      watchdog_cv_.wait(lock, [&] { return shutdown_ || !expiries_.empty(); });
+      continue;
+    }
+    const auto next = expiries_.top().when;
+    if (SteadyClock::now() < next) {
+      watchdog_cv_.wait_until(lock, next);
+      continue;
+    }
+    Expiry expired = expiries_.top();
+    expiries_.pop();
+    lock.unlock();
+    if (!expired.reply.ready()) {
+      const bool cancelled = expired.reply.cancel(
+          error(ErrorCode::kTimedOut, "active request exceeded its " +
+                                          std::to_string(expired.deadline) + "s deadline"));
+      if (cancelled) {
+        std::lock_guard slock(mu_);
+        ++timed_out_;
+      }
+    }
+    lock.lock();
+  }
+}
+
+void InProcessTransport::collect_stats(TransportStats& out) const {
+  std::lock_guard lock(mu_);
+  out.submitted += submitted_;
+  out.completed += completed_;
+  out.cancelled += cancelled_;
+  out.timed_out += timed_out_;
+  out.batched += batched_;
+  out.coalesced += coalesced_;
+  out.inflight += inflight_;
+  out.inflight_hwm = std::max(out.inflight_hwm, inflight_hwm_);
+  out.active_latency_p50_us = active_p50_.value();
+  out.active_latency_p99_us = active_p99_.value();
+}
+
+}  // namespace dosas::rpc

@@ -1,0 +1,129 @@
+#include "rpc/transport.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+namespace dosas::rpc {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kActiveIo: return "active";
+    case OpKind::kRead: return "read";
+  }
+  return "?";
+}
+
+Reply failure_reply(OpKind kind, Status status) {
+  Reply r;
+  r.kind = kind;
+  if (kind == OpKind::kActiveIo) {
+    r.active.outcome = server::ActiveOutcome::kFailed;
+    r.active.status = std::move(status);
+  } else {
+    r.read.status = std::move(status);
+  }
+  return r;
+}
+
+struct PendingReply::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  // Two-stage completion: `claimed` arbitrates first-completion-wins and is
+  // set the moment an outcome is decided; `ready` gates wait() and is only
+  // set after every pre-registered callback has run, so a caller returning
+  // from wait() observes the full effects of the completion chain (e.g. the
+  // transport's own accounting callback).
+  bool claimed = false;
+  bool ready = false;
+  Reply reply;
+  std::vector<Callback> callbacks;
+  Canceller canceller;
+};
+
+PendingReply PendingReply::make(OpKind kind) {
+  PendingReply p;
+  p.state_ = std::make_shared<State>();
+  p.state_->reply.kind = kind;
+  return p;
+}
+
+bool PendingReply::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard lock(state_->mu);
+  return state_->claimed;
+}
+
+Reply PendingReply::wait() {
+  std::unique_lock lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->ready; });
+  return std::move(state_->reply);
+}
+
+void PendingReply::on_complete(Callback cb) {
+  {
+    std::lock_guard lock(state_->mu);
+    if (!state_->claimed) {
+      state_->callbacks.push_back(std::move(cb));
+      return;
+    }
+  }
+  // Already complete (the reply is written before `claimed` is published):
+  // fire on this thread, outside the lock.
+  cb(state_->reply);
+}
+
+bool PendingReply::complete(Reply r) {
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard lock(state_->mu);
+    if (state_->claimed) return false;
+    state_->reply = std::move(r);
+    state_->claimed = true;
+    callbacks.swap(state_->callbacks);
+  }
+  // Callbacks run outside the lock: they may submit further RPCs (retry
+  // resubmission, cooperative re-offload) or take unrelated locks. Waiters
+  // are only released afterwards so wait() implies the chain has run.
+  for (auto& cb : callbacks) cb(state_->reply);
+  {
+    std::lock_guard lock(state_->mu);
+    state_->ready = true;
+  }
+  state_->cv.notify_all();
+  return true;
+}
+
+void PendingReply::set_canceller(Canceller c) {
+  std::lock_guard lock(state_->mu);
+  state_->canceller = std::move(c);
+}
+
+bool PendingReply::cancel(const Status& reason) {
+  Canceller canceller;
+  {
+    std::lock_guard lock(state_->mu);
+    if (state_->claimed) return false;
+    canceller = state_->canceller;
+  }
+  // Withdraw the server-side work first so a racing completion is the
+  // exception, then complete with the typed failure; first-wins makes the
+  // race benign either way.
+  if (canceller) (void)canceller(reason);
+  OpKind kind;
+  {
+    std::lock_guard lock(state_->mu);
+    if (state_->claimed) return false;
+    kind = state_->reply.kind;
+  }
+  return complete(failure_reply(kind, reason));
+}
+
+std::vector<PendingReply> Transport::submit_batch(std::vector<Envelope> envs) {
+  std::vector<PendingReply> out;
+  out.reserve(envs.size());
+  for (auto& env : envs) out.push_back(submit(std::move(env)));
+  return out;
+}
+
+}  // namespace dosas::rpc

@@ -1,0 +1,129 @@
+// transport.hpp — the async message-transport abstraction between the ASC
+// and the Active Storage Servers.
+//
+// The paper's architecture (Fig. 3) deploys the ASC, the Contention
+// Estimator, and the Active I/O Runtime as separate components behind a
+// real message boundary; this interface is that boundary. A Transport
+// accepts Envelopes and completes each one exactly once through a
+// PendingReply — a small future/callback hybrid with cancellation — so the
+// client can pipeline striped fan-outs (N concurrent submissions) instead
+// of burning one blocked thread per in-flight request.
+//
+// Cross-cutting concerns (retry, circuit breaking, fault injection,
+// network byte charging, tracing/latency metrics) are Transport decorators
+// ("interceptors", interceptors.hpp) stacked above the in-process backend
+// (inprocess.hpp). A future socket or shared-memory backend replaces only
+// the innermost layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rpc/envelope.hpp"
+
+namespace dosas::rpc {
+
+/// Aggregated counters across a transport chain; each layer adds its own
+/// contribution in collect_stats(). Surfaced by `dosas_ctl runtime`.
+struct TransportStats {
+  std::uint64_t submitted = 0;      ///< envelopes entering the backend
+  std::uint64_t completed = 0;      ///< replies delivered (any outcome)
+  std::uint64_t cancelled = 0;      ///< caller-cancelled before completion
+  std::uint64_t timed_out = 0;      ///< deadline watchdog expiries
+  std::uint64_t batched = 0;        ///< envelopes that rode a batch submission
+  std::uint64_t coalesced = 0;      ///< active requests merged onto an in-flight twin
+  std::uint64_t retries = 0;        ///< attempts re-sent by the retry interceptor
+  std::uint64_t retries_exhausted = 0;  ///< sequences that spent the whole budget
+  Seconds backoff_total = 0;        ///< accrued (virtual or slept) retry backoff
+  std::uint64_t net_faults_injected = 0;  ///< RPCs lost by the fault interceptor
+  std::uint64_t breaker_fast_fails = 0;   ///< submissions skipped: circuit open
+  Bytes bytes_charged = 0;          ///< payload bytes charged to the link model
+  std::size_t inflight = 0;         ///< currently outstanding RPCs
+  std::size_t inflight_hwm = 0;     ///< in-flight high-water mark
+  double active_latency_p50_us = 0.0;  ///< per-active-RPC latency (submit->reply)
+  double active_latency_p99_us = 0.0;
+};
+
+/// Completion handle for one submitted envelope: a future (wait) and a
+/// callback hook (on_complete) over one shared completion slot, plus
+/// best-effort cancellation that propagates back into the transport.
+///
+/// Exactly one completion wins (transport reply, deadline expiry, or
+/// cancel); later ones are dropped. Callbacks run on the completing
+/// thread — a server worker, the deadline watchdog, or the submitting
+/// thread when the transport completes synchronously (rejection, cache
+/// hit, local read) — and must not block on this same reply.
+///
+/// Single-consumer contract: the reply may be consumed (moved from) once,
+/// by wait() or by the final registered callback; earlier callbacks in the
+/// chain only observe it.
+class PendingReply {
+ public:
+  using Callback = std::function<void(Reply&)>;
+  /// Upstream cancel hook: stop the server-side work if possible. Returns
+  /// true when the work was withdrawn before completion.
+  using Canceller = std::function<bool(const Status&)>;
+
+  PendingReply() = default;  ///< empty handle; valid() is false
+
+  /// A fresh, incomplete reply slot for `kind`.
+  static PendingReply make(OpKind kind);
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const;
+
+  /// Block until completed and take the reply. Single consumer.
+  Reply wait();
+
+  /// Register `cb`; fires immediately (on this thread) if already
+  /// complete. Multiple callbacks fire in registration order.
+  void on_complete(Callback cb);
+
+  /// Withdraw the request: invokes the transport's canceller (which stops
+  /// queued/running server work when it can) and completes this reply with
+  /// a typed failure carrying `reason`. Returns false if the RPC had
+  /// already completed (the real reply stands).
+  bool cancel(const Status& reason);
+
+  // ---- transport-side API ----
+
+  /// Complete with `r`; first completion wins. Returns false (and drops
+  /// `r`) when already completed.
+  bool complete(Reply r);
+
+  /// Install the upstream cancel hook (transport internals only).
+  void set_canceller(Canceller c);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// The transport interface. submit() never blocks on the request's
+/// completion; the returned PendingReply completes exactly once.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual PendingReply submit(Envelope env) = 0;
+
+  /// Submit a group of envelopes together. Backends that support it give
+  /// each storage node ONE scheduling decision over its sub-group (the
+  /// collective-admission path); the default degrades to per-envelope
+  /// submit. Replies align positionally with `envs`.
+  virtual std::vector<PendingReply> submit_batch(std::vector<Envelope> envs);
+
+  /// Add this layer's counters to `out` and forward down the chain.
+  virtual void collect_stats(TransportStats& out) const { (void)out; }
+};
+
+/// Convenience: chain-wide stats of the transport rooted at `head`.
+inline TransportStats stats_of(const Transport& head) {
+  TransportStats s;
+  head.collect_stats(s);
+  return s;
+}
+
+}  // namespace dosas::rpc

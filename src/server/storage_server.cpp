@@ -8,6 +8,7 @@
 
 #include "common/logging.hpp"
 #include "kernels/pipeline.hpp"
+#include "kernels/stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -57,7 +58,8 @@ void StorageServer::obs_queue_depth_locked() const {
 
 StorageServer::~StorageServer() {
   // Interrupt anything still running so pool shutdown doesn't wait on long
-  // kernels; then join.
+  // kernels; then join. Workers still deliver their (interrupted)
+  // completions on the way out, so no waiter callback is dropped.
   {
     std::lock_guard lock(mu_);
     for (auto& [id, entry] : entries_) {
@@ -82,14 +84,30 @@ Result<std::vector<std::uint8_t>> StorageServer::serve_normal(pfs::FileHandle ha
     --normal_inflight_;
     if (data.is_ok()) stats_.normal_bytes_served += data.value().size();
   }
-  if (data.is_ok() && network_ != nullptr) {
-    network_->acquire(data.value().size());
-  }
   return data;
 }
 
+std::shared_ptr<StorageServer::Entry> StorageServer::find_coalesce_locked(
+    const ActiveIoRequest& request) {
+  if (!config_.coalesce_identical) return nullptr;
+  // Resumptions carry kernel state and must run verbatim; only fresh
+  // full-extent scans are safely shareable.
+  if (request.is_resumption()) return nullptr;
+  for (auto& [id, entry] : entries_) {
+    if (entry->state == EntryState::kDone) continue;
+    if (entry->reject_before_start || entry->interrupt->load()) continue;
+    const auto& r = entry->request;
+    if (r.is_resumption()) continue;
+    if (r.handle == request.handle && r.object_offset == request.object_offset &&
+        r.length == request.length && r.operation == request.operation) {
+      return entry;
+    }
+  }
+  return nullptr;
+}
+
 std::pair<sched::RequestId, std::shared_ptr<StorageServer::Entry>> StorageServer::register_entry(
-    ActiveIoRequest request) {
+    ActiveIoRequest request, Waiter waiter) {
   auto entry = std::make_shared<Entry>();
   std::lock_guard lock(mu_);
   const sched::RequestId id = request.id != 0 ? request.id : next_id_++;
@@ -97,6 +115,7 @@ std::pair<sched::RequestId, std::shared_ptr<StorageServer::Entry>> StorageServer
   entry->request = request;
   entry->interrupt = std::make_shared<std::atomic<bool>>(false);
   entry->progress = std::make_shared<std::atomic<Bytes>>(0);
+  entry->waiters.push_back(std::move(waiter));
   entries_.emplace(id, entry);
   obs_queue_depth_locked();
   return {id, entry};
@@ -116,103 +135,81 @@ ActiveIoResponse StorageServer::crashed_response(pfs::ServerId server_id) {
   return resp;
 }
 
-bool StorageServer::launch_or_reject(sched::RequestId id, const std::shared_ptr<Entry>& entry,
-                                     ActiveIoResponse& rejected_response) {
+void StorageServer::count_outcome_locked(const ActiveIoResponse& response) {
+  switch (response.outcome) {
+    case ActiveOutcome::kCompleted: ++stats_.active_completed; break;
+    case ActiveOutcome::kRejected: ++stats_.active_rejected; break;
+    case ActiveOutcome::kInterrupted: ++stats_.active_interrupted; break;
+    case ActiveOutcome::kFailed: ++stats_.active_failed; break;
+  }
+  if (obs::metrics_enabled()) {
+    switch (response.outcome) {
+      case ActiveOutcome::kCompleted: obs::count(obs_name_ + ".completed"); break;
+      case ActiveOutcome::kRejected: obs::count(obs_name_ + ".demoted"); break;
+      case ActiveOutcome::kInterrupted:
+        obs::count(obs_name_ + ".interrupted");
+        obs::count(obs_name_ + ".checkpoint_bytes", response.checkpoint.size());
+        break;
+      case ActiveOutcome::kFailed: obs::count(obs_name_ + ".failed"); break;
+    }
+  }
+}
+
+void StorageServer::complete_entry(sched::RequestId id, const std::shared_ptr<Entry>& entry,
+                                   ActiveIoResponse response, Bytes processed) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second != entry) {
+      // Abandoned: every waiter cancelled (or the request was superseded).
+      // The late result is discarded; outcome stats were counted at cancel.
+      return;
+    }
+    entry->state = EntryState::kDone;
+    waiters.swap(entry->waiters);
+    entries_.erase(it);
+    stats_.active_bytes_processed += processed;
+    for (std::size_t i = 0; i < waiters.size(); ++i) count_outcome_locked(response);
+    obs_queue_depth_locked();
+  }
+  // Deliver outside mu_: completions may submit follow-up work (the
+  // client's cooperative resubmission path) or take unrelated locks. All
+  // but the last waiter get a copy; the last takes the response by move.
+  for (std::size_t i = 0; i + 1 < waiters.size(); ++i) {
+    if (waiters[i].done) waiters[i].done(response);
+  }
+  if (!waiters.empty() && waiters.back().done) waiters.back().done(std::move(response));
+}
+
+bool StorageServer::launch_or_reject(sched::RequestId id, const std::shared_ptr<Entry>& entry) {
   {
     std::unique_lock lock(mu_);
     if (entry->reject_before_start) {
-      entries_.erase(id);
-      ++stats_.active_rejected;
-      if (obs::metrics_enabled()) {
-        obs::count(obs_name_ + ".demoted");
-        obs_queue_depth_locked();
-      }
-      rejected_response.outcome = ActiveOutcome::kRejected;
-      rejected_response.status =
-          error(ErrorCode::kRejected, "demoted to normal I/O by scheduling policy");
+      lock.unlock();
+      ActiveIoResponse resp;
+      resp.outcome = ActiveOutcome::kRejected;
+      resp.status = error(ErrorCode::kRejected, "demoted to normal I/O by scheduling policy");
+      complete_entry(id, entry, std::move(resp), 0);
       return false;
     }
   }
   if (!pool_.submit([this, id] { run_kernel(id); })) {
     // Pool already shut down: without this the entry would sit in the
-    // table forever and the client would hang in await_entry. Fail typed.
-    std::lock_guard lock(mu_);
-    entries_.erase(id);
-    ++stats_.active_failed;
-    ++stats_.pool_rejections;
-    if (obs::metrics_enabled()) {
-      obs::count(obs_name_ + ".pool_rejections");
-      obs_queue_depth_locked();
+    // table forever and the waiters would never fire. Fail typed.
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.pool_rejections;
     }
-    rejected_response.outcome = ActiveOutcome::kFailed;
-    rejected_response.status =
+    if (obs::metrics_enabled()) obs::count(obs_name_ + ".pool_rejections");
+    ActiveIoResponse resp;
+    resp.outcome = ActiveOutcome::kFailed;
+    resp.status =
         error(ErrorCode::kUnavailable, "worker pool shut down; active request not scheduled");
+    complete_entry(id, entry, std::move(resp), 0);
     return false;
   }
   return true;
-}
-
-ActiveIoResponse StorageServer::await_entry(sched::RequestId id,
-                                            const std::shared_ptr<Entry>& entry) {
-  ActiveIoResponse resp;
-  {
-    std::unique_lock lock(mu_);
-    const Seconds timeout = entry->request.timeout;
-    if (timeout > 0.0) {
-      const bool ready = response_cv_.wait_for(
-          lock, std::chrono::duration<double>(timeout), [&] { return entry->response_ready; });
-      if (!ready) {
-        // Deadline passed: abandon the request. The interrupt flag stops
-        // the kernel at its next chunk boundary; the worker's late finish()
-        // writes into the shared Entry (kept alive by its shared_ptr) and
-        // is discarded.
-        entry->interrupt->store(true);
-        entries_.erase(id);
-        ++stats_.active_failed;
-        ++stats_.active_timed_out;
-        if (obs::metrics_enabled()) {
-          obs::count(obs_name_ + ".timed_out");
-          obs_queue_depth_locked();
-        }
-        resp.outcome = ActiveOutcome::kFailed;
-        resp.status = error(ErrorCode::kTimedOut,
-                            "active request " + std::to_string(id) + " exceeded its " +
-                                std::to_string(timeout) + "s deadline");
-        return resp;
-      }
-    } else {
-      response_cv_.wait(lock, [&] { return entry->response_ready; });
-    }
-    resp = std::move(entry->response);
-    entries_.erase(id);
-    switch (resp.outcome) {
-      case ActiveOutcome::kCompleted: ++stats_.active_completed; break;
-      case ActiveOutcome::kRejected: ++stats_.active_rejected; break;
-      case ActiveOutcome::kInterrupted: ++stats_.active_interrupted; break;
-      case ActiveOutcome::kFailed: ++stats_.active_failed; break;
-    }
-    if (obs::metrics_enabled()) {
-      switch (resp.outcome) {
-        case ActiveOutcome::kCompleted: obs::count(obs_name_ + ".completed"); break;
-        case ActiveOutcome::kRejected: obs::count(obs_name_ + ".demoted"); break;
-        case ActiveOutcome::kInterrupted:
-          obs::count(obs_name_ + ".interrupted");
-          obs::count(obs_name_ + ".checkpoint_bytes", resp.checkpoint.size());
-          break;
-        case ActiveOutcome::kFailed: obs::count(obs_name_ + ".failed"); break;
-      }
-      obs_queue_depth_locked();
-    }
-  }
-  // Charge the payload that crosses the network to the link model.
-  if (network_ != nullptr) {
-    if (resp.outcome == ActiveOutcome::kCompleted) {
-      network_->acquire(resp.result.size());
-    } else if (resp.outcome == ActiveOutcome::kInterrupted) {
-      network_->acquire(resp.checkpoint.size());
-    }
-  }
-  return resp;
 }
 
 std::optional<ActiveIoResponse> StorageServer::cache_lookup(const ActiveIoRequest& request) {
@@ -250,62 +247,233 @@ void StorageServer::cache_insert(const ActiveIoRequest& request, std::uint64_t v
                          request.operation}] = CacheEntry{version, result, ++cache_tick_};
 }
 
+StorageServer::ActiveTicket StorageServer::submit_active(ActiveIoRequest request,
+                                                         ActiveCompletion done) {
+  if (auto fi = faults(); fi != nullptr && fi->node_crashed(server_id_, true)) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.active_failed;
+      ++stats_.crash_rejections;
+    }
+    if (done) done(crashed_response(server_id_));
+    return {};
+  }
+  if (auto cached = cache_lookup(request)) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.active_completed;
+    }
+    if (obs::metrics_enabled()) obs::count(obs_name_ + ".completed");
+    if (done) done(std::move(*cached));
+    return {};
+  }
+
+  // Coalesce onto an identical in-flight request when possible: one kernel
+  // run, many waiters.
+  {
+    std::lock_guard lock(mu_);
+    if (auto twin = find_coalesce_locked(request)) {
+      ActiveTicket ticket;
+      ticket.id = twin->request.id;
+      ticket.waiter = next_waiter_++;
+      ticket.coalesced = true;
+      twin->waiters.push_back(Waiter{ticket.waiter, std::move(done)});
+      ++stats_.active_coalesced;
+      if (obs::metrics_enabled()) obs::count(obs_name_ + ".coalesced");
+      return ticket;
+    }
+  }
+
+  ActiveTicket ticket;
+  ticket.waiter = [&] {
+    std::lock_guard lock(mu_);
+    return next_waiter_++;
+  }();
+  auto [id, entry] = register_entry(std::move(request), Waiter{ticket.waiter, std::move(done)});
+  ticket.id = id;
+  if (config_.policy_on_arrival) evaluate_policy();
+  if (!launch_or_reject(id, entry)) return {};  // completed synchronously
+  return ticket;
+}
+
+std::vector<StorageServer::ActiveTicket> StorageServer::submit_active_batch(
+    std::vector<ActiveIoRequest> requests, std::vector<ActiveCompletion> dones) {
+  assert(requests.size() == dones.size());
+  std::vector<ActiveTicket> tickets(requests.size());
+  if (auto fi = faults(); fi != nullptr && fi->node_crashed(server_id_, true)) {
+    {
+      std::lock_guard lock(mu_);
+      stats_.active_failed += requests.size();
+      stats_.crash_rejections += requests.size();
+    }
+    for (auto& done : dones) {
+      if (done) done(crashed_response(server_id_));
+    }
+    return tickets;
+  }
+
+  // Register everything first (serving cache hits and coalescing inline),
+  // then evaluate the policy ONCE over the combined queue, then launch.
+  // This is the collective-admission path: N requests landing together get
+  // one scheduling decision instead of N admit-then-interrupt rounds.
+  struct Registered {
+    std::size_t index;
+    sched::RequestId id;
+    std::shared_ptr<Entry> entry;
+  };
+  std::vector<Registered> registered;
+  registered.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (auto cached = cache_lookup(requests[i])) {
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.active_completed;
+      }
+      if (obs::metrics_enabled()) obs::count(obs_name_ + ".completed");
+      if (dones[i]) dones[i](std::move(*cached));
+      continue;
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (auto twin = find_coalesce_locked(requests[i])) {
+        tickets[i].id = twin->request.id;
+        tickets[i].waiter = next_waiter_++;
+        tickets[i].coalesced = true;
+        twin->waiters.push_back(Waiter{tickets[i].waiter, std::move(dones[i])});
+        ++stats_.active_coalesced;
+        if (obs::metrics_enabled()) obs::count(obs_name_ + ".coalesced");
+        continue;
+      }
+      tickets[i].waiter = next_waiter_++;
+    }
+    auto [id, entry] =
+        register_entry(std::move(requests[i]), Waiter{tickets[i].waiter, std::move(dones[i])});
+    tickets[i].id = id;
+    registered.push_back({i, id, entry});
+  }
+
+  if (!registered.empty()) evaluate_policy();
+
+  for (auto& reg : registered) {
+    if (!launch_or_reject(reg.id, reg.entry)) tickets[reg.index] = {};
+  }
+  return tickets;
+}
+
+bool StorageServer::cancel_active(const ActiveTicket& ticket, const Status& reason) {
+  if (ticket.id == 0) return false;  // completed synchronously at submit
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(ticket.id);
+    if (it == entries_.end()) return false;  // already completed/abandoned
+    entry = it->second;
+    auto w = std::find_if(entry->waiters.begin(), entry->waiters.end(),
+                          [&](const Waiter& x) { return x.id == ticket.waiter; });
+    if (w == entry->waiters.end()) return false;  // this waiter already fired
+    entry->waiters.erase(w);
+    if (reason.code() == ErrorCode::kTimedOut) {
+      // Preserve the historical accounting: a deadline expiry counts as
+      // both a timeout and a failure for this waiter.
+      ++stats_.active_timed_out;
+      ++stats_.active_failed;
+      if (obs::metrics_enabled()) obs::count(obs_name_ + ".timed_out");
+    } else {
+      ++stats_.active_cancelled;
+      if (obs::metrics_enabled()) obs::count(obs_name_ + ".cancelled");
+    }
+    if (!entry->waiters.empty()) return true;  // twin waiters keep the run alive
+    // Last waiter gone: abandon the request. A queued entry never starts; a
+    // running kernel stops at its next chunk boundary and its late
+    // completion finds no entry and is discarded.
+    entry->reject_before_start = true;
+    entry->interrupt->store(true);
+    entries_.erase(it);
+    obs_queue_depth_locked();
+  }
+  return true;
+}
+
 ActiveIoResponse StorageServer::serve_active(ActiveIoRequest request) {
   obs::ScopedTrace span(obs_name_ + ".serve_active", "server");
-  if (auto fi = faults(); fi != nullptr && fi->node_crashed(server_id_, true)) {
-    std::lock_guard lock(mu_);
-    ++stats_.active_failed;
-    ++stats_.crash_rejections;
-    return crashed_response(server_id_);
+  const Seconds timeout = request.timeout;
+
+  // One-shot completion slot shared with the worker. The mutex/cv pair is
+  // heap-held so a timed-out waiter can return while a racing completion
+  // still fires harmlessly into the (then unobserved) slot.
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    ActiveIoResponse resp;
+  };
+  auto slot = std::make_shared<Slot>();
+  auto ticket = submit_active(std::move(request), [slot](ActiveIoResponse r) {
+    {
+      std::lock_guard lock(slot->mu);
+      slot->resp = std::move(r);
+      slot->ready = true;
+    }
+    slot->cv.notify_all();
+  });
+
+  std::unique_lock lock(slot->mu);
+  if (timeout > 0.0) {
+    const bool ready = slot->cv.wait_for(lock, std::chrono::duration<double>(timeout),
+                                         [&] { return slot->ready; });
+    if (!ready) {
+      const Status expired =
+          error(ErrorCode::kTimedOut, "active request " + std::to_string(ticket.id) +
+                                          " exceeded its " + std::to_string(timeout) +
+                                          "s deadline");
+      lock.unlock();
+      if (cancel_active(ticket, expired)) {
+        ActiveIoResponse resp;
+        resp.outcome = ActiveOutcome::kFailed;
+        resp.status = expired;
+        return resp;
+      }
+      // Lost the race: the completion fired (or is firing) — take it.
+      lock.lock();
+      slot->cv.wait(lock, [&] { return slot->ready; });
+    }
+  } else {
+    slot->cv.wait(lock, [&] { return slot->ready; });
   }
-  if (auto cached = cache_lookup(request)) return std::move(*cached);
-
-  auto [id, entry] = register_entry(std::move(request));
-  if (config_.policy_on_arrival) evaluate_policy();
-
-  ActiveIoResponse rejected;
-  if (!launch_or_reject(id, entry, rejected)) return rejected;
-  return await_entry(id, entry);
+  return std::move(slot->resp);
 }
 
 std::vector<ActiveIoResponse> StorageServer::serve_active_batch(
     std::vector<ActiveIoRequest> requests) {
-  std::vector<ActiveIoResponse> responses(requests.size());
-  if (auto fi = faults(); fi != nullptr && fi->node_crashed(server_id_, true)) {
-    std::lock_guard lock(mu_);
-    for (auto& resp : responses) {
-      resp = crashed_response(server_id_);
-      ++stats_.active_failed;
-      ++stats_.crash_rejections;
-    }
-    return responses;
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    ActiveIoResponse resp;
+  };
+  const std::size_t n = requests.size();
+  std::vector<std::shared_ptr<Slot>> slots;
+  std::vector<ActiveCompletion> dones;
+  slots.reserve(n);
+  dones.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto slot = std::make_shared<Slot>();
+    slots.push_back(slot);
+    dones.push_back([slot](ActiveIoResponse r) {
+      {
+        std::lock_guard lock(slot->mu);
+        slot->resp = std::move(r);
+        slot->ready = true;
+      }
+      slot->cv.notify_all();
+    });
   }
-  // (request index, registered id/entry) for the cache misses.
-  std::vector<std::pair<std::size_t, std::pair<sched::RequestId, std::shared_ptr<Entry>>>>
-      registered;
-  registered.reserve(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (auto cached = cache_lookup(requests[i])) {
-      responses[i] = std::move(*cached);
-    } else {
-      registered.emplace_back(i, register_entry(std::move(requests[i])));
-    }
-  }
-
-  // One policy decision over the whole batch (plus anything already
-  // queued/running) — the collective analogue of the CE tick.
-  if (!registered.empty()) evaluate_policy();
-
-  std::vector<bool> launched(registered.size(), false);
-  for (std::size_t j = 0; j < registered.size(); ++j) {
-    launched[j] = launch_or_reject(registered[j].second.first, registered[j].second.second,
-                                   responses[registered[j].first]);
-  }
-  for (std::size_t j = 0; j < registered.size(); ++j) {
-    if (launched[j]) {
-      responses[registered[j].first] =
-          await_entry(registered[j].second.first, registered[j].second.second);
-    }
+  (void)submit_active_batch(std::move(requests), std::move(dones));
+  std::vector<ActiveIoResponse> responses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::unique_lock lock(slots[i]->mu);
+    slots[i]->cv.wait(lock, [&] { return slots[i]->ready; });
+    responses[i] = std::move(slots[i]->resp);
   }
   return responses;
 }
@@ -450,24 +618,29 @@ void StorageServer::run_kernel(sched::RequestId id) {
   std::shared_ptr<Entry> entry;
   ActiveIoRequest request;
   std::shared_ptr<std::atomic<bool>> interrupt;
+  std::shared_ptr<std::atomic<Bytes>> progress;
   std::shared_ptr<fault::FaultInjector> fi;
   {
     std::lock_guard lock(mu_);
     auto it = entries_.find(id);
-    if (it == entries_.end()) return;  // client gave up (timeout or shutdown)
+    if (it == entries_.end()) return;  // every waiter cancelled before start
     entry = it->second;
     if (entry->reject_before_start) {
-      entry->response.outcome = ActiveOutcome::kRejected;
-      entry->response.status =
-          error(ErrorCode::kRejected, "demoted to normal I/O before start");
-      entry->response_ready = true;
-      response_cv_.notify_all();
-      return;
+      // Completed via complete_entry below, outside mu_.
+    } else {
+      entry->state = EntryState::kRunning;
     }
-    entry->state = EntryState::kRunning;
     request = entry->request;
     interrupt = entry->interrupt;
+    progress = entry->progress;
     fi = faults_;
+  }
+  if (entry->reject_before_start) {
+    ActiveIoResponse resp;
+    resp.outcome = ActiveOutcome::kRejected;
+    resp.status = error(ErrorCode::kRejected, "demoted to normal I/O before start");
+    complete_entry(id, entry, std::move(resp), 0);
+    return;
   }
   if (fi != nullptr) fi->note_kernel_start(server_id_);
 
@@ -475,28 +648,19 @@ void StorageServer::run_kernel(sched::RequestId id) {
   const bool obs_on = obs::metrics_enabled();
   const double t0 = obs_on ? obs::now_us() : 0.0;
 
-  auto finish = [&](ActiveIoResponse resp, Bytes processed) {
-    std::lock_guard lock(mu_);
-    entry->state = EntryState::kDone;
-    entry->response = std::move(resp);
-    entry->response_ready = true;
-    stats_.active_bytes_processed += processed;
-    response_cv_.notify_all();
-  };
-
   auto kernel_or = registry_.create(request.operation);
   if (!kernel_or.is_ok()) {
     ActiveIoResponse resp;
     resp.outcome = ActiveOutcome::kFailed;
     resp.status = kernel_or.status();
-    finish(std::move(resp), 0);
+    complete_entry(id, entry, std::move(resp), 0);
     return;
   }
   auto kernel = std::move(kernel_or).value();
   try {
     kernel->reset();
 
-    Bytes pos = request.object_offset;
+    Bytes from = request.object_offset;
     if (request.is_resumption()) {
       // Cooperative resumption: adopt the shipped state and continue. A
       // corrupted checkpoint fails the decode's checksum (kCorrupted) and
@@ -507,10 +671,10 @@ void StorageServer::run_kernel(sched::RequestId id) {
         ActiveIoResponse resp;
         resp.outcome = ActiveOutcome::kFailed;
         resp.status = restored;
-        finish(std::move(resp), 0);
+        complete_entry(id, entry, std::move(resp), 0);
         return;
       }
-      pos = request.resume_from;
+      from = request.resume_from;
     }
 
     const auto& ds = fs_.data_server(server_id_);
@@ -518,32 +682,20 @@ void StorageServer::run_kernel(sched::RequestId id) {
     // object is unchanged when the kernel finishes.
     const std::uint64_t version_at_start = ds.object_version(request.handle);
     const Bytes end = request.object_offset + request.length;
-    Bytes processed = 0;
 
-    while (pos < end) {
+    // Why the kernel stopped, when it did: the stop check below folds the
+    // scheduler's interrupt flag and the injected node crash into one
+    // chunk-granular poll (paper §III-C's interruption-check interval).
+    enum class StopCause { kNone, kInterrupt, kCrash };
+    StopCause cause = StopCause::kNone;
+    auto stop = [&]() -> bool {
       if (interrupt->load()) {
-        ActiveIoResponse resp;
-        resp.outcome = ActiveOutcome::kInterrupted;
-        resp.checkpoint = kernel->checkpoint().encode();
-        if (fi != nullptr) fi->inject_checkpoint_corruption(resp.checkpoint);
-        resp.resume_offset = pos;
-        resp.status = error(ErrorCode::kInterrupted, "kernel interrupted by scheduling policy");
-        finish(std::move(resp), processed);
-        return;
+        cause = StopCause::kInterrupt;
+        return true;
       }
       if (fi != nullptr && fi->node_crashed(server_id_)) {
-        // The node's active runtime dies mid-kernel. Model a Zest-style
-        // graceful drain: flush a checkpoint so the client can resume the
-        // scan elsewhere (here: locally) instead of starting over.
-        ActiveIoResponse resp;
-        resp.outcome = ActiveOutcome::kInterrupted;
-        resp.checkpoint = kernel->checkpoint().encode();
-        fi->inject_checkpoint_corruption(resp.checkpoint);
-        resp.resume_offset = pos;
-        resp.status = error(ErrorCode::kUnavailable,
-                            "storage node crashed mid-kernel; checkpoint flushed");
-        finish(std::move(resp), processed);
-        return;
+        cause = StopCause::kCrash;
+        return true;
       }
       if (fi != nullptr) {
         // Straggler injection: sleep in interruptible slices so a timed-out
@@ -558,21 +710,37 @@ void StorageServer::run_kernel(sched::RequestId id) {
           throw std::runtime_error("injected kernel fault");
         }
       }
-      const Bytes n = std::min<Bytes>(config_.chunk_size, end - pos);
-      auto chunk = ds.read_object(request.handle, pos, n);
-      if (!chunk.is_ok()) {
-        ActiveIoResponse resp;
-        resp.outcome = ActiveOutcome::kFailed;
-        resp.status = chunk.status();
-        finish(std::move(resp), processed);
-        return;
-      }
-      if (chunk.value().empty()) break;  // short object: end of data
-      kernel->consume(chunk.value());
-      pos += chunk.value().size();
-      processed += chunk.value().size();
-      entry->progress->store(processed, std::memory_order_relaxed);
-      if (chunk.value().size() < n) break;  // short read: end of object
+      return false;
+    };
+    auto read = [&](Bytes pos, Bytes len) { return ds.read_object(request.handle, pos, len); };
+    auto note_progress = [&](Bytes, Bytes total) {
+      progress->store(total, std::memory_order_relaxed);
+    };
+
+    auto streamed =
+        kernels::stream_extent(*kernel, from, end, config_.chunk_size, read, stop, note_progress);
+    if (!streamed.is_ok()) {
+      ActiveIoResponse resp;
+      resp.outcome = ActiveOutcome::kFailed;
+      resp.status = streamed.status();
+      complete_entry(id, entry, std::move(resp), progress->load(std::memory_order_relaxed));
+      return;
+    }
+    const Bytes processed = streamed.value().processed;
+
+    if (streamed.value().stopped) {
+      ActiveIoResponse resp;
+      resp.outcome = ActiveOutcome::kInterrupted;
+      resp.checkpoint = kernel->checkpoint().encode();
+      if (fi != nullptr) fi->inject_checkpoint_corruption(resp.checkpoint);
+      resp.resume_offset = streamed.value().position;
+      resp.status =
+          cause == StopCause::kCrash
+              ? error(ErrorCode::kUnavailable,
+                      "storage node crashed mid-kernel; checkpoint flushed")
+              : error(ErrorCode::kInterrupted, "kernel interrupted by scheduling policy");
+      complete_entry(id, entry, std::move(resp), processed);
+      return;
     }
 
     ActiveIoResponse resp;
@@ -589,7 +757,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
                      static_cast<double>(processed) / (1024.0 * 1024.0) / secs);
       }
     }
-    finish(std::move(resp), processed);
+    complete_entry(id, entry, std::move(resp), processed);
   } catch (const std::exception& e) {
     // A throwing kernel fails its own request, never the worker (and never
     // the process): surface a typed error and count it.
@@ -601,7 +769,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
     ActiveIoResponse resp;
     resp.outcome = ActiveOutcome::kFailed;
     resp.status = error(ErrorCode::kInternal, std::string("kernel threw: ") + e.what());
-    finish(std::move(resp), 0);
+    complete_entry(id, entry, std::move(resp), 0);
   } catch (...) {
     {
       std::lock_guard lock(mu_);
@@ -611,7 +779,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
     ActiveIoResponse resp;
     resp.outcome = ActiveOutcome::kFailed;
     resp.status = error(ErrorCode::kInternal, "kernel threw a non-std exception");
-    finish(std::move(resp), 0);
+    complete_entry(id, entry, std::move(resp), 0);
   }
 }
 

@@ -13,19 +13,29 @@
 //     its variables and the response carries the checkpoint plus the
 //     resume offset (paper §III-C's three cases).
 //
-// serve_active() is a synchronous RPC-style call, safe from many client
-// threads concurrently.
+// The dispatch surface is ASYNCHRONOUS — submit_active() registers the
+// request and returns immediately; the completion callback fires exactly
+// once from a worker (or the submitting thread, for synchronous outcomes
+// such as rejection at arrival and cache hits). This is the
+// Transport-facing interface the rpc layer drives; serve_active() remains
+// as a thin blocking wrapper over it for direct callers.
+//
+// Identical in-flight requests — same (handle, extent, operation) — are
+// COALESCED: the second submission attaches as an extra waiter on the
+// first's entry and both receive the one kernel run's result. Repeated
+// hot-object analytics from many clients cost one execution per wave.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/thread_pool.hpp"
-#include "common/token_bucket.hpp"
 #include "fault/fault.hpp"
 #include "kernels/registry.hpp"
 #include "pfs/file_system.hpp"
@@ -51,11 +61,31 @@ struct StorageServerConfig {
   /// while the object version is unchanged — repeated analytics over cold
   /// data cost one kernel run. LRU eviction.
   std::size_t result_cache_entries = 0;
+  /// Coalesce identical in-flight (handle, extent, operation) requests
+  /// onto one kernel run. Off by default: coalescing changes what the
+  /// scheduler sees (N twins become one queue entry), which contention
+  /// experiments must not silently absorb. Opt in for serving workloads
+  /// with hot-object fan-in.
+  bool coalesce_identical = false;
 };
 
 class StorageServer {
  public:
   using Config = StorageServerConfig;
+
+  /// Async completion hook: fires exactly once per accepted waiter, from a
+  /// worker thread or the submitting thread. Must not block on this
+  /// server's own completion paths.
+  using ActiveCompletion = std::function<void(ActiveIoResponse)>;
+
+  /// Handle for one async submission; pass to cancel_active(). id == 0
+  /// means the request completed synchronously at submit (cache hit,
+  /// crashed node, immediate rejection) and cannot be cancelled.
+  struct ActiveTicket {
+    sched::RequestId id = 0;
+    std::uint64_t waiter = 0;
+    bool coalesced = false;  ///< attached to an identical in-flight entry
+  };
 
   struct Stats {
     std::uint64_t active_completed = 0;
@@ -68,6 +98,8 @@ class StorageServer {
     std::uint64_t cache_hits = 0;      ///< active requests served from the result cache
     std::uint64_t cache_misses = 0;    ///< cache-enabled requests that ran a kernel
     std::uint64_t active_timed_out = 0;   ///< requests abandoned at their deadline
+    std::uint64_t active_cancelled = 0;   ///< waiters withdrawn before completion
+    std::uint64_t active_coalesced = 0;   ///< submissions merged onto an in-flight twin
     std::uint64_t kernel_exceptions = 0;  ///< kernels that threw (caught -> kFailed)
     std::uint64_t pool_rejections = 0;    ///< submits refused (pool shut down)
     std::uint64_t crash_rejections = 0;   ///< active requests refused: node "crashed"
@@ -81,29 +113,45 @@ class StorageServer {
   StorageServer& operator=(const StorageServer&) = delete;
 
   /// Normal I/O: read a byte extent of this server's object for `handle`.
+  /// (Network byte charging is the transport's job — see
+  /// rpc::NetChargeTransport — not this data path's.)
   Result<std::vector<std::uint8_t>> serve_normal(pfs::FileHandle handle, Bytes object_offset,
                                                  Bytes length);
 
-  /// Active I/O: run the request's kernel over the object extent, subject
-  /// to the CE policy. Blocks until completion, rejection, or interruption.
+  /// Async active I/O: enqueue the request under the CE policy and return.
+  /// `done` fires exactly once with the outcome (completion, rejection,
+  /// interruption, or failure). Identical in-flight requests coalesce.
+  ActiveTicket submit_active(ActiveIoRequest request, ActiveCompletion done);
+
+  /// Async batch (collective) submission: every request is registered
+  /// first, the scheduling policy is evaluated ONCE over the combined
+  /// queue, then kernels launch. Avoids the admit-then-interrupt churn of
+  /// per-arrival evaluation when many requests land together. `dones`
+  /// aligns positionally with `requests`.
+  std::vector<ActiveTicket> submit_active_batch(std::vector<ActiveIoRequest> requests,
+                                                std::vector<ActiveCompletion> dones);
+
+  /// Withdraw a waiter before its completion fires: a queued request whose
+  /// waiters all cancel never starts; a running one is interrupted and its
+  /// late result discarded. Returns false when the completion already
+  /// fired (or is firing) — `done` ran or will run with the real outcome.
+  /// After a true return, `done` will never be invoked. `reason` is
+  /// counted as a timeout when its code is kTimedOut.
+  bool cancel_active(const ActiveTicket& ticket, const Status& reason);
+
+  /// Blocking active I/O — a thin wrapper over submit_active() that waits
+  /// for the completion, honouring request.timeout (cancel + kTimedOut on
+  /// expiry) exactly as the transport's deadline watchdog does for async
+  /// callers.
   ActiveIoResponse serve_active(ActiveIoRequest request);
 
-  /// Batch (collective) active I/O: register every request, evaluate the
-  /// scheduling policy ONCE over the combined queue, then execute. Avoids
-  /// the admit-then-interrupt churn that per-arrival evaluation causes
-  /// when many requests land together (see the interruption ablation).
-  /// Responses are positionally aligned with `requests`.
+  /// Blocking batch wrapper over submit_active_batch(). Responses are
+  /// positionally aligned with `requests`.
   std::vector<ActiveIoResponse> serve_active_batch(std::vector<ActiveIoRequest> requests);
 
   /// Probe the node state into the CE and re-apply the scheduling policy
   /// to the current queue (the CE's periodic tick; tests call it directly).
   void probe();
-
-  /// Attach a (usually cluster-shared) network rate model: every byte this
-  /// server sends — normal I/O data, kernel results, checkpoints — is
-  /// charged against it. Virtual mode accounts delay without sleeping;
-  /// real mode actually paces the transfers. Pass nullptr to detach.
-  void set_network(std::shared_ptr<TokenBucket> link) { network_ = std::move(link); }
 
   /// Attach a (usually cluster-shared) fault injector. While this node is
   /// marked crashed, serve_active fails with kUnavailable (the normal-I/O
@@ -117,11 +165,16 @@ class StorageServer {
   const kernels::Registry& registry() const { return registry_; }
   Stats stats() const;
 
-  /// Current in-flight active request count (queued + running).
+  /// Current in-flight active request count (queued + running entries).
   std::size_t inflight() const;
 
  private:
   enum class EntryState { kQueued, kRunning, kDone };
+
+  struct Waiter {
+    std::uint64_t id = 0;
+    ActiveCompletion done;
+  };
 
   struct Entry {
     ActiveIoRequest request;
@@ -129,8 +182,7 @@ class StorageServer {
     bool reject_before_start = false;
     std::shared_ptr<std::atomic<bool>> interrupt;
     std::shared_ptr<std::atomic<Bytes>> progress;  ///< bytes processed so far
-    ActiveIoResponse response;
-    bool response_ready = false;
+    std::vector<Waiter> waiters;
   };
 
   /// Build the CE queue snapshot, run the scheduler per operation group,
@@ -138,16 +190,24 @@ class StorageServer {
   /// NOT hold mu_.
   void evaluate_policy();
 
+  /// Under mu_: find an in-flight entry this request can coalesce onto.
+  std::shared_ptr<Entry> find_coalesce_locked(const ActiveIoRequest& request);
+
   /// Insert a request into the entry table (assigning an id if needed).
-  std::pair<sched::RequestId, std::shared_ptr<Entry>> register_entry(ActiveIoRequest request);
+  std::pair<sched::RequestId, std::shared_ptr<Entry>> register_entry(ActiveIoRequest request,
+                                                                     Waiter waiter);
 
-  /// If the entry was demoted before starting, fill `rejected_response`
-  /// and return false; otherwise submit its kernel to the pool.
-  bool launch_or_reject(sched::RequestId id, const std::shared_ptr<Entry>& entry,
-                        ActiveIoResponse& rejected_response);
+  /// If the entry was demoted before starting, complete its waiters with a
+  /// rejection and return false; otherwise submit its kernel to the pool.
+  bool launch_or_reject(sched::RequestId id, const std::shared_ptr<Entry>& entry);
 
-  /// Block until the entry's response is ready; collect it and the stats.
-  ActiveIoResponse await_entry(sched::RequestId id, const std::shared_ptr<Entry>& entry);
+  /// Remove the entry, count per-waiter outcome stats, and fire the
+  /// completion callbacks (outside mu_). No-op if the entry was abandoned.
+  void complete_entry(sched::RequestId id, const std::shared_ptr<Entry>& entry,
+                      ActiveIoResponse response, Bytes processed);
+
+  /// Count one waiter's outcome into stats_/obs; caller holds mu_.
+  void count_outcome_locked(const ActiveIoResponse& response);
 
   /// Result-cache lookup; nullopt on miss/disabled/stale. Updates stats.
   std::optional<ActiveIoResponse> cache_lookup(const ActiveIoRequest& request);
@@ -187,11 +247,10 @@ class StorageServer {
   const std::string obs_name_;  ///< metric prefix: "server<id>"
 
   mutable std::mutex mu_;
-  std::condition_variable response_cv_;
   std::map<sched::RequestId, std::shared_ptr<Entry>> entries_;
   sched::RequestId next_id_ = 1;
+  std::uint64_t next_waiter_ = 1;
   Stats stats_;
-  std::shared_ptr<TokenBucket> network_;
   std::shared_ptr<fault::FaultInjector> faults_;
   std::size_t normal_inflight_ = 0;
 

@@ -342,6 +342,19 @@ int cmd_runtime(const Args& args) {
       static_cast<unsigned long long>(cst.resumed_local),
       static_cast<unsigned long long>(cst.node_down_demotes),
       static_cast<unsigned long long>(cst.checkpoint_corrupt_restarts), cst.backoff_total);
+  const auto tst = cluster.asc().transport_stats();
+  std::printf(
+      "transport: %llu submitted, %llu completed, %llu cancelled, %llu timed out,\n"
+      "  %llu batched (%llu coalesced), in-flight hwm %llu, "
+      "active RPC p50 %.1f us / p99 %.1f us\n",
+      static_cast<unsigned long long>(tst.submitted),
+      static_cast<unsigned long long>(tst.completed),
+      static_cast<unsigned long long>(tst.cancelled),
+      static_cast<unsigned long long>(tst.timed_out),
+      static_cast<unsigned long long>(tst.batched),
+      static_cast<unsigned long long>(tst.coalesced),
+      static_cast<unsigned long long>(tst.inflight_hwm),
+      tst.active_latency_p50_us, tst.active_latency_p99_us);
   if (cluster.fault_injector() != nullptr) {
     const auto fst = cluster.fault_injector()->stats();
     std::printf(
