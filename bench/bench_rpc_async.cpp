@@ -5,7 +5,6 @@
 // clients issuing striped active reads, sequential-per-extent vs pipelined
 // fan-out, with a bit-identical result check between the two modes.
 #include <cassert>
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <iostream>
@@ -14,6 +13,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/clock.hpp"
 #include "core/cluster.hpp"
 #include "pfs/layout.hpp"
 #include "rpc/transport.hpp"
@@ -56,7 +56,7 @@ std::vector<std::uint8_t> read_ex_sequential(client::ActiveClient& asc,
 double run_clients(std::size_t clients, std::size_t rounds,
                    const std::function<std::vector<std::uint8_t>(std::size_t)>& one_read,
                    std::vector<std::vector<std::uint8_t>>& last_results) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const Seconds t0 = wall_clock().now();  // bench: physical time on purpose
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
@@ -65,7 +65,7 @@ double run_clients(std::size_t clients, std::size_t rounds,
     });
   }
   for (auto& t : threads) t.join();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return wall_clock().now() - t0;
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 //   * request dispatch from the storage server to its kernel workers,
 //   * interrupt signals from the runtime to a running kernel,
 //   * compute-node clients talking to storage servers in the real runtime.
+//
+// Blocking and wake-ups route through the Clock seam (clock.hpp) so that
+// idle workers parked in receive() count as quiescent under a
+// VirtualClock, and a send that wakes one is accounted at the notify edge.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +18,8 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/clock.hpp"
 
 namespace dosas {
 
@@ -30,11 +36,11 @@ class Channel {
   /// closed (the item is dropped).
   bool send(T item) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || !full_locked(); });
+    clock().wait(not_full_, lock, [&] { return closed_ || !full_locked(); });
     if (closed_) return false;
     queue_.push_back(std::move(item));
     lock.unlock();
-    not_empty_.notify_one();
+    clock().wake_one(not_empty_);
     return true;
   }
 
@@ -45,7 +51,7 @@ class Channel {
       if (closed_ || full_locked()) return false;
       queue_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    clock().wake_one(not_empty_);
     return true;
   }
 
@@ -53,12 +59,12 @@ class Channel {
   /// drained; nullopt means closed-and-empty.
   std::optional<T> receive() {
     std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    clock().wait(not_empty_, lock, [&] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return std::nullopt;
     T item = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    clock().wake_one(not_full_);
     return item;
   }
 
@@ -69,7 +75,7 @@ class Channel {
     T item = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    clock().wake_one(not_full_);
     return item;
   }
 
@@ -80,8 +86,8 @@ class Channel {
       std::lock_guard lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    clock().wake_all(not_empty_);
+    clock().wake_all(not_full_);
   }
 
   bool closed() const {

@@ -1,0 +1,405 @@
+#include "common/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace dosas {
+
+namespace {
+
+// The clock the calling thread registered as a participant of (via
+// ClockParticipant). A VirtualClock consults this to decide whether a
+// waiter counts toward its quiescence accounting.
+thread_local Clock* t_participant_clock = nullptr;
+
+// Real-time poll bound for VirtualClock waits. Wake-ups normally arrive
+// through wake_all()/fire notifications; the poll only bounds the latency
+// of a notify that raced past a waiter between its predicate check and
+// the underlying cv wait.
+constexpr std::chrono::milliseconds kPoll{2};
+
+// Relative waits beyond this many seconds are effectively untimed; they
+// would overflow steady_clock arithmetic anyway (~292 years in ns).
+constexpr Seconds kForever = 3.0e8;  // ~9.5 years
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WallClock
+
+WallClock& WallClock::instance() {
+  static WallClock wall;
+  return wall;
+}
+
+WallClock::WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+Seconds WallClock::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+void WallClock::sleep(Seconds d) {
+  if (d <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(d));
+}
+
+void WallClock::wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                     const Predicate& pred) {
+  {
+    std::lock_guard g(mu_);
+    ++blocked_;
+  }
+  cv.wait(lock, pred);
+  {
+    std::lock_guard g(mu_);
+    --blocked_;
+  }
+}
+
+bool WallClock::timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                           Seconds deadline, const Predicate& pred) {
+  if (deadline - now() > kForever) {
+    wait(cv, lock, pred);
+    return true;
+  }
+  const auto when = epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(deadline));
+  {
+    std::lock_guard g(mu_);
+    ++blocked_;
+    ++timed_waiters_;
+  }
+  const bool ok = cv.wait_until(lock, when, pred);
+  {
+    std::lock_guard g(mu_);
+    --blocked_;
+    --timed_waiters_;
+  }
+  return ok;
+}
+
+void WallClock::wake_all(std::condition_variable& cv) { cv.notify_all(); }
+
+void WallClock::wake_one(std::condition_variable& cv) { cv.notify_one(); }
+
+void WallClock::add_participant() {
+  std::lock_guard g(mu_);
+  ++participants_;
+}
+
+void WallClock::remove_participant() {
+  std::lock_guard g(mu_);
+  --participants_;
+}
+
+Clock::Status WallClock::status() const {
+  std::lock_guard g(mu_);
+  Status s;
+  s.virtual_time = false;
+  s.now = std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  s.participants = participants_;
+  s.blocked = blocked_;
+  s.timed_waiters = timed_waiters_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualClock
+//
+// Accounting invariants (all under mu_):
+//   * A waiter entry is COUNTED while armed: participant entries hold one
+//     unit of blocked_, non-participant entries hold nothing.
+//   * fire (deadline crossed) or poke (wake_* delivered) moves an entry
+//     to RUNNABLE: participant entries release their blocked_ unit,
+//     non-participant entries take one unit of waking_. Either way the
+//     quiescence condition (blocked_ == participants_ && waking_ == 0)
+//     turns false until the woken thread actually runs.
+//   * A spuriously poked waiter whose predicate is still false re-arms
+//     (reverse transition) and re-checks advancement before re-waiting.
+//   * The owning thread is the only one that erases its entry.
+
+VirtualClock::~VirtualClock() = default;
+
+Seconds VirtualClock::now() const {
+  std::lock_guard g(mu_);
+  return now_;
+}
+
+void VirtualClock::sleep(Seconds d) {
+  if (d <= 0.0) return;
+  std::mutex m;
+  std::condition_variable cv;
+  std::unique_lock lock(m);
+  Seconds deadline;
+  {
+    std::lock_guard g(mu_);
+    deadline = now_ + d;
+  }
+  timed_wait(cv, lock, deadline, [] { return false; });
+}
+
+std::vector<VirtualClock::TimedWaiter>::iterator VirtualClock::find_timed_locked(
+    std::uint64_t id) {
+  auto it = timed_.begin();
+  while (it != timed_.end() && it->id != id) ++it;
+  return it;
+}
+
+std::vector<VirtualClock::UntimedWaiter>::iterator VirtualClock::find_untimed_locked(
+    std::uint64_t id) {
+  auto it = untimed_.begin();
+  while (it != untimed_.end() && it->id != id) ++it;
+  return it;
+}
+
+void VirtualClock::wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                        const Predicate& pred) {
+  if (pred()) return;
+  const bool participant = (t_participant_clock == this);
+  std::uint64_t id;
+  {
+    std::lock_guard g(mu_);
+    id = next_waiter_id_++;
+    untimed_.push_back(UntimedWaiter{id, &cv, participant, /*poked=*/false});
+    if (participant) {
+      ++blocked_;
+      check_advance_locked();
+    }
+  }
+  for (;;) {
+    cv.wait_for(lock, kPoll);
+    if (pred()) break;
+    std::lock_guard g(mu_);
+    auto it = find_untimed_locked(id);
+    if (it->poked) {  // over-broad or spurious wake: re-arm
+      it->poked = false;
+      if (it->participant) {
+        ++blocked_;
+        check_advance_locked();
+      } else {
+        --waking_;
+      }
+    }
+  }
+  {
+    std::lock_guard g(mu_);
+    auto it = find_untimed_locked(id);
+    if (it->poked) {
+      if (!it->participant) --waking_;
+    } else if (it->participant) {
+      --blocked_;
+    }
+    untimed_.erase(it);
+  }
+}
+
+bool VirtualClock::timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                              Seconds deadline, const Predicate& pred) {
+  if (pred()) return true;
+  const bool participant = (t_participant_clock == this);
+  std::uint64_t id;
+  {
+    std::lock_guard g(mu_);
+    id = next_waiter_id_++;
+    const bool expired = now_ >= deadline;
+    timed_.push_back(TimedWaiter{id, deadline, &cv, participant, /*fired=*/expired,
+                                 /*poked=*/false});
+    if (expired) {
+      if (!participant) ++waking_;  // erased below without ever blocking
+    } else {
+      if (participant) ++blocked_;
+      check_advance_locked();
+    }
+  }
+  for (;;) {
+    {
+      std::lock_guard g(mu_);
+      auto it = find_timed_locked(id);
+      if (it->fired) {
+        if (!it->participant && !it->poked) --waking_;
+        timed_.erase(it);
+        break;  // deadline reached (possibly instantly, via quiescent jump)
+      }
+    }
+    cv.wait_for(lock, kPoll);
+    if (pred()) {
+      std::lock_guard g(mu_);
+      auto it = find_timed_locked(id);
+      if (it->fired || it->poked) {
+        if (!it->participant) --waking_;
+      } else if (it->participant) {
+        --blocked_;
+      }
+      timed_.erase(it);
+      return true;
+    }
+    {
+      std::lock_guard g(mu_);
+      auto it = find_timed_locked(id);
+      if (it->poked && !it->fired) {  // spurious poke: re-arm
+        it->poked = false;
+        if (it->participant) {
+          ++blocked_;
+          check_advance_locked();
+        } else {
+          --waking_;
+        }
+      }
+    }
+  }
+  return pred();
+}
+
+void VirtualClock::wake_all(std::condition_variable& cv) {
+  {
+    std::lock_guard g(mu_);
+    for (auto& w : timed_) {
+      if (w.cv == &cv && !w.fired && !w.poked) {
+        w.poked = true;
+        if (w.participant) {
+          --blocked_;
+        } else {
+          ++waking_;
+        }
+      }
+    }
+    for (auto& w : untimed_) {
+      if (w.cv == &cv && !w.poked) {
+        w.poked = true;
+        if (w.participant) {
+          --blocked_;
+        } else {
+          ++waking_;
+        }
+      }
+    }
+  }
+  cv.notify_all();
+}
+
+void VirtualClock::wake_one(std::condition_variable& cv) {
+  // notify_one picks an unspecified waiter, which the quiescence
+  // accounting cannot model; wake everyone and let predicates sort it
+  // out (spuriously woken waiters re-arm).
+  wake_all(cv);
+}
+
+void VirtualClock::add_participant() {
+  std::lock_guard g(mu_);
+  ++participants_;
+}
+
+void VirtualClock::remove_participant() {
+  std::lock_guard g(mu_);
+  --participants_;
+  // The departing thread may have been the only runnable participant.
+  check_advance_locked();
+}
+
+void VirtualClock::advance_by(Seconds dt) {
+  if (dt < 0.0) dt = 0.0;
+  std::lock_guard g(mu_);
+  now_ += dt;
+  ++advances_;
+  fire_crossed_locked();
+}
+
+void VirtualClock::advance_to(Seconds t) {
+  std::lock_guard g(mu_);
+  if (t > now_) now_ = t;
+  ++advances_;
+  fire_crossed_locked();
+}
+
+void VirtualClock::check_advance_locked() {
+  if (blocked_ < participants_ || waking_ > 0) return;
+  Seconds earliest = 0.0;
+  bool armed = false;
+  for (const auto& w : timed_) {
+    if (!w.fired && (!armed || w.deadline < earliest)) {
+      earliest = w.deadline;
+      armed = true;
+    }
+  }
+  if (!armed) {
+    // Quiescent with nothing to wait for: either the program is done
+    // (threads idling in untimed waits) or it deadlocked on a
+    // non-clock event. Surfaced via status().stalled_checks.
+    ++stalled_checks_;
+    return;
+  }
+  if (earliest > now_) now_ = earliest;
+  ++advances_;
+  fire_crossed_locked();
+}
+
+void VirtualClock::fire_crossed_locked() {
+  for (auto& w : timed_) {
+    if (w.fired || w.deadline > now_) continue;
+    w.fired = true;
+    if (!w.poked) {
+      if (w.participant) {
+        --blocked_;
+      } else {
+        ++waking_;
+      }
+    }
+    // Notifying without the waiter's mutex is safe: fired waiters also
+    // poll, so a missed notify costs at most one kPoll interval.
+    w.cv->notify_all();
+  }
+}
+
+Clock::Status VirtualClock::status() const {
+  std::lock_guard g(mu_);
+  Status s;
+  s.virtual_time = true;
+  s.now = now_;
+  s.participants = participants_;
+  s.blocked = blocked_;
+  for (const auto& w : timed_) {
+    if (!w.fired) ++s.timed_waiters;
+  }
+  s.advances = advances_;
+  s.stalled_checks = stalled_checks_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Global seam
+
+namespace {
+std::atomic<Clock*> g_clock{nullptr};
+}  // namespace
+
+Clock& clock() {
+  Clock* c = g_clock.load(std::memory_order_acquire);
+  return c != nullptr ? *c : WallClock::instance();
+}
+
+Clock& wall_clock() { return WallClock::instance(); }
+
+Clock* set_global_clock(Clock* c) {
+  return g_clock.exchange(c, std::memory_order_acq_rel);
+}
+
+ClockParticipant::ClockParticipant() : clock_(&dosas::clock()), prev_(t_participant_clock) {
+  t_participant_clock = clock_;
+  clock_->add_participant();
+}
+
+ClockParticipant::ClockParticipant(Adopt)
+    : clock_(&dosas::clock()), prev_(t_participant_clock) {
+  t_participant_clock = clock_;
+  // participants_ was already counted by the spawning thread (see the
+  // class comment), so the clock never advanced in the window between
+  // thread creation and this adoption.
+}
+
+ClockParticipant::~ClockParticipant() {
+  clock_->remove_participant();
+  t_participant_clock = prev_;
+}
+
+}  // namespace dosas

@@ -1,0 +1,269 @@
+// clock.hpp — the single time seam for the whole runtime.
+//
+// The DOSAS control loop is all about timing: CE probe ticks, per-request
+// deadlines, retry backoff, interrupt/resume latencies. Before this seam
+// the real runtime read wall-clock time directly in a dozen files while
+// the discrete-event engine in src/sim kept its own virtual Time — two
+// parallel time worlds, with hacks like the old TokenBucket::advance()
+// leaking between them. Now every component asks the injected Clock:
+//
+//   * Clock        — now()/sleep()/wait()/timed_wait(); every blocking or
+//                    time-reading site in src/, tests/, tools/ and bench/
+//                    goes through it (enforced by tools/check_clock.sh);
+//   * WallClock    — the production clock: std::chrono::steady_clock with
+//                    an epoch at process start, real sleeps, real waits;
+//   * VirtualClock — a deterministic-simulation-testing clock à la
+//                    FoundationDB: virtual time stands still while any
+//                    registered participant thread is runnable and jumps
+//                    straight to the earliest armed deadline once every
+//                    participant is blocked in a clock wait (the
+//                    "quiescence rule"). Seconds of sleeping/backoff/
+//                    deadline collapse into microseconds of real time,
+//                    and the virtual timeline is a pure function of the
+//                    program's blocking structure — replayable.
+//
+// Participation: under a VirtualClock, every thread that *drives* work
+// (test driver threads, pool workers, the rpc watchdog, runner threads)
+// must hold a ClockParticipant for its lifetime; threads that block
+// outside the clock (e.g. in thread::join) must not be registered while
+// they do. ThreadPool workers and the transport watchdog register
+// themselves automatically, so a DST harness only registers its own
+// driver threads — and must install the VirtualClock (ScopedClockOverride)
+// BEFORE constructing the cluster so those runtime threads bind to it.
+//
+// With zero registered participants a VirtualClock auto-advances on every
+// timed wait (single-threaded mode: sleeps become jumps, manual
+// advance_by() models idle time) — which is what deleted the old
+// TokenBucket::advance() dual path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dosas {
+
+/// The injectable time base. All methods are thread-safe. `deadline`
+/// arguments are absolute clock time (seconds since the clock's epoch).
+class Clock {
+ public:
+  /// Introspection snapshot (surfaced by `dosas_ctl runtime` for
+  /// debugging stuck DST runs).
+  struct Status {
+    bool virtual_time = false;
+    Seconds now = 0.0;
+    int participants = 0;    ///< registered driver threads
+    int blocked = 0;         ///< participants currently in a clock wait
+    int timed_waiters = 0;   ///< armed (unexpired) deadlines
+    std::uint64_t advances = 0;      ///< virtual-time jumps so far
+    std::uint64_t stalled_checks = 0;  ///< quiescent with nothing armed (deadlock sign)
+  };
+
+  using Predicate = std::function<bool()>;
+
+  virtual ~Clock() = default;
+
+  virtual bool is_virtual() const = 0;
+
+  /// Seconds since this clock's epoch.
+  virtual Seconds now() const = 0;
+
+  /// Block the calling thread for `d` seconds of clock time.
+  virtual void sleep(Seconds d) = 0;
+
+  /// Wait on a caller-owned cv/lock until `pred` holds. Equivalent to
+  /// `cv.wait(lock, pred)` but visible to the clock's quiescence
+  /// accounting. The caller must hold `lock` and `pred` is evaluated
+  /// under it, as with std::condition_variable.
+  virtual void wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                    const Predicate& pred) = 0;
+
+  /// Wait until `pred` holds or clock time reaches `deadline` (absolute).
+  /// Returns the final `pred()` — false means the deadline expired first.
+  virtual bool timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                          Seconds deadline, const Predicate& pred) = 0;
+
+  /// Notify waiters blocked through this clock on `cv`. Producers MUST use
+  /// these instead of cv.notify_*() for any cv that clock waits block on:
+  /// under a VirtualClock the notification edge (not the OS wake-up) is
+  /// what moves a waiter out of the quiescence accounting — a plain
+  /// notify would leave the signalled thread counted as blocked until the
+  /// scheduler runs it, letting virtual time jump a deadline that the
+  /// woken thread was about to beat. Under a VirtualClock wake_one wakes
+  /// every waiter on `cv` (each re-checks its predicate); under the wall
+  /// clock these are plain notify_one/notify_all.
+  virtual void wake_all(std::condition_variable& cv) = 0;
+  virtual void wake_one(std::condition_variable& cv) = 0;
+
+  /// Register/unregister the calling thread as a DST participant (see the
+  /// quiescence rule above). Prefer the ClockParticipant RAII guard.
+  virtual void add_participant() = 0;
+  virtual void remove_participant() = 0;
+
+  virtual Status status() const = 0;
+};
+
+/// Production clock: steady_clock with an epoch fixed at singleton
+/// construction (process start, in practice). sleep() and timed_wait()
+/// consume real time.
+class WallClock final : public Clock {
+ public:
+  /// The process-wide wall clock (also the default global clock).
+  static WallClock& instance();
+
+  bool is_virtual() const override { return false; }
+  Seconds now() const override;
+  void sleep(Seconds d) override;
+  void wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+            const Predicate& pred) override;
+  bool timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                  Seconds deadline, const Predicate& pred) override;
+  void wake_all(std::condition_variable& cv) override;
+  void wake_one(std::condition_variable& cv) override;
+  void add_participant() override;
+  void remove_participant() override;
+  Status status() const override;
+
+ private:
+  WallClock();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  int participants_ = 0;
+  int blocked_ = 0;
+  int timed_waiters_ = 0;
+};
+
+/// Deterministic virtual-time clock. Starts at now() == 0. Time advances
+/// only (a) when every registered participant is blocked in a clock wait
+/// and at least one deadline is armed — it jumps to the earliest — or
+/// (b) through manual advance_by()/advance_to() (single-threaded tests).
+class VirtualClock final : public Clock {
+ public:
+  VirtualClock() = default;
+  ~VirtualClock() override;
+
+  bool is_virtual() const override { return true; }
+  Seconds now() const override;
+  void sleep(Seconds d) override;
+  void wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+            const Predicate& pred) override;
+  bool timed_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                  Seconds deadline, const Predicate& pred) override;
+  void add_participant() override;
+  void remove_participant() override;
+  Status status() const override;
+
+  /// Manually move virtual time forward (models idle time in
+  /// single-threaded tests). Fires any deadlines the jump crosses.
+  void advance_by(Seconds dt);
+  void advance_to(Seconds t);
+
+  void wake_all(std::condition_variable& cv) override;
+  void wake_one(std::condition_variable& cv) override;
+
+ private:
+  struct TimedWaiter {
+    std::uint64_t id = 0;
+    Seconds deadline = 0.0;
+    std::condition_variable* cv = nullptr;
+    bool participant = false;  ///< counts toward blocked_ while armed
+    bool fired = false;        ///< deadline reached; waiter is runnable
+    bool poked = false;        ///< wake_*() delivered; waiter is runnable
+  };
+  struct UntimedWaiter {
+    std::uint64_t id = 0;
+    std::condition_variable* cv = nullptr;
+    bool participant = false;
+    bool poked = false;
+  };
+
+  /// Quiescence check; caller holds mu_. If all participants are blocked
+  /// and a deadline is armed, jump to the earliest and fire it.
+  void check_advance_locked();
+  void fire_crossed_locked();
+
+  std::vector<TimedWaiter>::iterator find_timed_locked(std::uint64_t id);
+  std::vector<UntimedWaiter>::iterator find_untimed_locked(std::uint64_t id);
+
+  mutable std::mutex mu_;
+  Seconds now_ = 0.0;
+  int participants_ = 0;
+  int blocked_ = 0;  ///< participants inside wait()/timed_wait()/sleep()
+  /// Non-participant waiters that have been fired/poked but not yet
+  /// rescheduled by the OS. Gates advancement so the clock cannot race
+  /// past a wake-up it just delivered.
+  int waking_ = 0;
+  std::uint64_t next_waiter_id_ = 1;
+  std::vector<TimedWaiter> timed_;
+  std::vector<UntimedWaiter> untimed_;
+  std::uint64_t advances_ = 0;
+  std::uint64_t stalled_checks_ = 0;
+};
+
+/// The current global clock (WallClock unless overridden). This is the
+/// seam every call site uses: `clock().now()`, `clock().sleep(d)`, ...
+Clock& clock();
+
+/// The wall clock, regardless of any override — for call sites that
+/// measure *physical* machine speed (kernel calibration, bench harnesses,
+/// DST real-vs-virtual speedup checks).
+Clock& wall_clock();
+
+/// Install `c` as the global clock (nullptr restores the wall clock).
+/// Returns the previous override (nullptr if none). Must not be called
+/// while runtime threads bound to the old clock are still alive.
+Clock* set_global_clock(Clock* c);
+
+/// Scoped clock override: installs in the constructor, restores the
+/// previous clock in the destructor. Construct BEFORE the cluster /
+/// transport / pools whose threads should bind to the override.
+class ScopedClockOverride {
+ public:
+  explicit ScopedClockOverride(Clock& c) : prev_(set_global_clock(&c)) {}
+  ~ScopedClockOverride() { set_global_clock(prev_); }
+
+  ScopedClockOverride(const ScopedClockOverride&) = delete;
+  ScopedClockOverride& operator=(const ScopedClockOverride&) = delete;
+
+ private:
+  Clock* prev_;
+};
+
+/// RAII participant registration for the calling thread, bound to the
+/// global clock at construction. Hold for the thread's whole driving
+/// lifetime; never hold across blocking that bypasses the clock
+/// (thread::join, I/O waits).
+///
+/// A thread that SPAWNS a participating thread must not leave a window in
+/// which the clock cannot see it: between std::thread construction and the
+/// new thread's registration, a VirtualClock would count one participant
+/// too few and could jump a deadline the new thread was about to arm. The
+/// spawner closes the window by calling clock().add_participant() BEFORE
+/// constructing the thread, and the spawned thread takes over that count
+/// with the kAdoptPreRegistered constructor (its destructor releases it).
+class ClockParticipant {
+ public:
+  enum class Adopt { kPreRegistered };
+  static constexpr Adopt kAdoptPreRegistered = Adopt::kPreRegistered;
+
+  ClockParticipant();
+  /// Take over a count the spawning thread already registered via
+  /// clock().add_participant() — binds the thread-local without
+  /// re-incrementing.
+  explicit ClockParticipant(Adopt);
+  ~ClockParticipant();
+
+  ClockParticipant(const ClockParticipant&) = delete;
+  ClockParticipant& operator=(const ClockParticipant&) = delete;
+
+ private:
+  Clock* clock_;
+  Clock* prev_;
+};
+
+}  // namespace dosas

@@ -8,14 +8,14 @@
 // up to a cap, and jitter decorrelates the retry storms of many concurrent
 // clients. Delays are deterministic given the seed; by default they are
 // *accounted* (like the virtual TokenBucket) rather than slept, so tests
-// stay fast — set sleep_real for wall-clock pacing.
+// stay fast — set sleep_real to pace on the injected clock (real seconds
+// under the wall clock, deterministic jumps under a VirtualClock).
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <thread>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -48,9 +48,7 @@ class Backoff {
       d *= rng_.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
     }
     total_ += d;
-    if (policy_.sleep_real && d > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(d));
-    }
+    if (policy_.sleep_real && d > 0.0) clock().sleep(d);
     return d;
   }
 

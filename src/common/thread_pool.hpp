@@ -34,6 +34,10 @@ class ThreadPool {
       : on_error_(std::move(on_error)) {
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
+      // Pre-register each worker's clock participation from this thread
+      // so a VirtualClock never advances in the spawn window (see
+      // ClockParticipant); run() adopts the count.
+      clock().add_participant();
       workers_.emplace_back([this] { run(); });
     }
   }
@@ -64,6 +68,11 @@ class ThreadPool {
 
  private:
   void run() {
+    // Workers are DST participants: an idle worker parked in receive() is
+    // quiescent, so a VirtualClock can advance past it. Binds to the
+    // global clock at pool construction — install any override first.
+    // The count itself was pre-registered by the constructor.
+    ClockParticipant participant(ClockParticipant::kAdoptPreRegistered);
     while (auto task = tasks_.receive()) {
       try {
         (*task)();

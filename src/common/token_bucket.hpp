@@ -4,20 +4,22 @@
 // the paper's bandwidth ceiling (118 MB/s shared 1 GbE) rather than just
 // account for it, each transfer acquires bytes from a shared TokenBucket.
 // Virtual mode accrues the wait analytically (no sleeping) and reports it;
-// real mode actually blocks, so wall-clock measurements show the contention.
+// real mode actually blocks, so clock-time measurements show the contention.
 //
-// Clock discipline: virtual mode runs entirely on an injectable virtual
-// clock that only advance() moves. It used to refill from wall-clock
-// Clock::now(), so real time elapsing between simulated transfers silently
-// granted free tokens and under-reported contention — back-to-back virtual
-// acquires now accrue the full deficit regardless of how long the caller
-// computed in between.
+// Clock discipline: virtual mode never earns tokens from elapsing time at
+// all — it is pure debt accounting over the byte stream (the bucket starts
+// with `burst` bytes of credit and every byte after that costs 1/rate
+// seconds of reported delay). That keeps analytic contention numbers
+// independent of how long the caller computed between acquires. Real mode
+// refills from the injected Clock seam (clock.hpp) and sleeps through it,
+// so under a VirtualClock "real" rate enforcement runs in deterministic
+// virtual time — which is what replaced the old advance() escape hatch.
 #pragma once
 
-#include <chrono>
+#include <algorithm>
 #include <mutex>
-#include <thread>
 
+#include "common/clock.hpp"
 #include "common/units.hpp"
 
 namespace dosas {
@@ -25,8 +27,8 @@ namespace dosas {
 class TokenBucket {
  public:
   enum class Mode {
-    kVirtual,  // account delay, never sleep (fast; used by tests)
-    kReal,     // sleep to enforce the rate in wall-clock time
+    kVirtual,  // account delay analytically, never sleep (fast; used by tests)
+    kReal,     // sleep on the injected clock to enforce the rate
   };
 
   /// rate: sustained bytes/sec. burst: bucket depth in bytes (how much can
@@ -34,7 +36,7 @@ class TokenBucket {
   TokenBucket(BytesPerSec rate, Bytes burst, Mode mode = Mode::kVirtual)
       : rate_(rate), burst_(static_cast<double>(burst)), mode_(mode),
         tokens_(static_cast<double>(burst)),
-        last_(Clock::now()) {}
+        last_(mode == Mode::kReal ? clock().now() : 0.0) {}
 
   /// Acquire `n` bytes of budget. Returns the delay this transfer incurred
   /// (virtual mode) or actually slept (real mode), in seconds.
@@ -43,62 +45,36 @@ class TokenBucket {
     Seconds wait = 0.0;
     {
       std::lock_guard lock(mu_);
-      refill_locked();
+      if (mode_ == Mode::kReal) refill_locked();
       tokens_ -= static_cast<double>(n);
       if (tokens_ < 0.0) {
         wait = -tokens_ / rate_;
         // Model the deficit as time the caller spends waiting; the bucket
         // itself advances so concurrent acquirers queue behind this one.
-        virtual_debt_ += wait;
+        debt_ += wait;
         tokens_ = 0.0;
-        if (mode_ == Mode::kVirtual) {
-          vlast_ = vnow_ + wait;  // booked into the virtual future
-        } else {
-          last_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                     std::chrono::duration<double>(wait));
-        }
+        if (mode_ == Mode::kReal) last_ = clock().now() + wait;
       }
     }
-    if (mode_ == Mode::kReal && wait > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
-    }
+    if (mode_ == Mode::kReal && wait > 0.0) clock().sleep(wait);
     return wait;
   }
 
-  /// Advance the virtual clock by `dt` seconds: the only way virtual mode
-  /// earns tokens back. Tests and simulators call this to model idle link
-  /// time. No-op in real mode (wall clock is the clock there).
-  void advance(Seconds dt) {
-    if (dt <= 0.0) return;
-    std::lock_guard lock(mu_);
-    vnow_ += dt;
-  }
-
-  /// Total virtual waiting accrued so far (both modes).
+  /// Total waiting accrued so far (both modes).
   Seconds accrued_delay() const {
     std::lock_guard lock(mu_);
-    return virtual_debt_;
+    return debt_;
   }
 
   BytesPerSec rate() const { return rate_; }
   Mode mode() const { return mode_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   void refill_locked() {
-    double dt = 0.0;
-    if (mode_ == Mode::kVirtual) {
-      if (vnow_ <= vlast_) return;
-      dt = vnow_ - vlast_;
-      vlast_ = vnow_;
-    } else {
-      const auto now = Clock::now();
-      if (now <= last_) return;
-      dt = std::chrono::duration<double>(now - last_).count();
-      last_ = now;
-    }
-    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    const Seconds now = clock().now();
+    if (now <= last_) return;
+    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+    last_ = now;
   }
 
   const BytesPerSec rate_;
@@ -107,10 +83,9 @@ class TokenBucket {
 
   mutable std::mutex mu_;
   double tokens_;
-  Clock::time_point last_;   // real mode: last refill instant
-  Seconds vnow_ = 0.0;       // virtual mode: injectable clock
-  Seconds vlast_ = 0.0;      // virtual mode: last refill instant
-  Seconds virtual_debt_ = 0.0;
+  Seconds last_;  // real mode: last refill instant (clock time); booked into
+                  // the future while a deficit is being slept off
+  Seconds debt_ = 0.0;
 };
 
 }  // namespace dosas

@@ -1,33 +1,39 @@
 #include "core/runner.hpp"
 
-#include <chrono>
 #include <thread>
+
+#include "common/clock.hpp"
 
 namespace dosas::core {
 
 WorkloadReport run_workload(Cluster& cluster, const std::vector<WorkloadRequest>& requests) {
-  using Clock = std::chrono::steady_clock;
   WorkloadReport report;
   report.outcomes.resize(requests.size());
 
-  const auto start = Clock::now();
+  const Seconds start = clock().now();
   std::vector<std::thread> threads;
   threads.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
+    // Pre-registered here so a VirtualClock cannot advance between thread
+    // creation and the thread's own registration (see ClockParticipant).
+    clock().add_participant();
     threads.emplace_back([&, i] {
+      // Request threads drive work, so under a VirtualClock they are DST
+      // participants: blocking in read_ex counts toward quiescence.
+      ClockParticipant participant(ClockParticipant::kAdoptPreRegistered);
       const auto& req = requests[i];
       auto& out = report.outcomes[i];
-      const auto t0 = Clock::now();
+      const Seconds t0 = clock().now();
 
       auto meta = cluster.pfs_client().open(req.path);
       if (!meta.is_ok()) {
         out.error = meta.status().to_string();
-        out.latency = std::chrono::duration<double>(Clock::now() - t0).count();
+        out.latency = clock().now() - t0;
         return;
       }
       const Bytes length = req.length != 0 ? req.length : meta.value().size;
       auto result = cluster.asc().read_ex(meta.value(), req.offset, length, req.operation);
-      out.latency = std::chrono::duration<double>(Clock::now() - t0).count();
+      out.latency = clock().now() - t0;
       if (result.is_ok()) {
         out.ok = true;
         out.result = std::move(result).value();
@@ -37,7 +43,7 @@ WorkloadReport run_workload(Cluster& cluster, const std::vector<WorkloadRequest>
     });
   }
   for (auto& t : threads) t.join();
-  report.wall_time = std::chrono::duration<double>(Clock::now() - start).count();
+  report.wall_time = clock().now() - start;
   for (const auto& o : report.outcomes) report.failures += o.ok ? 0 : 1;
   return report;
 }

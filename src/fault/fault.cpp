@@ -10,6 +10,11 @@ namespace dosas::fault {
 
 namespace {
 
+// Site ids for the per-(site, node) decision streams.
+constexpr int kSiteRead = 1;
+constexpr int kSiteThrow = 2;
+constexpr int kSiteStall = 3;
+
 Result<double> parse_prob(const std::string& key, const std::string& value) {
   char* end = nullptr;
   const double p = std::strtod(value.c_str(), &end);
@@ -84,11 +89,8 @@ FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {
   // Independent stream per fault kind: the decision sequence at one site
   // does not shift when another site's call count changes.
   Rng root(spec_.seed);
-  read_rng_ = root.fork();
-  throw_rng_ = root.fork();
   corrupt_rng_ = root.fork();
   net_rng_ = root.fork();
-  stall_rng_ = root.fork();
   for (const auto& c : spec_.crashes) {
     if (c.after_kernels == 0) {
       crashed_nodes_.push_back(c.node);
@@ -102,18 +104,31 @@ bool FaultInjector::draw(Rng& rng, double p) {
   return p > 0.0 && rng.chance(p);
 }
 
+Rng& FaultInjector::node_stream_locked(int site, std::uint32_t node) {
+  const auto key = std::make_pair(site, node);
+  auto it = node_rngs_.find(key);
+  if (it == node_rngs_.end()) {
+    // Seed derived from (root seed, site, node) only — creation order
+    // across threads cannot shift any stream.
+    const std::uint64_t derived =
+        spec_.seed ^ (0x9E3779B97F4A7C15ULL *
+                      (static_cast<std::uint64_t>(site) * 1000003ULL + node + 1ULL));
+    it = node_rngs_.emplace(key, Rng(derived)).first;
+  }
+  return it->second;
+}
+
 bool FaultInjector::inject_read_fault(std::uint32_t server) {
-  (void)server;
   std::lock_guard lock(mu_);
-  if (!draw(read_rng_, spec_.read_fault)) return false;
+  if (!draw(node_stream_locked(kSiteRead, server), spec_.read_fault)) return false;
   ++stats_.read_faults;
   obs::count("fault.injected.read");
   return true;
 }
 
-bool FaultInjector::inject_kernel_throw() {
+bool FaultInjector::inject_kernel_throw(std::uint32_t node) {
   std::lock_guard lock(mu_);
-  if (!draw(throw_rng_, spec_.kernel_throw)) return false;
+  if (!draw(node_stream_locked(kSiteThrow, node), spec_.kernel_throw)) return false;
   ++stats_.kernel_throws;
   obs::count("fault.injected.kernel_throw");
   return true;
@@ -141,9 +156,11 @@ bool FaultInjector::inject_net_error() {
   return true;
 }
 
-Seconds FaultInjector::inject_stall() {
+Seconds FaultInjector::inject_stall(std::uint32_t node) {
   std::lock_guard lock(mu_);
-  if (spec_.stall_delay <= 0.0 || !draw(stall_rng_, spec_.stall)) return 0.0;
+  if (spec_.stall_delay <= 0.0 || !draw(node_stream_locked(kSiteStall, node), spec_.stall)) {
+    return 0.0;
+  }
   ++stats_.stalls;
   obs::count("fault.injected.stall");
   return spec_.stall_delay;

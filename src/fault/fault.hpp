@@ -23,14 +23,17 @@
 //                          keeps serving normal I/O, so clients demote to
 //                          local compute (the paper's TS path) and recover.
 //
-// Every decision draws from a per-site forked stream of one seed, so a
-// single-threaded run is exactly repeatable; every injected fault is
+// Every decision draws from a per-(site, node) stream derived purely from
+// one seed, so each node's decision sequence is exactly repeatable even
+// when many worker threads interleave their draws; every injected fault is
 // counted here and in the obs metrics (fault.injected.*).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -97,8 +100,8 @@ class FaultInjector {
   /// PFS data server `server`: should this read_object call fail?
   bool inject_read_fault(std::uint32_t server);
 
-  /// Storage server: should this kernel launch throw mid-stream?
-  bool inject_kernel_throw();
+  /// Storage server `node`: should this kernel launch throw mid-stream?
+  bool inject_kernel_throw(std::uint32_t node);
 
   /// Garble `payload` in place (size-preserving). Returns true if corrupted.
   bool inject_checkpoint_corruption(std::vector<std::uint8_t>& payload);
@@ -106,8 +109,9 @@ class FaultInjector {
   /// Client RPC path: is this request/response lost in the network?
   bool inject_net_error();
 
-  /// Straggler: stall to insert before the next kernel chunk (0 = none).
-  Seconds inject_stall();
+  /// Straggler on `node`: stall to insert before the next kernel chunk
+  /// (0 = none).
+  Seconds inject_stall(std::uint32_t node);
 
   /// Called by a storage server when it *starts* a kernel; arms crash=N@K.
   void note_kernel_start(std::uint32_t node);
@@ -125,9 +129,15 @@ class FaultInjector {
  private:
   bool draw(Rng& rng, double p);
 
+  /// Per-(site, node) decision stream, derived purely from the seed and
+  /// the coordinates — NOT from fork order — so each node's sequence is
+  /// reproducible no matter how draws interleave across worker threads.
+  Rng& node_stream_locked(int site, std::uint32_t node);
+
   const FaultSpec spec_;
   mutable std::mutex mu_;
-  Rng read_rng_, throw_rng_, corrupt_rng_, net_rng_, stall_rng_;
+  Rng corrupt_rng_, net_rng_;
+  std::map<std::pair<int, std::uint32_t>, Rng> node_rngs_;
   std::vector<std::uint32_t> crashed_nodes_;
   std::vector<FaultSpec::Crash> pending_crashes_;
   std::vector<std::pair<std::uint32_t, std::uint64_t>> kernel_starts_;

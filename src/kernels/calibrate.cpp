@@ -1,16 +1,14 @@
 #include "kernels/calibrate.hpp"
 
-#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 
 namespace dosas::kernels {
 
 CalibrationResult calibrate(Kernel& kernel, const CalibrationOptions& opts) {
-  using Clock = std::chrono::steady_clock;
-
   // One reusable chunk of pseudo-random doubles; contents don't affect the
   // instruction mix of the kernels we calibrate.
   const std::size_t chunk_doubles = opts.chunk_size / sizeof(double);
@@ -24,12 +22,14 @@ CalibrationResult calibrate(Kernel& kernel, const CalibrationOptions& opts) {
   for (int i = 0; i < opts.warmup_chunks; ++i) kernel.consume(chunk);
 
   CalibrationResult out;
-  const auto start = Clock::now();
+  // Calibration measures *physical* machine speed, so it reads the wall
+  // clock explicitly — virtual time must never distort kernel rates.
+  const Seconds start = wall_clock().now();
   while (out.bytes_processed < opts.total_bytes) {
     kernel.consume(chunk);
     out.bytes_processed += chunk.size();
   }
-  out.elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  out.elapsed = wall_clock().now() - start;
   out.rate = out.elapsed > 0.0 ? static_cast<double>(out.bytes_processed) / out.elapsed : 0.0;
   return out;
 }

@@ -1,10 +1,10 @@
 #include "obs/metrics.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
+#include "common/clock.hpp"
 #include "obs/trace.hpp"
 
 namespace dosas::obs {
@@ -210,12 +210,7 @@ void observe(const std::string& name, double v) {
   r.histogram(name).observe(v);
 }
 
-double now_us() {
-  using namespace std::chrono;
-  return static_cast<double>(
-             duration_cast<nanoseconds>(steady_clock::now().time_since_epoch()).count()) /
-         1e3;
-}
+double now_us() { return clock().now() * 1e6; }
 
 namespace {
 

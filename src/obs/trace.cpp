@@ -4,6 +4,8 @@
 #include <sstream>
 #include <thread>
 
+#include "common/clock.hpp"
+
 namespace dosas::obs {
 
 namespace {
@@ -44,14 +46,9 @@ Tracer& Tracer::global() {
   return tracer;
 }
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() : epoch_(clock().now()) {}
 
-double Tracer::now_us() const {
-  using namespace std::chrono;
-  return static_cast<double>(
-             duration_cast<nanoseconds>(steady_clock::now() - epoch_).count()) /
-         1e3;
-}
+double Tracer::now_us() const { return (clock().now() - epoch_) * 1e6; }
 
 void Tracer::push(TraceEvent e) {
   std::lock_guard lock(mu_);
@@ -110,6 +107,11 @@ std::size_t Tracer::event_count() const {
   return events_.size();
 }
 
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
 std::string Tracer::to_chrome_json() const {
   std::lock_guard lock(mu_);
   std::ostringstream out;
@@ -154,6 +156,9 @@ Status Tracer::write(const std::string& path) const {
 void Tracer::clear() {
   std::lock_guard lock(mu_);
   events_.clear();
+  // Re-epoch on the *current* clock so a test that installs a
+  // VirtualClock and clears the tracer gets timestamps from virtual zero.
+  epoch_ = clock().now();
 }
 
 ScopedTrace::ScopedTrace(std::string name, std::string cat) {

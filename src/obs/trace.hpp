@@ -14,13 +14,13 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/units.hpp"
 
 namespace dosas::obs {
 
@@ -50,7 +50,9 @@ class Tracer {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Microseconds since this tracer's construction (steady clock).
+  /// Microseconds since this tracer's epoch, on the injected clock
+  /// (common/clock.hpp) — virtual µs under a VirtualClock. clear() resets
+  /// the epoch to the current clock's now.
   double now_us() const;
 
   /// Record a complete ('X') event with explicit timing.
@@ -66,6 +68,10 @@ class Tracer {
 
   std::size_t event_count() const;
 
+  /// Copy of the recorded events (determinism suites compare canonical
+  /// projections of this across seeded runs).
+  std::vector<TraceEvent> snapshot() const;
+
   /// Full Chrome trace_event JSON object ({"traceEvents":[...], ...}).
   std::string to_chrome_json() const;
   /// Write to_chrome_json() to `path`.
@@ -77,7 +83,7 @@ class Tracer {
   void push(TraceEvent e);
 
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  Seconds epoch_ = 0.0;  ///< clock().now() at construction / last clear()
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };

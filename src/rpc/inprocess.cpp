@@ -4,20 +4,17 @@
 #include <map>
 #include <utility>
 
+#include "common/clock.hpp"
+
 namespace dosas::rpc {
 
-namespace {
-
-using SteadyClock = std::chrono::steady_clock;
-
-double us_between(SteadyClock::time_point a, SteadyClock::time_point b) {
-  return std::chrono::duration<double, std::micro>(b - a).count();
-}
-
-}  // namespace
-
 InProcessTransport::InProcessTransport(std::vector<server::StorageServer*> servers)
-    : servers_(std::move(servers)), watchdog_([this] { watchdog_loop(); }) {}
+    : servers_(std::move(servers)) {
+  // Pre-register the watchdog's clock participation before spawning it so
+  // a VirtualClock cannot advance in the spawn window (ClockParticipant).
+  clock().add_participant();
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
 
 InProcessTransport::~InProcessTransport() {
   // Drain: the contract says callers must not destroy the chain with RPCs
@@ -26,19 +23,19 @@ InProcessTransport::~InProcessTransport() {
   // backstop before tearing anything down.
   {
     std::unique_lock lock(mu_);
-    drained_cv_.wait(lock, [&] { return inflight_ == 0; });
+    clock().wait(drained_cv_, lock, [&] { return inflight_ == 0; });
   }
   {
     std::lock_guard lock(watchdog_mu_);
     shutdown_ = true;
   }
-  watchdog_cv_.notify_all();
+  clock().wake_all(watchdog_cv_);
   watchdog_.join();
 }
 
 PendingReply InProcessTransport::track(const Envelope& env) {
   auto reply = PendingReply::make(env.kind);
-  const auto t0 = SteadyClock::now();
+  const Seconds t0 = clock().now();
   {
     std::lock_guard lock(mu_);
     ++submitted_;
@@ -50,7 +47,7 @@ PendingReply InProcessTransport::track(const Envelope& env) {
   // and observes every completion path (server reply, deadline, cancel).
   const OpKind kind = env.kind;
   reply.on_complete([this, t0, kind](Reply& r) {
-    const double us = us_between(t0, SteadyClock::now());
+    const double us = (clock().now() - t0) * 1e6;
     bool drained;
     {
       std::lock_guard lock(mu_);
@@ -63,7 +60,7 @@ PendingReply InProcessTransport::track(const Envelope& env) {
       }
       if (r.status().code() == ErrorCode::kCancelled) ++cancelled_;
     }
-    if (drained) drained_cv_.notify_all();
+    if (drained) clock().wake_all(drained_cv_);
   });
   return reply;
 }
@@ -188,27 +185,32 @@ std::vector<PendingReply> InProcessTransport::submit_batch(std::vector<Envelope>
 }
 
 void InProcessTransport::arm_deadline(PendingReply reply, Seconds deadline) {
-  const auto when = SteadyClock::now() + std::chrono::duration_cast<SteadyClock::duration>(
-                                             std::chrono::duration<double>(deadline));
+  const Seconds when = clock().now() + deadline;
   {
     std::lock_guard lock(watchdog_mu_);
     if (shutdown_) return;
     expiries_.push(Expiry{when, std::move(reply), deadline});
   }
-  watchdog_cv_.notify_all();
+  clock().wake_all(watchdog_cv_);
 }
 
 void InProcessTransport::watchdog_loop() {
+  // The watchdog is a DST participant: while it sleeps until the next
+  // expiry, a VirtualClock may jump straight to that deadline.
+  ClockParticipant participant(ClockParticipant::kAdoptPreRegistered);
   std::unique_lock lock(watchdog_mu_);
   while (true) {
     if (shutdown_) return;
     if (expiries_.empty()) {
-      watchdog_cv_.wait(lock, [&] { return shutdown_ || !expiries_.empty(); });
+      clock().wait(watchdog_cv_, lock, [&] { return shutdown_ || !expiries_.empty(); });
       continue;
     }
-    const auto next = expiries_.top().when;
-    if (SteadyClock::now() < next) {
-      watchdog_cv_.wait_until(lock, next);
+    const Seconds next = expiries_.top().when;
+    if (clock().now() < next) {
+      // Wake early if shut down or a sooner expiry was armed.
+      clock().timed_wait(watchdog_cv_, lock, next, [&] {
+        return shutdown_ || expiries_.empty() || expiries_.top().when < next;
+      });
       continue;
     }
     Expiry expired = expiries_.top();

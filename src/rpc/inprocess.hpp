@@ -8,7 +8,7 @@
 //   * routing (envelope.target -> StorageServer),
 //   * per-request deadlines, enforced by a watchdog thread that cancels
 //     the server-side work and fails the reply kTimedOut — the async
-//     generalization of the old blocking wait_for(timeout),
+//     generalization of the old blocking timed wait,
 //   * batch submission (one submit_active_batch per target node, so each
 //     node's CE makes one decision over its sub-group),
 //   * the chain's ground-truth counters: in-flight + high-water mark,
@@ -75,7 +75,7 @@ class InProcessTransport : public Transport {
   P2Quantile active_p99_{0.99};
 
   struct Expiry {
-    std::chrono::steady_clock::time_point when;
+    Seconds when = 0;  ///< absolute clock time (clock().now() + deadline)
     PendingReply reply;
     Seconds deadline = 0;
     bool operator>(const Expiry& other) const { return when > other.when; }

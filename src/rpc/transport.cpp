@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "common/clock.hpp"
+
 namespace dosas::rpc {
 
 const char* op_kind_name(OpKind k) {
@@ -56,7 +58,7 @@ bool PendingReply::ready() const {
 
 Reply PendingReply::wait() {
   std::unique_lock lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->ready; });
+  clock().wait(state_->cv, lock, [&] { return state_->ready; });
   return std::move(state_->reply);
 }
 
@@ -90,7 +92,7 @@ bool PendingReply::complete(Reply r) {
     std::lock_guard lock(state_->mu);
     state_->ready = true;
   }
-  state_->cv.notify_all();
+  clock().wake_all(state_->cv);
   return true;
 }
 

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <exception>
-#include <thread>
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "kernels/pipeline.hpp"
 #include "kernels/stream.hpp"
@@ -42,7 +41,37 @@ StorageServer::StorageServer(pfs::FileSystem& fs, pfs::ServerId server_id,
           ++stats_.kernel_exceptions;
         }
         if (obs::metrics_enabled()) obs::count(obs_name_ + ".worker_exceptions");
-      }) {}
+      }) {
+  if (config_.probe_interval > 0.0) {
+    // Pre-register the prober's clock participation before spawning it so
+    // a VirtualClock cannot advance (and skip the first tick's phase) in
+    // the spawn window — see ClockParticipant.
+    clock().add_participant();
+    prober_ = std::thread([this] { probe_loop(); });
+  }
+}
+
+void StorageServer::probe_loop() {
+  // The probe timer is a DST participant: between ticks it sits in a
+  // clock timed wait, so a VirtualClock jumps straight to the next tick.
+  // The count was pre-registered by the constructor.
+  ClockParticipant participant(ClockParticipant::kAdoptPreRegistered);
+  std::unique_lock lock(probe_mu_);
+  Seconds next = clock().now() + config_.probe_interval;
+  while (true) {
+    const bool stopped =
+        clock().timed_wait(probe_cv_, lock, next, [&] { return probe_stop_; });
+    if (stopped) return;
+    next = clock().now() + config_.probe_interval;
+    lock.unlock();
+    probe();
+    {
+      std::lock_guard slock(mu_);
+      ++stats_.probe_ticks;
+    }
+    lock.lock();
+  }
+}
 
 void StorageServer::set_fault_injector(std::shared_ptr<fault::FaultInjector> fi) {
   std::lock_guard lock(mu_);
@@ -57,6 +86,14 @@ void StorageServer::obs_queue_depth_locked() const {
 }
 
 StorageServer::~StorageServer() {
+  if (prober_.joinable()) {
+    {
+      std::lock_guard lock(probe_mu_);
+      probe_stop_ = true;
+    }
+    clock().wake_all(probe_cv_);
+    prober_.join();
+  }
   // Interrupt anything still running so pool shutdown doesn't wait on long
   // kernels; then join. Workers still deliver their (interrupted)
   // completions on the way out, so no waiter callback is dropped.
@@ -414,13 +451,13 @@ ActiveIoResponse StorageServer::serve_active(ActiveIoRequest request) {
       slot->resp = std::move(r);
       slot->ready = true;
     }
-    slot->cv.notify_all();
+    clock().wake_all(slot->cv);
   });
 
   std::unique_lock lock(slot->mu);
   if (timeout > 0.0) {
-    const bool ready = slot->cv.wait_for(lock, std::chrono::duration<double>(timeout),
-                                         [&] { return slot->ready; });
+    const bool ready = clock().timed_wait(slot->cv, lock, clock().now() + timeout,
+                                          [&] { return slot->ready; });
     if (!ready) {
       const Status expired =
           error(ErrorCode::kTimedOut, "active request " + std::to_string(ticket.id) +
@@ -435,10 +472,10 @@ ActiveIoResponse StorageServer::serve_active(ActiveIoRequest request) {
       }
       // Lost the race: the completion fired (or is firing) — take it.
       lock.lock();
-      slot->cv.wait(lock, [&] { return slot->ready; });
+      clock().wait(slot->cv, lock, [&] { return slot->ready; });
     }
   } else {
-    slot->cv.wait(lock, [&] { return slot->ready; });
+    clock().wait(slot->cv, lock, [&] { return slot->ready; });
   }
   return std::move(slot->resp);
 }
@@ -465,14 +502,14 @@ std::vector<ActiveIoResponse> StorageServer::serve_active_batch(
         slot->resp = std::move(r);
         slot->ready = true;
       }
-      slot->cv.notify_all();
+      clock().wake_all(slot->cv);
     });
   }
   (void)submit_active_batch(std::move(requests), std::move(dones));
   std::vector<ActiveIoResponse> responses(n);
   for (std::size_t i = 0; i < n; ++i) {
     std::unique_lock lock(slots[i]->mu);
-    slots[i]->cv.wait(lock, [&] { return slots[i]->ready; });
+    clock().wait(slots[i]->cv, lock, [&] { return slots[i]->ready; });
     responses[i] = std::move(slots[i]->resp);
   }
   return responses;
@@ -644,143 +681,151 @@ void StorageServer::run_kernel(sched::RequestId id) {
   }
   if (fi != nullptr) fi->note_kernel_start(server_id_);
 
-  obs::ScopedTrace span(request.operation, "kernel");
-  const bool obs_on = obs::metrics_enabled();
-  const double t0 = obs_on ? obs::now_us() : 0.0;
+  // Completion delivery is the LAST thing this worker does for the
+  // request: the waiter it unblocks may immediately finish the run and
+  // snapshot the trace/metrics, so every observable side effect — the
+  // kernel span above all — must land first.
+  ActiveIoResponse resp;
+  Bytes done_bytes = 0;
+  {
+    obs::ScopedTrace span(request.operation, "kernel");
+    const bool obs_on = obs::metrics_enabled();
+    const double t0 = obs_on ? obs::now_us() : 0.0;
 
-  auto kernel_or = registry_.create(request.operation);
-  if (!kernel_or.is_ok()) {
-    ActiveIoResponse resp;
-    resp.outcome = ActiveOutcome::kFailed;
-    resp.status = kernel_or.status();
-    complete_entry(id, entry, std::move(resp), 0);
-    return;
-  }
-  auto kernel = std::move(kernel_or).value();
-  try {
-    kernel->reset();
-
-    Bytes from = request.object_offset;
-    if (request.is_resumption()) {
-      // Cooperative resumption: adopt the shipped state and continue. A
-      // corrupted checkpoint fails the decode's checksum (kCorrupted) and
-      // the request fails typed — never a silent restart from zero state.
-      auto decoded = Checkpoint::decode(request.resume_checkpoint);
-      Status restored = decoded.is_ok() ? kernel->restore(decoded.value()) : decoded.status();
-      if (!restored.is_ok()) {
-        ActiveIoResponse resp;
+    [&] {
+      auto kernel_or = registry_.create(request.operation);
+      if (!kernel_or.is_ok()) {
         resp.outcome = ActiveOutcome::kFailed;
-        resp.status = restored;
-        complete_entry(id, entry, std::move(resp), 0);
+        resp.status = kernel_or.status();
         return;
       }
-      from = request.resume_from;
-    }
+      auto kernel = std::move(kernel_or).value();
+      try {
+        kernel->reset();
 
-    const auto& ds = fs_.data_server(server_id_);
-    // Version observed before the scan: the result is cacheable only if the
-    // object is unchanged when the kernel finishes.
-    const std::uint64_t version_at_start = ds.object_version(request.handle);
-    const Bytes end = request.object_offset + request.length;
-
-    // Why the kernel stopped, when it did: the stop check below folds the
-    // scheduler's interrupt flag and the injected node crash into one
-    // chunk-granular poll (paper §III-C's interruption-check interval).
-    enum class StopCause { kNone, kInterrupt, kCrash };
-    StopCause cause = StopCause::kNone;
-    auto stop = [&]() -> bool {
-      if (interrupt->load()) {
-        cause = StopCause::kInterrupt;
-        return true;
-      }
-      if (fi != nullptr && fi->node_crashed(server_id_)) {
-        cause = StopCause::kCrash;
-        return true;
-      }
-      if (fi != nullptr) {
-        // Straggler injection: sleep in interruptible slices so a timed-out
-        // (abandoned) request stops stalling the worker promptly.
-        Seconds stall = fi->inject_stall();
-        while (stall > 0.0 && !interrupt->load()) {
-          const Seconds slice = std::min(stall, 0.005);
-          std::this_thread::sleep_for(std::chrono::duration<double>(slice));
-          stall -= slice;
+        Bytes from = request.object_offset;
+        if (request.is_resumption()) {
+          // Cooperative resumption: adopt the shipped state and continue. A
+          // corrupted checkpoint fails the decode's checksum (kCorrupted) and
+          // the request fails typed — never a silent restart from zero state.
+          auto decoded = Checkpoint::decode(request.resume_checkpoint);
+          Status restored =
+              decoded.is_ok() ? kernel->restore(decoded.value()) : decoded.status();
+          if (!restored.is_ok()) {
+            resp.outcome = ActiveOutcome::kFailed;
+            resp.status = restored;
+            return;
+          }
+          from = request.resume_from;
         }
-        if (fi->inject_kernel_throw()) {
-          throw std::runtime_error("injected kernel fault");
+
+        const auto& ds = fs_.data_server(server_id_);
+        // Version observed before the scan: the result is cacheable only if
+        // the object is unchanged when the kernel finishes.
+        const std::uint64_t version_at_start = ds.object_version(request.handle);
+        const Bytes end = request.object_offset + request.length;
+
+        // Why the kernel stopped, when it did: the stop check below folds the
+        // scheduler's interrupt flag and the injected node crash into one
+        // chunk-granular poll (paper §III-C's interruption-check interval).
+        enum class StopCause { kNone, kInterrupt, kCrash };
+        StopCause cause = StopCause::kNone;
+        auto stop = [&]() -> bool {
+          if (interrupt->load()) {
+            cause = StopCause::kInterrupt;
+            return true;
+          }
+          if (fi != nullptr && fi->node_crashed(server_id_)) {
+            cause = StopCause::kCrash;
+            return true;
+          }
+          if (fi != nullptr) {
+            // Straggler injection: sleep in interruptible slices so a
+            // timed-out (abandoned) request stops stalling the worker
+            // promptly. Slices run on the injected clock — deterministic
+            // jumps under DST.
+            Seconds stall = fi->inject_stall(server_id_);
+            while (stall > 0.0 && !interrupt->load()) {
+              const Seconds slice = std::min(stall, 0.005);
+              clock().sleep(slice);
+              stall -= slice;
+            }
+            if (fi->inject_kernel_throw(server_id_)) {
+              throw std::runtime_error("injected kernel fault");
+            }
+          }
+          return false;
+        };
+        auto read = [&](Bytes pos, Bytes len) {
+          return ds.read_object(request.handle, pos, len);
+        };
+        auto note_progress = [&](Bytes, Bytes total) {
+          progress->store(total, std::memory_order_relaxed);
+        };
+
+        auto streamed = kernels::stream_extent(*kernel, from, end, config_.chunk_size, read,
+                                               stop, note_progress);
+        if (!streamed.is_ok()) {
+          resp.outcome = ActiveOutcome::kFailed;
+          resp.status = streamed.status();
+          done_bytes = progress->load(std::memory_order_relaxed);
+          return;
         }
+        const Bytes processed = streamed.value().processed;
+
+        if (streamed.value().stopped) {
+          resp.outcome = ActiveOutcome::kInterrupted;
+          resp.checkpoint = kernel->checkpoint().encode();
+          if (fi != nullptr) fi->inject_checkpoint_corruption(resp.checkpoint);
+          resp.resume_offset = streamed.value().position;
+          resp.status =
+              cause == StopCause::kCrash
+                  ? error(ErrorCode::kUnavailable,
+                          "storage node crashed mid-kernel; checkpoint flushed")
+                  : error(ErrorCode::kInterrupted, "kernel interrupted by scheduling policy");
+          done_bytes = processed;
+          return;
+        }
+
+        resp.outcome = ActiveOutcome::kCompleted;
+        resp.result = kernel->finalize();
+        // Resumed results are not cacheable: part of the scan predates
+        // version_at_start, so freshness cannot be vouched for.
+        if (!request.is_resumption()) cache_insert(request, version_at_start, resp.result);
+        if (obs_on && processed > 0) {
+          const double secs = (obs::now_us() - t0) * 1e-6;
+          if (secs > 0.0) {
+            const std::string kernel_key =
+                request.operation.substr(0, request.operation.find(':'));
+            obs::observe(obs_name_ + ".kernel_mibps." + kernel_key,
+                         static_cast<double>(processed) / (1024.0 * 1024.0) / secs);
+          }
+        }
+        done_bytes = processed;
+      } catch (const std::exception& e) {
+        // A throwing kernel fails its own request, never the worker (and
+        // never the process): surface a typed error and count it.
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.kernel_exceptions;
+        }
+        if (obs_on) obs::count(obs_name_ + ".kernel_exceptions");
+        resp.outcome = ActiveOutcome::kFailed;
+        resp.status = error(ErrorCode::kInternal, std::string("kernel threw: ") + e.what());
+        done_bytes = 0;
+      } catch (...) {
+        {
+          std::lock_guard lock(mu_);
+          ++stats_.kernel_exceptions;
+        }
+        if (obs_on) obs::count(obs_name_ + ".kernel_exceptions");
+        resp.outcome = ActiveOutcome::kFailed;
+        resp.status = error(ErrorCode::kInternal, "kernel threw a non-std exception");
+        done_bytes = 0;
       }
-      return false;
-    };
-    auto read = [&](Bytes pos, Bytes len) { return ds.read_object(request.handle, pos, len); };
-    auto note_progress = [&](Bytes, Bytes total) {
-      progress->store(total, std::memory_order_relaxed);
-    };
-
-    auto streamed =
-        kernels::stream_extent(*kernel, from, end, config_.chunk_size, read, stop, note_progress);
-    if (!streamed.is_ok()) {
-      ActiveIoResponse resp;
-      resp.outcome = ActiveOutcome::kFailed;
-      resp.status = streamed.status();
-      complete_entry(id, entry, std::move(resp), progress->load(std::memory_order_relaxed));
-      return;
-    }
-    const Bytes processed = streamed.value().processed;
-
-    if (streamed.value().stopped) {
-      ActiveIoResponse resp;
-      resp.outcome = ActiveOutcome::kInterrupted;
-      resp.checkpoint = kernel->checkpoint().encode();
-      if (fi != nullptr) fi->inject_checkpoint_corruption(resp.checkpoint);
-      resp.resume_offset = streamed.value().position;
-      resp.status =
-          cause == StopCause::kCrash
-              ? error(ErrorCode::kUnavailable,
-                      "storage node crashed mid-kernel; checkpoint flushed")
-              : error(ErrorCode::kInterrupted, "kernel interrupted by scheduling policy");
-      complete_entry(id, entry, std::move(resp), processed);
-      return;
-    }
-
-    ActiveIoResponse resp;
-    resp.outcome = ActiveOutcome::kCompleted;
-    resp.result = kernel->finalize();
-    // Resumed results are not cacheable: part of the scan predates
-    // version_at_start, so freshness cannot be vouched for.
-    if (!request.is_resumption()) cache_insert(request, version_at_start, resp.result);
-    if (obs_on && processed > 0) {
-      const double secs = (obs::now_us() - t0) * 1e-6;
-      if (secs > 0.0) {
-        const std::string kernel_key = request.operation.substr(0, request.operation.find(':'));
-        obs::observe(obs_name_ + ".kernel_mibps." + kernel_key,
-                     static_cast<double>(processed) / (1024.0 * 1024.0) / secs);
-      }
-    }
-    complete_entry(id, entry, std::move(resp), processed);
-  } catch (const std::exception& e) {
-    // A throwing kernel fails its own request, never the worker (and never
-    // the process): surface a typed error and count it.
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.kernel_exceptions;
-    }
-    if (obs_on) obs::count(obs_name_ + ".kernel_exceptions");
-    ActiveIoResponse resp;
-    resp.outcome = ActiveOutcome::kFailed;
-    resp.status = error(ErrorCode::kInternal, std::string("kernel threw: ") + e.what());
-    complete_entry(id, entry, std::move(resp), 0);
-  } catch (...) {
-    {
-      std::lock_guard lock(mu_);
-      ++stats_.kernel_exceptions;
-    }
-    if (obs_on) obs::count(obs_name_ + ".kernel_exceptions");
-    ActiveIoResponse resp;
-    resp.outcome = ActiveOutcome::kFailed;
-    resp.status = error(ErrorCode::kInternal, "kernel threw a non-std exception");
-    complete_entry(id, entry, std::move(resp), 0);
+    }();
   }
+  complete_entry(id, entry, std::move(resp), done_bytes);
 }
 
 StorageServer::Stats StorageServer::stats() const {

@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -67,6 +68,11 @@ struct StorageServerConfig {
   /// experiments must not silently absorb. Opt in for serving workloads
   /// with hot-object fan-in.
   bool coalesce_identical = false;
+  /// CE probe period in seconds (0 disables). When set, a timer thread
+  /// calls probe() every interval on the injected clock — the paper's
+  /// periodic Contention Estimator tick. Under a VirtualClock the ticks
+  /// are deterministic jumps; tests may still call probe() directly.
+  Seconds probe_interval = 0.0;
 };
 
 class StorageServer {
@@ -103,6 +109,7 @@ class StorageServer {
     std::uint64_t kernel_exceptions = 0;  ///< kernels that threw (caught -> kFailed)
     std::uint64_t pool_rejections = 0;    ///< submits refused (pool shut down)
     std::uint64_t crash_rejections = 0;   ///< active requests refused: node "crashed"
+    std::uint64_t probe_ticks = 0;        ///< timer-driven CE probes fired
   };
 
   StorageServer(pfs::FileSystem& fs, pfs::ServerId server_id, kernels::Registry registry,
@@ -273,7 +280,16 @@ class StorageServer {
   std::map<CacheKey, CacheEntry> result_cache_;
   std::uint64_t cache_tick_ = 0;
 
-  ThreadPool pool_;  // last member: destroyed (joined) first
+  /// Periodic CE probe tick (config_.probe_interval > 0): body of the
+  /// probe timer thread.
+  void probe_loop();
+
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  bool probe_stop_ = false;
+
+  ThreadPool pool_;     // workers joined by ~StorageServer via shutdown()
+  std::thread prober_;  // stopped and joined first in ~StorageServer
 };
 
 }  // namespace dosas::server

@@ -227,7 +227,6 @@ TEST(Resumption, ClientResubmitPathProducesExactResults) {
         statuses[f] = out.status();
       }
     });
-    std::this_thread::sleep_for(std::chrono::milliseconds(3));
   }
   for (auto& t : threads) t.join();
 

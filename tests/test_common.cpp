@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/channel.hpp"
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "common/stats.hpp"
@@ -382,12 +383,17 @@ TEST(Channel, CloseDrainsThenSignals) {
 }
 
 TEST(Channel, CloseWakesBlockedReceiver) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
   Channel<int> ch;
   std::thread t([&] {
+    ClockParticipant participant;
     auto v = ch.receive();
     EXPECT_FALSE(v.has_value());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Deterministic rendezvous: once the clock counts the receiver as
+  // blocked it is parked inside receive() — no wall-clock sleep needed.
+  while (vc.status().blocked < 1) std::this_thread::yield();
   ch.close();
   t.join();
 }
@@ -474,6 +480,170 @@ TEST(TokenBucket, SequentialAcquiresAccumulate) {
   Seconds total = 0;
   for (int i = 0; i < 5; ++i) total += tb.acquire(10_MiB);
   EXPECT_NEAR(total, 5.0, 0.1);
+}
+
+// ---------------------------------------------------------------- clock
+
+TEST(Clock, WallClockNowIsMonotonic) {
+  Clock& wc = wall_clock();
+  const Seconds a = wc.now();
+  const Seconds b = wc.now();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Clock, GlobalDefaultsToWallClock) {
+  EXPECT_EQ(&clock(), &wall_clock());
+}
+
+TEST(Clock, ScopedOverrideInstallsAndRestores) {
+  VirtualClock vc;
+  {
+    ScopedClockOverride override_clock(vc);
+    EXPECT_EQ(&clock(), static_cast<Clock*>(&vc));
+  }
+  EXPECT_EQ(&clock(), &wall_clock());
+}
+
+TEST(VirtualClock, AdvanceByMovesNow) {
+  VirtualClock vc;
+  EXPECT_DOUBLE_EQ(vc.now(), 0.0);
+  vc.advance_by(1.5);
+  EXPECT_DOUBLE_EQ(vc.now(), 1.5);
+  vc.advance_to(1.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(vc.now(), 1.5);
+  vc.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(vc.now(), 3.0);
+}
+
+TEST(VirtualClock, SleepAutoAdvancesWithNoParticipants) {
+  // With zero registered participants there is nobody to wait for: a timed
+  // wait (or sleep) jumps virtual time straight to its deadline.
+  VirtualClock vc;
+  vc.sleep(2.0);
+  EXPECT_DOUBLE_EQ(vc.now(), 2.0);
+  vc.sleep(0.5);
+  EXPECT_DOUBLE_EQ(vc.now(), 2.5);
+}
+
+TEST(VirtualClock, TimedWaitExpiresAtVirtualDeadline) {
+  VirtualClock vc;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock lock(mu);
+  const bool pred = vc.timed_wait(cv, lock, 4.0, [] { return false; });
+  EXPECT_FALSE(pred);  // expired, predicate still false
+  EXPECT_DOUBLE_EQ(vc.now(), 4.0);
+}
+
+TEST(VirtualClock, ParticipantQuiescenceJumpsToEarliestDeadline) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<int> order{0};
+  int first = 0;
+  int second = 0;
+
+  std::thread a;
+  std::thread b;
+  {
+    // The main thread registers as a runnable participant so virtual time
+    // holds still until BOTH waiters are armed, regardless of scheduling.
+    ClockParticipant gate;
+    a = std::thread([&] {
+      ClockParticipant participant;
+      std::unique_lock lock(mu);
+      vc.timed_wait(cv, lock, 1.0, [] { return false; });
+      first = ++order;
+    });
+    b = std::thread([&] {
+      ClockParticipant participant;
+      std::unique_lock lock(mu);
+      vc.timed_wait(cv, lock, 5.0, [] { return false; });
+      second = ++order;
+    });
+    while (vc.status().blocked < 2) std::this_thread::yield();
+  }  // gate released: quiescent -> jump to 1.0 (wakes a), later to 5.0
+  a.join();
+  b.join();
+  EXPECT_DOUBLE_EQ(vc.now(), 5.0);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+  EXPECT_GE(vc.status().advances, 2u);
+}
+
+TEST(VirtualClock, WakeAllDeliversPredicateWithoutTimePassing) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  bool pred_result = false;
+
+  // Stay registered as a runnable participant: otherwise the lone blocked
+  // waiter makes the clock quiescent and it jumps straight to 100.0.
+  ClockParticipant gate;
+  std::thread waiter([&] {
+    ClockParticipant participant;
+    std::unique_lock lock(mu);
+    pred_result = vc.timed_wait(cv, lock, 100.0, [&] { return ready; });
+  });
+  while (vc.status().blocked < 1) std::this_thread::yield();
+  {
+    std::lock_guard lock(mu);
+    ready = true;
+  }
+  vc.wake_all(cv);
+  waiter.join();
+  EXPECT_TRUE(pred_result);      // woke via the poke, not the deadline
+  EXPECT_DOUBLE_EQ(vc.now(), 0.0);  // no virtual time passed
+}
+
+TEST(VirtualClock, UntimedWaitWakesOnPoke) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  std::thread waiter([&] {
+    ClockParticipant participant;
+    std::unique_lock lock(mu);
+    vc.wait(cv, lock, [&] { return ready; });
+  });
+  while (vc.status().blocked < 1) std::this_thread::yield();
+  {
+    std::lock_guard lock(mu);
+    ready = true;
+  }
+  vc.wake_one(cv);
+  waiter.join();
+  EXPECT_DOUBLE_EQ(vc.now(), 0.0);
+}
+
+TEST(VirtualClock, StatusReportsWaiters) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  std::thread waiter([&] {
+    ClockParticipant participant;
+    std::unique_lock lock(mu);
+    vc.wait(cv, lock, [&] { return done; });
+  });
+  while (vc.status().blocked < 1) std::this_thread::yield();
+  const Clock::Status st = vc.status();
+  EXPECT_EQ(st.participants, 1u);
+  EXPECT_EQ(st.blocked, 1u);
+  {
+    std::lock_guard lock(mu);
+    done = true;
+  }
+  vc.wake_all(cv);
+  waiter.join();
 }
 
 }  // namespace

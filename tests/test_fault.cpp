@@ -7,6 +7,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "common/clock.hpp"
 #include "common/retry.hpp"
 #include "common/serialize.hpp"
 #include "common/thread_pool.hpp"
@@ -98,6 +99,25 @@ TEST(FaultInjector, StreamsAreIndependentPerKind) {
   for (int i = 0; i < 100; ++i) b.inject_net_error();  // perturb only b's net stream
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.inject_read_fault(0), b.inject_read_fault(0));
+  }
+}
+
+TEST(FaultInjector, StreamsAreIndependentPerNode) {
+  // Each node's decision sequence is a pure function of (seed, site, node):
+  // draining node 0's stream must not shift node 1's, so the per-node
+  // sequences stay reproducible however worker threads interleave draws.
+  fault::FaultSpec spec;
+  spec.seed = 11;
+  spec.read_fault = 0.5;
+  spec.kernel_throw = 0.5;
+  fault::FaultInjector a(spec), b(spec);
+  for (int i = 0; i < 100; ++i) {
+    (void)b.inject_read_fault(0);       // perturb only b's node-0 stream
+    (void)b.inject_kernel_throw(0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.inject_read_fault(1), b.inject_read_fault(1));
+    EXPECT_EQ(a.inject_kernel_throw(1), b.inject_kernel_throw(1));
   }
 }
 
@@ -230,19 +250,38 @@ TEST(TokenBucketVirtualClock, BackToBackAcquiresAccrueFullDeficit) {
   EXPECT_DOUBLE_EQ(tb.accrued_delay(), 2.0);
 }
 
-TEST(TokenBucketVirtualClock, AdvanceEarnsTokens) {
-  TokenBucket tb(100.0, 100, TokenBucket::Mode::kVirtual);
+TEST(TokenBucketVirtualClock, IdleTimeEarnsTokensUnderVirtualClock) {
+  // What the old advance() hack modelled — idle link time earning tokens
+  // back — is now plain kReal refill under an injected VirtualClock:
+  // advance_by() is the idle time, acquire()'s sleep is a virtual jump.
+  VirtualClock vc;
+  ScopedClockOverride override(vc);
+  TokenBucket tb(100.0, 100, TokenBucket::Mode::kReal);
   EXPECT_DOUBLE_EQ(tb.acquire(100), 0.0);  // burst spent
-  tb.advance(0.5);                         // idle half a second: +50 tokens
+  vc.advance_by(0.5);                      // idle half a second: +50 tokens
   EXPECT_DOUBLE_EQ(tb.acquire(100), 0.5);  // only 50 B short now
 }
 
-TEST(TokenBucketVirtualClock, AdvancePastDebtRestoresBurst) {
-  TokenBucket tb(100.0, 100, TokenBucket::Mode::kVirtual);
+TEST(TokenBucketVirtualClock, IdlePastDebtRestoresBurst) {
+  VirtualClock vc;
+  ScopedClockOverride override(vc);
+  TokenBucket tb(100.0, 100, TokenBucket::Mode::kReal);
   tb.acquire(100);
-  tb.acquire(100);   // 1 s of debt booked into the virtual future
-  tb.advance(10.0);  // long idle: bucket refills to burst (not beyond)
+  tb.acquire(100);     // 1 s of debt booked into the clock's future
+  vc.advance_by(10.0); // long idle: bucket refills to burst (not beyond)
   EXPECT_DOUBLE_EQ(tb.acquire(100), 0.0);
+}
+
+TEST(TokenBucketVirtualClock, RealModeSleepsAreVirtualJumps) {
+  // With no registered participants, a VirtualClock auto-advances through
+  // every timed wait: a 1 s pacing sleep costs no wall time and moves
+  // virtual now by exactly the deficit.
+  VirtualClock vc;
+  ScopedClockOverride override(vc);
+  TokenBucket tb(100.0, 100, TokenBucket::Mode::kReal);
+  EXPECT_DOUBLE_EQ(tb.acquire(200), 1.0);  // 100 B over burst = 1 s debt
+  EXPECT_DOUBLE_EQ(vc.now(), 1.0);
+  EXPECT_DOUBLE_EQ(tb.accrued_delay(), 1.0);
 }
 
 // ---------------------------------------------------------------- Backoff

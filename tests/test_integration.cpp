@@ -5,6 +5,7 @@
 
 #include <cstring>
 #include <set>
+#include <thread>
 
 #include "core/cluster.hpp"
 #include "core/runner.hpp"
@@ -162,7 +163,6 @@ TEST(Integration, DosasInterruptResumeProducesExactResult) {
         statuses[f] = out.status();
       }
     });
-    std::this_thread::sleep_for(std::chrono::milliseconds(3));
   }
   for (auto& t : threads) t.join();
 

@@ -5,8 +5,10 @@
 // corrupted checkpoints — every request completes or fails typed).
 #include <gtest/gtest.h>
 
-#include <thread>
+#include <condition_variable>
+#include <mutex>
 
+#include "common/clock.hpp"
 #include "common/serialize.hpp"
 #include "core/cluster.hpp"
 #include "fault/fault.hpp"
@@ -143,20 +145,30 @@ TEST(Hysteresis, NeverInterruptKeepsKernelsRunning) {
   server::StorageServer server(fs, 0, kernels::Registry::with_builtins(), ce,
                                server::RateTable::paper_rates(), sc);
 
+  // Async submissions from one thread: the first request is admitted and
+  // starts on the single core before later arrivals deepen the queue — no
+  // wall-clock stagger needed.
   constexpr int kClients = 6;
   std::vector<server::ActiveIoResponse> resp(kClients);
-  std::vector<std::thread> threads;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int done = 0;
   for (int i = 0; i < kClients; ++i) {
-    threads.emplace_back([&, i] {
-      server::ActiveIoRequest req;
-      req.handle = meta.value().handle;
-      req.length = meta.value().size;
-      req.operation = "gaussian2d:width=2048";
-      resp[static_cast<std::size_t>(i)] = server.serve_active(req);
+    server::ActiveIoRequest req;
+    req.handle = meta.value().handle;
+    req.length = meta.value().size;
+    req.operation = "gaussian2d:width=2048";
+    server.submit_active(std::move(req), [&, i](server::ActiveIoResponse r) {
+      std::lock_guard lock(done_mu);
+      resp[static_cast<std::size_t>(i)] = std::move(r);
+      ++done;
+      clock().wake_all(done_cv);
     });
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  for (auto& t : threads) t.join();
+  {
+    std::unique_lock lock(done_mu);
+    clock().wait(done_cv, lock, [&] { return done == kClients; });
+  }
 
   for (const auto& r : resp) {
     EXPECT_NE(r.outcome, server::ActiveOutcome::kInterrupted);

@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "kernels/sum.hpp"
 #include "pfs/client.hpp"
@@ -280,19 +283,28 @@ TEST(StorageServer, InterruptedResponseCarriesUsableCheckpoint) {
 
   // First request occupies the single core; more arrivals make the
   // optimizer demote (gaussian is expensive), interrupting the runner.
+  // Async submissions from one thread replace the old wall-clock stagger:
+  // each per-arrival policy evaluation sees the queue one deeper.
   std::vector<ActiveIoResponse> resp(6);
-  std::vector<std::thread> threads;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int done = 0;
   for (int i = 0; i < 6; ++i) {
-    threads.emplace_back([&, i] {
-      ActiveIoRequest req;
-      req.handle = fx.meta.handle;
-      req.length = fx.meta.size;
-      req.operation = "gaussian2d:width=256";
-      resp[static_cast<std::size_t>(i)] = fx.server->serve_active(req);
+    ActiveIoRequest req;
+    req.handle = fx.meta.handle;
+    req.length = fx.meta.size;
+    req.operation = "gaussian2d:width=256";
+    fx.server->submit_active(std::move(req), [&, i](ActiveIoResponse r) {
+      std::lock_guard lock(done_mu);
+      resp[static_cast<std::size_t>(i)] = std::move(r);
+      ++done;
+      clock().wake_all(done_cv);
     });
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  for (auto& t : threads) t.join();
+  {
+    std::unique_lock lock(done_mu);
+    clock().wait(done_cv, lock, [&] { return done == 6; });
+  }
 
   bool saw_interrupt_or_reject = false;
   for (const auto& r : resp) {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# check_clock.sh — enforce the Clock seam (src/common/clock.hpp).
+#
+# All time must flow through the injected clock so the whole runtime can
+# execute under a VirtualClock (deterministic simulation testing — see
+# docs/ARCHITECTURE.md "Time & determinism"). Direct wall-clock reads,
+# sleeps, and timed waits outside the clock implementation reintroduce
+# hidden real-time dependencies; direct condition_variable notifies bypass
+# the VirtualClock's poke accounting and let virtual time jump deadlines a
+# signaled-but-unscheduled thread was about to beat.
+#
+# Banned everywhere except src/common/clock.{hpp,cpp}:
+#   * std::chrono::{steady,system,high_resolution}_clock
+#   * std::this_thread::sleep_for / sleep_until
+#   * condition_variable wait_for( / wait_until(
+#   * condition_variable notify_all( / notify_one(
+#
+# Use instead: clock().now(), clock().sleep(), clock().wait(),
+# clock().timed_wait(), clock().wake_all(), clock().wake_one() — and
+# wall_clock() for the few sites that measure *physical* machine speed
+# (kernel calibration, bench timing, DST speedup checks).
+#
+# Usage: tools/check_clock.sh [repo-root]   (exit 0 = clean, 1 = violation)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+pattern='steady_clock|system_clock|high_resolution_clock|sleep_for|sleep_until|\bwait_for[[:space:]]*\(|\bwait_until[[:space:]]*\(|notify_all[[:space:]]*\(|notify_one[[:space:]]*\('
+
+hits=$(grep -rnE "$pattern" src tests bench tools examples \
+  --include='*.cpp' --include='*.hpp' 2>/dev/null \
+  | grep -v '^src/common/clock\.\(hpp\|cpp\):')
+
+if [ -n "$hits" ]; then
+  echo "check_clock: direct time/notify usage outside src/common/clock.{hpp,cpp}:" >&2
+  echo "$hits" >&2
+  echo "route it through clock() / wall_clock() instead (see src/common/clock.hpp)" >&2
+  exit 1
+fi
+
+echo "check_clock: all time flows through the Clock seam"
+exit 0

@@ -51,6 +51,8 @@ for doc in $docs; do
   for bin in $bins; do
     if compgen -G "bench/$bin*" > /dev/null; then continue; fi
     if compgen -G "tests/$bin*" > /dev/null; then continue; fi
+    # Suites nested one level down (e.g. tests/dst/test_dst.cpp).
+    if compgen -G "tests/*/$bin*" > /dev/null; then continue; fi
     note "$doc" "$bin"
   done
 done

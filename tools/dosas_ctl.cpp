@@ -10,7 +10,7 @@
 //   dosas_ctl runtime   --trace workload.trace [--scheme ts|as|dosas]
 //                       [--strip 64KiB] [--chunk 1MiB]
 //                       [--fault-spec seed=7,read_fault=0.05,...] [--retries 3]
-//                       [--timeout-ms 500] [--circuit 3]
+//                       [--timeout-ms 500] [--circuit 3] [--virtual-clock]
 //   dosas_ctl calibrate [--mb 64]
 //   dosas_ctl trace-gen --ios 32 --size 128MiB [--gap 0.25] [--nodes 4]
 //                       [--out workload.trace]
@@ -26,8 +26,11 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/clock.hpp"
 
 #include "core/cluster.hpp"
 #include "core/experiments.hpp"
@@ -278,6 +281,17 @@ int cmd_runtime(const Args& args) {
   if (timeout_ms > 0.0) cfg.request_timeout = timeout_ms / 1000.0;
   cfg.circuit_threshold = static_cast<int>(args.get_int("circuit", 0));
 
+  // --virtual-clock: run the workload in DST mode — backoff, deadlines and
+  // probe ticks jump instead of sleeping. Declared before the Cluster so
+  // the override outlives every runtime thread bound to it, and installed
+  // before construction so those threads bind to the VirtualClock.
+  std::unique_ptr<VirtualClock> vclock;
+  std::unique_ptr<ScopedClockOverride> clock_override;
+  if (args.has("virtual-clock")) {
+    vclock = std::make_unique<VirtualClock>();
+    clock_override = std::make_unique<ScopedClockOverride>(*vclock);
+  }
+
   Cluster cluster(cfg);
 
   // Materialize each trace record as a file pinned to its node (a one-server
@@ -368,7 +382,17 @@ int cmd_runtime(const Args& args) {
         static_cast<unsigned long long>(fst.crash_rejections),
         static_cast<unsigned long long>(fst.total()));
   }
-  std::printf("\nwall time: %.3f s  (%zu failure(s))\n", report.wall_time, report.failures);
+  const auto cs = dosas::clock().status();
+  std::printf("\nclock: %s  now=%.6f s  participants=%d  blocked=%d  timed_waiters=%d",
+              cs.virtual_time ? "virtual" : "wall", cs.now, cs.participants, cs.blocked,
+              cs.timed_waiters);
+  if (cs.virtual_time) {
+    std::printf("  advances=%llu  stalled_checks=%llu",
+                static_cast<unsigned long long>(cs.advances),
+                static_cast<unsigned long long>(cs.stalled_checks));
+  }
+  std::printf("\n%s time: %.3f s  (%zu failure(s))\n",
+              cs.virtual_time ? "virtual" : "wall", report.wall_time, report.failures);
   write_csv_if_requested(args, table);
   return report.failures == 0 ? 0 : 1;
 }
@@ -434,6 +458,7 @@ int usage() {
       "  replay     --trace file [--scheme ts|as|dosas|all] [--kernel ...]\n"
       "  runtime    --trace file [--scheme ts|as|dosas] [--strip 64KiB] [--chunk 1MiB]\n"
       "             [--fault-spec k=v,...] [--retries N] [--timeout-ms T] [--circuit N]\n"
+      "             [--virtual-clock]  (deterministic virtual time: sleeps become jumps)\n"
       "  calibrate  [--mb 64]\n"
       "  trace-gen  --ios 32 --size 128MiB [--gap 0.25] [--nodes 4] [--out file]\n"
       "global flags: --metrics (snapshot at exit)  --trace-out=<file> (Chrome trace)\n",

@@ -5,8 +5,8 @@
 #
 # With no arguments, runs address and undefined over the full suite, then
 # thread over the concurrency-heavy tests (test_server, test_stress,
-# test_resilience, test_fault) — TSan on everything is slow and the other
-# tests are single-threaded.
+# test_resilience, test_fault, test_dst) — TSan on everything is slow and
+# the other tests are single-threaded.
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so switching sanitizers never needs a reconfigure.
@@ -33,10 +33,12 @@ run_one() {
   cmake --build "$dir" -j "$JOBS" >/dev/null
 
   if [ "$mode" = thread ]; then
-    # Concurrency-heavy tier only: servers, stress, resilience, fault
-    # (ctest registers individual gtest cases, so run the binaries).
+    # Concurrency-heavy tier only: servers, stress, resilience, fault,
+    # and the deterministic-simulation suite, whose whole point is the
+    # clock's cross-thread accounting (ctest registers individual gtest
+    # cases, so run the binaries).
     local bin
-    for bin in test_server test_stress test_resilience test_fault; do
+    for bin in test_server test_stress test_resilience test_fault test_dst; do
       "$dir/tests/$bin"
     done
   else
