@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "common/channel.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
@@ -164,6 +166,54 @@ void BM_TopKConsume(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKConsume)->Arg(10)->Arg(1000);
 
+/// Console reporter that also captures per-benchmark timings so main() can
+/// emit BENCH_micro_core.json alongside the usual table.
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Timing {
+    std::string name;
+    double ns_per_iter = 0.0;
+    double iterations = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Timing t;
+      t.name = run.benchmark_name();
+      t.iterations = static_cast<double>(run.iterations);
+      if (run.iterations > 0) {
+        t.ns_per_iter = run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+      }
+      timings.push_back(std::move(t));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Timing> timings;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TelemetryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  dosas::bench::BenchJson out("micro_core");
+  out.config("benchmarks", static_cast<double>(reporter.timings.size()));
+  std::vector<double> all_ns;
+  for (const auto& t : reporter.timings) {
+    out.metric(t.name + ".ns_per_iter", t.ns_per_iter);
+    all_ns.push_back(t.ns_per_iter);
+  }
+  // Cross-benchmark quantiles of per-iteration cost: coarse, but enough for
+  // the regression check to notice a substrate-wide slowdown.
+  out.latency_us(dosas::bench::percentile(all_ns, 50) / 1e3,
+                 dosas::bench::percentile(all_ns, 95) / 1e3,
+                 dosas::bench::percentile(all_ns, 99) / 1e3);
+  out.write();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -55,13 +56,23 @@ std::vector<std::uint8_t> read_ex_sequential(client::ActiveClient& asc,
 
 double run_clients(std::size_t clients, std::size_t rounds,
                    const std::function<std::vector<std::uint8_t>(std::size_t)>& one_read,
-                   std::vector<std::vector<std::uint8_t>>& last_results) {
+                   std::vector<std::vector<std::uint8_t>>& last_results,
+                   std::vector<double>* read_latencies_us = nullptr) {
   const Seconds t0 = wall_clock().now();  // bench: physical time on purpose
+  std::mutex lat_mu;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      for (std::size_t r = 0; r < rounds; ++r) last_results[c] = one_read(c);
+      for (std::size_t r = 0; r < rounds; ++r) {
+        const Seconds r0 = wall_clock().now();
+        last_results[c] = one_read(c);
+        if (read_latencies_us != nullptr) {
+          const double us = (wall_clock().now() - r0) * 1e6;
+          std::lock_guard lock(lat_mu);
+          read_latencies_us->push_back(us);
+        }
+      }
     });
   }
   for (auto& t : threads) t.join();
@@ -120,7 +131,11 @@ int main() {
   run_clients(kClients, 1, sequential, seq_results);
   run_clients(kClients, 1, pipelined, pipe_results);
   const double seq_s = run_clients(kClients, kRounds, sequential, seq_results);
-  const double pipe_s = run_clients(kClients, kRounds, pipelined, pipe_results);
+  // Collect per-stage histograms (queue-wait / transport / kernel / e2e)
+  // over the measured pipelined run for the telemetry record.
+  obs::MetricsRegistry::global().set_enabled(true);
+  std::vector<double> pipe_lat_us;
+  const double pipe_s = run_clients(kClients, kRounds, pipelined, pipe_results, &pipe_lat_us);
 
   bool identical = true;
   for (std::size_t c = 0; c < kClients; ++c) identical &= seq_results[c] == pipe_results[c];
@@ -139,6 +154,29 @@ int main() {
 
   std::printf("\nbit-identical results: %s\n", identical ? "yes" : "NO");
   std::printf("speedup (sequential / pipelined): %.2fx\n", seq_s / pipe_s);
+
+  // BENCH_rpc_async.json: the machine-readable record of this run.
+  bench::BenchJson out("rpc_async");
+  out.config("nodes", static_cast<double>(kNodes));
+  out.config("clients", static_cast<double>(kClients));
+  out.config("rounds", static_cast<double>(kRounds));
+  out.config("file_mib", static_cast<double>(kDoubles * sizeof(double)) / (1 << 20));
+  out.config("strip_kib", 256);
+  out.config("scheme", "as");
+  out.config("operation", "sum");
+  out.metric("sequential_total_s", seq_s);
+  out.metric("pipelined_total_s", pipe_s);
+  out.metric("speedup", seq_s / pipe_s);
+  out.metric("reads", n);
+  out.latency_us(bench::percentile(pipe_lat_us, 50), bench::percentile(pipe_lat_us, 95),
+                 bench::percentile(pipe_lat_us, 99));
+  out.throughput(n / pipe_s);
+  const auto st = asc.stats();
+  out.demotion_rate(st.reads_ex > 0 ? static_cast<double>(st.demoted + st.node_down_demotes) /
+                                          static_cast<double>(st.reads_ex)
+                                    : 0.0);
+  out.stages_from_metrics();
+  out.write();
   std::printf(
       "\nReading: each striped read touches all %u nodes; the async transport keeps\n"
       "every node busy for the whole request instead of one at a time, so the\n"

@@ -8,11 +8,34 @@
 
 #include "common/logging.hpp"
 #include "kernels/stream.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pfs/layout.hpp"
 
 namespace dosas::client {
+
+namespace {
+
+/// Request class for per-stage latency histograms: the operation name up
+/// to its first parameter (e.g. "grep:needle" -> "grep").
+std::string stage_class(const std::string& operation) {
+  return operation.substr(0, operation.find(':'));
+}
+
+/// Close out one request's observability: the causal root span plus the
+/// end-to-end latency histogram (exemplared with the trace id).
+void emit_request_e2e(const obs::TraceContext& root, double t0_us, const std::string& operation) {
+  const double t1 = obs::now_us();
+  if (obs::tracing_enabled() && root.valid()) {
+    obs::Tracer::global().complete("client.read_ex", "client", t0_us, t1 - t0_us, root);
+  }
+  if (obs::metrics_enabled()) {
+    obs::observe("stage.e2e_us." + stage_class(operation), t1 - t0_us, root.trace_id);
+  }
+}
+
+}  // namespace
 
 ActiveClient::ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
                            std::vector<server::StorageServer*> servers, Config config)
@@ -60,30 +83,39 @@ rpc::Envelope ActiveClient::active_envelope(const pfs::FileMeta& meta, const Ser
 
 Result<std::vector<std::uint8_t>> ActiveClient::remote_read(pfs::ServerId target,
                                                             pfs::FileHandle handle,
-                                                            Bytes object_offset, Bytes length) {
+                                                            Bytes object_offset, Bytes length,
+                                                            const obs::TraceContext& ctx) {
   rpc::Envelope env;
   env.target = target;
   env.kind = rpc::OpKind::kRead;
   env.read.handle = handle;
   env.read.object_offset = object_offset;
   env.read.length = length;
+  env.trace = ctx;  // invalid: the transport starts a fresh root trace
   auto reply = transport_->submit(std::move(env)).wait();
   if (!reply.read.status.is_ok()) return reply.read.status;
   return std::move(reply.read.data);
 }
 
 Result<std::vector<std::uint8_t>> ActiveClient::serve_extent_locally(
-    const pfs::FileMeta& meta, const ServerExtent& ext, const std::string& operation) {
+    const pfs::FileMeta& meta, const ServerExtent& ext, const std::string& operation,
+    const obs::TraceContext& ctx) {
   {
     std::lock_guard lock(mu_);
     ++stats_.node_down_demotes;
     ++stats_.local_kernel_runs;
   }
   if (obs::metrics_enabled()) obs::count("client.node_down_demotes");
+  obs::flight_record(obs::FlightEventKind::kDemotion, ctx.trace_id,
+                     static_cast<std::uint32_t>(ext.server), 0,
+                     "circuit open: serving via normal I/O");
+  if (obs::tracing_enabled() && ctx.valid()) {
+    obs::Tracer::global().instant("client.node_down_demote", "client", ctx.child("node_down"));
+  }
   auto kernel = registry_.create(operation);
   if (!kernel.is_ok()) return kernel.status();
   kernel.value()->reset();
-  return finish_locally(meta, ext, ext.object_offset, *kernel.value());
+  return finish_locally(meta, ext, ext.object_offset, *kernel.value(), ctx);
 }
 
 std::vector<ActiveClient::ServerExtent> ActiveClient::server_extents(const pfs::FileMeta& meta,
@@ -159,7 +191,8 @@ Result<std::vector<std::uint8_t>> ActiveClient::read(const pfs::FileMeta& meta, 
 Result<std::vector<std::uint8_t>> ActiveClient::read_ex(const pfs::FileMeta& meta, Bytes offset,
                                                         Bytes length,
                                                         const std::string& operation) {
-  obs::ScopedTrace span("client.read_ex", "client");
+  // The causal root span ("client.read_ex") is emitted by wait() so the
+  // async form is covered identically.
   return read_ex_async(meta, offset, length, operation).wait();
 }
 
@@ -170,6 +203,10 @@ ActiveClient::PendingReadEx ActiveClient::read_ex_async(const pfs::FileMeta& met
   pending.client_ = this;
   pending.meta_ = meta;
   pending.operation_ = operation;
+  // Root of this request's causal tree, allocated on the issuing thread so
+  // trace ids are assigned in deterministic submission order under DST.
+  pending.ctx_ = obs::Tracer::global().new_root();
+  pending.t0_us_ = obs::now_us();
   {
     std::lock_guard lock(mu_);
     ++stats_.reads_ex;
@@ -227,8 +264,11 @@ ActiveClient::PendingReadEx ActiveClient::read_ex_async(const pfs::FileMeta& met
   for (auto& ext : extents) {
     PendingReadEx::Leg leg;
     leg.ext = ext;
+    leg.ctx = pending.ctx_.child("s" + std::to_string(ext.server));
     if (ext.server < servers_.size() && !circuit_open(ext.server)) {
-      leg.reply = transport_->submit(active_envelope(meta, ext, operation));
+      auto env = active_envelope(meta, ext, operation);
+      env.trace = leg.ctx;
+      leg.reply = transport_->submit(std::move(env));
     }
     pending.legs_.push_back(std::move(leg));
   }
@@ -236,6 +276,14 @@ ActiveClient::PendingReadEx ActiveClient::read_ex_async(const pfs::FileMeta& met
 }
 
 Result<std::vector<std::uint8_t>> ActiveClient::PendingReadEx::wait() {
+  auto result = resolve();
+  // The root span of the causal tree: every transport/server/kernel span
+  // of this request is a descendant of ctx_.
+  if (client_ != nullptr && ctx_.valid()) emit_request_e2e(ctx_, t0_us_, operation_);
+  return result;
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::PendingReadEx::resolve() {
   switch (mode_) {
     case Mode::kImmediate:
       return std::move(immediate_);
@@ -273,16 +321,17 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_leg(const pfs::FileMeta&
   // + local kernel (the node's data path survives an active-runtime
   // crash).
   if (!leg.reply.valid()) {
-    return serve_extent_locally(meta, leg.ext, operation);
+    return serve_extent_locally(meta, leg.ext, operation, leg.ctx);
   }
   auto reply = leg.reply.wait();
   note_timed_out(reply.active);
-  return resolve_response(meta, leg.ext, operation, std::move(reply.active));
+  return resolve_response(meta, leg.ext, operation, std::move(reply.active),
+                          /*allow_resubmit=*/true, leg.ctx);
 }
 
 Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
     const pfs::FileMeta& meta, const ServerExtent& ext, const std::string& operation,
-    server::ActiveIoResponse resp, bool allow_resubmit) {
+    server::ActiveIoResponse resp, bool allow_resubmit, const obs::TraceContext& ctx) {
   switch (resp.outcome) {
     case server::ActiveOutcome::kCompleted: {
       std::lock_guard lock(mu_);
@@ -300,6 +349,12 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
         ++stats_.demoted;
         ++stats_.local_kernel_runs;
       }
+      obs::flight_record(obs::FlightEventKind::kDemotion, ctx.trace_id,
+                         static_cast<std::uint32_t>(ext.server), 0,
+                         "rejected at admission: finishing locally");
+      if (obs::tracing_enabled() && ctx.valid()) {
+        obs::Tracer::global().instant("client.demote", "client", ctx.child("client_demote"));
+      }
       auto kernel = registry_.create(operation);
       if (!kernel.is_ok()) return kernel.status();
       kernel.value()->reset();
@@ -307,7 +362,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
       // y_i + z terms predict the client pays instead of the server.
       const bool obs_on = obs::metrics_enabled();
       const double t0 = obs_on ? obs::now_us() : 0.0;
-      auto result = finish_locally(meta, ext, ext.object_offset, *kernel.value());
+      auto result = finish_locally(meta, ext, ext.object_offset, *kernel.value(), ctx);
       if (obs_on) {
         obs::count("client.demoted");
         obs::observe("client.demoted_compute_us", obs::now_us() - t0);
@@ -325,9 +380,13 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
           std::lock_guard lock(mu_);
           ++stats_.resubmitted;
         }
+        obs::flight_record(obs::FlightEventKind::kStateTransition, ctx.trace_id,
+                           static_cast<std::uint32_t>(ext.server), resp.resume_offset,
+                           "resubmitting interrupted kernel with checkpoint");
         auto env = active_envelope(meta, ext, operation);
         env.active.resume_checkpoint = resp.checkpoint;
         env.active.resume_from = resp.resume_offset;
+        env.trace = ctx.child("resubmit");
         auto second_reply = transport_->submit(std::move(env)).wait();
         note_timed_out(second_reply.active);
         auto second = std::move(second_reply.active);
@@ -367,12 +426,21 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
           ++stats_.checkpoint_corrupt_restarts;
         }
         if (obs::metrics_enabled()) obs::count("client.ckpt_corrupt_restarts");
+        obs::flight_record(obs::FlightEventKind::kStateTransition, ctx.trace_id,
+                           static_cast<std::uint32_t>(ext.server), 0,
+                           "checkpoint corrupt: clean local restart");
         kernel.value()->reset();
         resume_from = ext.object_offset;
       }
+      obs::flight_record(obs::FlightEventKind::kResume, ctx.trace_id,
+                         static_cast<std::uint32_t>(ext.server), resume_from,
+                         "restoring checkpoint, finishing locally");
+      if (obs::tracing_enabled() && ctx.valid()) {
+        obs::Tracer::global().instant("client.resume", "client", ctx.child("client_resume"));
+      }
       const bool obs_on = obs::metrics_enabled();
       const double t0 = obs_on ? obs::now_us() : 0.0;
-      auto result = finish_locally(meta, ext, resume_from, *kernel.value());
+      auto result = finish_locally(meta, ext, resume_from, *kernel.value(), ctx);
       if (obs_on) {
         obs::count("client.resumed");
         obs::observe("client.resume_compute_us", obs::now_us() - t0);
@@ -393,10 +461,13 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
         ++stats_.failed_remote_retries;
         ++stats_.local_kernel_runs;
       }
+      obs::flight_record(obs::FlightEventKind::kStateTransition, ctx.trace_id,
+                         static_cast<std::uint32_t>(ext.server), 0,
+                         "remote active I/O failed: local fallback");
       auto kernel = registry_.create(operation);
       if (!kernel.is_ok()) return kernel.status();
       kernel.value()->reset();
-      auto retried = finish_locally(meta, ext, ext.object_offset, *kernel.value());
+      auto retried = finish_locally(meta, ext, ext.object_offset, *kernel.value(), ctx);
       if (!retried.is_ok()) return resp.status;  // persistent: surface the original error
       return retried;
     }
@@ -411,6 +482,9 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
   struct PendingItem {
     std::size_t index;
     ServerExtent ext;
+    obs::TraceContext ctx;      ///< root of the item's causal tree
+    obs::TraceContext leg_ctx;  ///< per-server child stamped on the envelope
+    double t0_us = 0.0;
   };
   std::vector<PendingItem> pending;
 
@@ -447,9 +521,20 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
             error(ErrorCode::kInternal, "no storage server for data server id " +
                                             std::to_string(extents[0].server)));
       } else if (circuit_open(extents[0].server)) {
-        results[i] = serve_extent_locally(item.meta, extents[0], item.operation);
+        const obs::TraceContext root = obs::Tracer::global().new_root();
+        const double t0 = obs::now_us();
+        results[i] = serve_extent_locally(
+            item.meta, extents[0], item.operation,
+            root.child("s" + std::to_string(extents[0].server)));
+        emit_request_e2e(root, t0, item.operation);
       } else {
-        pending.push_back({i, extents[0]});
+        PendingItem p;
+        p.index = i;
+        p.ext = extents[0];
+        p.ctx = obs::Tracer::global().new_root();
+        p.leg_ctx = p.ctx.child("s" + std::to_string(extents[0].server));
+        p.t0_us = obs::now_us();
+        pending.push_back(std::move(p));
       }
     } else {
       // Striped items take the individual path (fan-out + merge). Undo the
@@ -469,6 +554,7 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
   envs.reserve(pending.size());
   for (const auto& p : pending) {
     envs.push_back(active_envelope(items[p.index].meta, p.ext, items[p.index].operation));
+    envs.back().trace = p.leg_ctx;
   }
   auto replies = transport_->submit_batch(std::move(envs));
   for (std::size_t j = 0; j < pending.size(); ++j) {
@@ -476,7 +562,9 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
     auto reply = replies[j].wait();
     note_timed_out(reply.active);
     results[p.index] = resolve_response(items[p.index].meta, p.ext, items[p.index].operation,
-                                        std::move(reply.active));
+                                        std::move(reply.active), /*allow_resubmit=*/true,
+                                        p.leg_ctx);
+    emit_request_e2e(p.ctx, p.t0_us, items[p.index].operation);
   }
 
   std::vector<Result<std::vector<std::uint8_t>>> out;
@@ -492,11 +580,15 @@ std::vector<Result<std::vector<std::uint8_t>>> ActiveClient::read_ex_batch(
 Result<std::vector<std::uint8_t>> ActiveClient::finish_locally(const pfs::FileMeta& meta,
                                                                const ServerExtent& ext,
                                                                Bytes from,
-                                                               kernels::Kernel& kernel) {
+                                                               kernels::Kernel& kernel,
+                                                               const obs::TraceContext& ctx) {
   auto streamed = kernels::stream_extent(
       kernel, from, ext.object_offset + ext.length, config_.chunk_size,
       [&](Bytes pos, Bytes len) -> Result<std::vector<std::uint8_t>> {
-        auto chunk = remote_read(ext.server, meta.handle, pos, len);
+        // Each chunk read joins the request's causal tree (distinct salt
+        // per offset, so spans stay unique).
+        auto chunk = remote_read(ext.server, meta.handle, pos, len,
+                                 ctx.child("read@" + std::to_string(pos)));
         if (chunk.is_ok()) {
           std::lock_guard lock(mu_);
           stats_.raw_bytes_read += chunk.value().size();

@@ -32,6 +32,7 @@
 #include "common/token_bucket.hpp"
 #include "fault/fault.hpp"
 #include "kernels/registry.hpp"
+#include "obs/trace.hpp"
 #include "pfs/client.hpp"
 #include "rpc/interceptors.hpp"
 #include "server/storage_server.hpp"
@@ -143,10 +144,16 @@ class ActiveClient {
     struct Leg {
       ServerExtent ext;
       rpc::PendingReply reply;  ///< invalid: serve locally (circuit open)
+      obs::TraceContext ctx;    ///< per-leg child of the request's root trace
     };
+
+    /// Resolve the result (wait() minus the root-span/e2e bookkeeping).
+    Result<std::vector<std::uint8_t>> resolve();
 
     ActiveClient* client_ = nullptr;
     Mode mode_ = Mode::kImmediate;
+    obs::TraceContext ctx_;  ///< causal root of this request's span tree
+    double t0_us_ = 0.0;     ///< submission time, for the e2e span/histogram
     Result<std::vector<std::uint8_t>> immediate_{std::vector<std::uint8_t>{}};
     pfs::FileMeta meta_;
     std::string operation_;
@@ -215,8 +222,12 @@ class ActiveClient {
                                 const std::string& operation) const;
 
   /// Blocking object-extent read from one server through the transport.
+  /// A valid `ctx` joins the read to an existing causal tree (the
+  /// demote/resume paths); an invalid one lets the transport start a fresh
+  /// root trace.
   Result<std::vector<std::uint8_t>> remote_read(pfs::ServerId target, pfs::FileHandle handle,
-                                                Bytes object_offset, Bytes length);
+                                                Bytes object_offset, Bytes length,
+                                                const obs::TraceContext& ctx = {});
 
   /// EOF-clamped striped read assembled from per-server kRead RPCs (one
   /// batch submission; holes read as zeros). No stats side effects.
@@ -241,7 +252,8 @@ class ActiveClient {
   /// when the circuit is open. Reuses the node's still-live data path.
   Result<std::vector<std::uint8_t>> serve_extent_locally(const pfs::FileMeta& meta,
                                                          const ServerExtent& ext,
-                                                         const std::string& operation);
+                                                         const std::string& operation,
+                                                         const obs::TraceContext& ctx = {});
 
   /// Resolve an already-received server response for one extent (the
   /// completion/demotion/resume/retry state machine shared by the single
@@ -250,14 +262,16 @@ class ActiveClient {
                                                      const ServerExtent& ext,
                                                      const std::string& operation,
                                                      server::ActiveIoResponse resp,
-                                                     bool allow_resubmit = true);
+                                                     bool allow_resubmit = true,
+                                                     const obs::TraceContext& ctx = {});
 
   /// Stream object bytes [from, ext end) through `kernel` via the node's
   /// normal-I/O path (transport kRead per chunk) and finalize. The
   /// demoted / resumed / retried completion loop.
   Result<std::vector<std::uint8_t>> finish_locally(const pfs::FileMeta& meta,
                                                    const ServerExtent& ext, Bytes from,
-                                                   kernels::Kernel& kernel);
+                                                   kernels::Kernel& kernel,
+                                                   const obs::TraceContext& ctx = {});
 
   /// Count a deadline expiry on a final active response.
   void note_timed_out(const server::ActiveIoResponse& resp);

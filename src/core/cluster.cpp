@@ -24,6 +24,7 @@ Cluster::Cluster(ClusterConfig config)
     sc.chunk_size = config_.server_chunk_size;
     sc.interrupt_min_remaining = config_.interrupt_min_remaining;
     sc.result_cache_entries = config_.result_cache_entries;
+    sc.coalesce_identical = config_.coalesce_identical;
     sc.probe_interval = config_.probe_interval;
     servers_.push_back(std::make_unique<server::StorageServer>(
         fs_, i, kernels::Registry::with_builtins(), ce, config_.rates, sc));

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace dosas::fault {
@@ -123,6 +124,7 @@ bool FaultInjector::inject_read_fault(std::uint32_t server) {
   if (!draw(node_stream_locked(kSiteRead, server), spec_.read_fault)) return false;
   ++stats_.read_faults;
   obs::count("fault.injected.read");
+  obs::flight_record(obs::FlightEventKind::kFaultInjected, 0, server, 0, "read fault");
   return true;
 }
 
@@ -131,6 +133,7 @@ bool FaultInjector::inject_kernel_throw(std::uint32_t node) {
   if (!draw(node_stream_locked(kSiteThrow, node), spec_.kernel_throw)) return false;
   ++stats_.kernel_throws;
   obs::count("fault.injected.kernel_throw");
+  obs::flight_record(obs::FlightEventKind::kFaultInjected, 0, node, 0, "kernel throw");
   return true;
 }
 
@@ -145,6 +148,8 @@ bool FaultInjector::inject_checkpoint_corruption(std::vector<std::uint8_t>& payl
   }
   ++stats_.checkpoints_corrupted;
   obs::count("fault.injected.corrupt_ckpt");
+  obs::flight_record(obs::FlightEventKind::kFaultInjected, 0, 0, payload.size(),
+                     "checkpoint corrupted");
   return true;
 }
 
@@ -153,6 +158,7 @@ bool FaultInjector::inject_net_error() {
   if (!draw(net_rng_, spec_.net_error)) return false;
   ++stats_.net_errors;
   obs::count("fault.injected.net_error");
+  obs::flight_record(obs::FlightEventKind::kFaultInjected, 0, 0, 0, "net error");
   return true;
 }
 
@@ -163,6 +169,7 @@ Seconds FaultInjector::inject_stall(std::uint32_t node) {
   }
   ++stats_.stalls;
   obs::count("fault.injected.stall");
+  obs::flight_record(obs::FlightEventKind::kFaultInjected, 0, node, 0, "stall");
   return spec_.stall_delay;
 }
 
@@ -182,6 +189,10 @@ void FaultInjector::note_kernel_start(std::uint32_t node) {
             crashed_nodes_.end()) {
       crashed_nodes_.push_back(node);
       obs::count("fault.injected.crash");
+      obs::flight_record(obs::FlightEventKind::kFaultInjected, 0, node, it->second,
+                         "node crashed (armed)");
+      obs::FlightRecorder::global().trigger_dump(
+          "injected crash of node " + std::to_string(node));
     }
   }
 }
@@ -192,6 +203,9 @@ void FaultInjector::crash_node(std::uint32_t node) {
       crashed_nodes_.end()) {
     crashed_nodes_.push_back(node);
     obs::count("fault.injected.crash");
+    obs::flight_record(obs::FlightEventKind::kFaultInjected, 0, node, 0, "node crashed");
+    obs::FlightRecorder::global().trigger_dump("injected crash of node " +
+                                               std::to_string(node));
   }
 }
 

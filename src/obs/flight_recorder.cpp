@@ -1,0 +1,152 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/clock.hpp"
+
+namespace dosas::obs {
+
+namespace {
+
+/// Total dumps per process before the recorder goes quiet. A cascade of
+/// deadline misses would otherwise write the same history hundreds of
+/// times; the first few are the ones with signal.
+constexpr std::uint64_t kMaxDumps = 8;
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kStateTransition: return "state";
+    case FlightEventKind::kRetry: return "retry";
+    case FlightEventKind::kBreakerTrip: return "breaker";
+    case FlightEventKind::kDemotion: return "demotion";
+    case FlightEventKind::kInterrupt: return "interrupt";
+    case FlightEventKind::kFaultInjected: return "fault";
+    case FlightEventKind::kDeadlineMiss: return "deadline-miss";
+    case FlightEventKind::kCancel: return "cancel";
+    case FlightEventKind::kResume: return "resume";
+    case FlightEventKind::kCoalesce: return "coalesce";
+  }
+  return "?";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() : slots_(new Slot[kSlots]) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+void FlightRecorder::record(FlightEventKind kind, std::uint64_t trace_id,
+                            std::uint32_t node, std::uint64_t detail,
+                            const char* note) {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % kSlots];
+  // Seqlock publish: odd = write in progress. A reader seeing mismatched or
+  // odd sequence numbers drops the slot instead of returning torn data.
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed) | 1;
+  slot.seq.store(seq, std::memory_order_release);
+  FlightEvent& e = slot.event;
+  e.ts = clock().now();
+  e.trace_id = trace_id;
+  e.detail = detail;
+  e.node = node;
+  e.kind = kind;
+  if (note != nullptr) {
+    std::strncpy(e.note, note, sizeof(e.note) - 1);
+    e.note[sizeof(e.note) - 1] = '\0';
+  } else {
+    e.note[0] = '\0';
+  }
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > kSlots ? end - kSlots : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const Slot& slot = slots_[i % kSlots];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before & 1) continue;  // mid-write
+    FlightEvent copy = slot.event;
+    const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while copying
+    out.push_back(copy);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_text(std::uint64_t only_trace_id, std::size_t tail) const {
+  auto events = snapshot();
+  if (only_trace_id != 0) {
+    std::vector<FlightEvent> filtered;
+    for (const auto& e : events) {
+      if (e.trace_id == only_trace_id) filtered.push_back(e);
+    }
+    events.swap(filtered);
+  }
+  std::size_t begin = 0;
+  if (tail > 0 && events.size() > tail) begin = events.size() - tail;
+  std::ostringstream out;
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    const auto& e = events[i];
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  t=%.6f %-13s node=%u trace=%llu detail=%llu %s\n", e.ts,
+                  flight_event_kind_name(e.kind), e.node,
+                  static_cast<unsigned long long>(e.trace_id),
+                  static_cast<unsigned long long>(e.detail), e.note);
+    out << line;
+  }
+  if (events.empty()) out << "  (no recorded events)\n";
+  return out.str();
+}
+
+void FlightRecorder::trigger_dump(const std::string& reason, std::uint64_t trace_id) {
+  const std::uint64_t n = dumps_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= kMaxDumps) return;
+  std::ostringstream out;
+  out << "[flight-recorder] dump #" << (n + 1) << ": " << reason;
+  if (trace_id != 0) out << " (trace " << trace_id << ")";
+  out << "\n";
+  if (trace_id != 0) {
+    out << " events for this trace:\n" << dump_text(trace_id);
+  }
+  out << " recent history (newest 64 of a " << kSlots << "-slot ring):\n"
+      << dump_text(0, 64);
+  std::function<void(const std::string&)> sink;
+  {
+    std::lock_guard lock(sink_mu_);
+    sink = sink_;
+  }
+  if (sink) {
+    sink(out.str());
+  } else {
+    std::fputs(out.str().c_str(), stderr);
+  }
+}
+
+void FlightRecorder::set_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+void FlightRecorder::clear() {
+  // Not concurrency-safe against in-flight writers; tests call this from a
+  // quiesced state, matching MetricsRegistry::clear()'s contract.
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+    slots_[i].event = FlightEvent{};
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dumps_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dosas::obs

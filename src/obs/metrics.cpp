@@ -42,6 +42,23 @@ void Histogram::observe(double x) {
   p99_.add(x);
 }
 
+void Histogram::observe(double x, std::uint64_t exemplar_trace_id) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  stats_.add(x);
+  p50_.add(x);
+  p90_.add(x);
+  p99_.add(x);
+  // Keep the trace of the worst sample: that is the one a p99 investigation
+  // wants to open first.
+  if (exemplar_trace_id != 0 && (exemplar_trace_id_ == 0 || x >= exemplar_value_)) {
+    exemplar_trace_id_ = exemplar_trace_id;
+    exemplar_value_ = x;
+  }
+}
+
 Histogram::Summary Histogram::summary() const {
   std::lock_guard lock(mu_);
   Summary s;
@@ -53,6 +70,7 @@ Histogram::Summary Histogram::summary() const {
   s.p50 = p50_.value();
   s.p90 = p90_.value();
   s.p99 = p99_.value();
+  s.exemplar_trace_id = exemplar_trace_id_;
   return s;
 }
 
@@ -95,21 +113,42 @@ std::size_t MetricsRegistry::size() const {
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
 std::string MetricsRegistry::to_text() const {
   std::lock_guard lock(mu_);
-  std::ostringstream out;
+  // One globally name-sorted listing (not grouped by kind): a metric keeps
+  // its line position when its neighbours change kind, so snapshots diff
+  // cleanly and the DST bit-identical fingerprints stay stable.
+  std::map<std::string, std::string> lines;
   for (const auto& [name, c] : counters_) {
-    out << "counter  " << name << " = " << c->value() << "\n";
+    std::ostringstream line;
+    line << "counter  " << name << " = " << c->value() << "\n";
+    lines[name] = line.str();
   }
   for (const auto& [name, g] : gauges_) {
-    out << "gauge    " << name << " = " << g->value() << "\n";
+    std::ostringstream line;
+    line << "gauge    " << name << " = " << g->value() << "\n";
+    lines[name] = line.str();
   }
   for (const auto& [name, h] : histograms_) {
     const auto s = h->summary();
-    out << "hist     " << name << "  count=" << s.count << " mean=" << s.mean
-        << " min=" << s.min << " max=" << s.max << " p50=" << s.p50 << " p90=" << s.p90
-        << " p99=" << s.p99 << "\n";
+    std::ostringstream line;
+    line << "hist     " << name << "  count=" << s.count << " mean=" << s.mean
+         << " min=" << s.min << " max=" << s.max << " p50=" << s.p50 << " p90=" << s.p90
+         << " p99=" << s.p99;
+    if (s.exemplar_trace_id != 0) line << " exemplar=trace:" << s.exemplar_trace_id;
+    line << "\n";
+    lines[name] = line.str();
   }
+  std::ostringstream out;
+  for (const auto& [name, line] : lines) out << line;
   return out.str();
 }
 
@@ -166,7 +205,9 @@ std::string MetricsRegistry::to_json() const {
     const auto s = h->summary();
     out << ":{\"count\":" << s.count << ",\"mean\":" << s.mean << ",\"min\":" << s.min
         << ",\"max\":" << s.max << ",\"p50\":" << s.p50 << ",\"p90\":" << s.p90
-        << ",\"p99\":" << s.p99 << ",\"buckets\":[";
+        << ",\"p99\":" << s.p99;
+    if (s.exemplar_trace_id != 0) out << ",\"exemplar_trace_id\":" << s.exemplar_trace_id;
+    out << ",\"buckets\":[";
     for (std::size_t i = 0; i < h->bucket_count(); ++i) {
       if (i != 0) out << ',';
       out << "{\"le\":";
@@ -208,6 +249,12 @@ void observe(const std::string& name, double v) {
   auto& r = MetricsRegistry::global();
   if (!r.enabled()) return;
   r.histogram(name).observe(v);
+}
+
+void observe(const std::string& name, double v, std::uint64_t exemplar_trace_id) {
+  auto& r = MetricsRegistry::global();
+  if (!r.enabled()) return;
+  r.histogram(name).observe(v, exemplar_trace_id);
 }
 
 double now_us() { return clock().now() * 1e6; }

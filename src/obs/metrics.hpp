@@ -69,6 +69,10 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds = {});
 
   void observe(double x);
+  /// Observe with an exemplar: remembers the trace id of the largest sample
+  /// seen so far, so a p99 outlier in a latency histogram is one lookup away
+  /// from its causal trace (docs/OBSERVABILITY.md "Exemplars").
+  void observe(double x, std::uint64_t exemplar_trace_id);
 
   std::size_t bucket_count() const { return bounds_.size() + 1; }  ///< incl. overflow
   double bound(std::size_t i) const { return bounds_[i]; }
@@ -80,6 +84,7 @@ class Histogram {
     std::size_t count = 0;
     double mean = 0.0, min = 0.0, max = 0.0;
     double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+    std::uint64_t exemplar_trace_id = 0;  ///< trace of the max sample (0 = none)
   };
   Summary summary() const;
 
@@ -91,6 +96,8 @@ class Histogram {
   mutable std::mutex mu_;
   RunningStats stats_;
   P2Quantile p50_{0.5}, p90_{0.9}, p99_{0.99};
+  std::uint64_t exemplar_trace_id_ = 0;
+  double exemplar_value_ = 0.0;
 };
 
 /// Named metric store. Handles returned by counter()/gauge()/histogram()
@@ -117,7 +124,12 @@ class MetricsRegistry {
   bool contains(const std::string& name) const;
   std::size_t size() const;
 
-  /// Human-readable snapshot (one metric per line, sorted by name).
+  /// Names of every registered histogram, sorted (report generators use
+  /// this to build per-stage latency tables without knowing the names).
+  std::vector<std::string> histogram_names() const;
+
+  /// Human-readable snapshot: one metric per line, globally sorted by name
+  /// regardless of kind, so snapshots diff cleanly across runs.
   std::string to_text() const;
   /// JSON snapshot: {"counters":{..},"gauges":{..},"histograms":{..}}.
   std::string to_json() const;
@@ -145,6 +157,8 @@ inline bool metrics_enabled() { return MetricsRegistry::global().enabled(); }
 void count(const std::string& name, std::uint64_t n = 1);
 void gauge_set(const std::string& name, double v);
 void observe(const std::string& name, double v);
+/// Histogram observe carrying an exemplar trace id (0 = none).
+void observe(const std::string& name, double v, std::uint64_t exemplar_trace_id);
 
 /// Wall-clock microseconds on the steady clock (for enabled-path timing).
 double now_us();

@@ -39,7 +39,33 @@ void append_json_string(std::ostringstream& out, const std::string& s) {
   out << '"';
 }
 
+/// splitmix64 finalizer — cheap, well-mixed 64-bit hash step.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+TraceContext TraceContext::child(const std::string& salt) const {
+  TraceContext c;
+  c.trace_id = trace_id;
+  c.parent_span_id = span_id;
+  c.span_id = mix64(span_id ^ fnv1a(salt));
+  if (c.span_id == 0) c.span_id = 1;  // keep 0 reserved for "no context"
+  return c;
+}
 
 Tracer& Tracer::global() {
   static Tracer tracer;
@@ -47,6 +73,15 @@ Tracer& Tracer::global() {
 }
 
 Tracer::Tracer() : epoch_(clock().now()) {}
+
+TraceContext Tracer::new_root() {
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  ctx.span_id = mix64(ctx.trace_id);
+  if (ctx.span_id == 0) ctx.span_id = 1;
+  ctx.parent_span_id = 0;
+  return ctx;
+}
 
 double Tracer::now_us() const { return (clock().now() - epoch_) * 1e6; }
 
@@ -68,6 +103,23 @@ void Tracer::complete(std::string name, std::string cat, double ts_us, double du
   push(std::move(e));
 }
 
+void Tracer::complete(std::string name, std::string cat, double ts_us, double dur_us,
+                      const TraceContext& ctx) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = kWallPid;
+  e.tid = this_thread_tid();
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.parent_span_id = ctx.parent_span_id;
+  push(std::move(e));
+}
+
 void Tracer::instant(std::string name, std::string cat) {
   if (!enabled()) return;
   TraceEvent e;
@@ -77,6 +129,55 @@ void Tracer::instant(std::string name, std::string cat) {
   e.ts_us = now_us();
   e.pid = kWallPid;
   e.tid = this_thread_tid();
+  push(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string cat, const TraceContext& ctx) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'i';
+  e.ts_us = now_us();
+  e.pid = kWallPid;
+  e.tid = this_thread_tid();
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.parent_span_id = ctx.parent_span_id;
+  push(std::move(e));
+}
+
+void Tracer::flow_start(std::string name, std::string cat, std::uint64_t id,
+                        const TraceContext& ctx) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 's';
+  e.ts_us = now_us();
+  e.pid = kWallPid;
+  e.tid = this_thread_tid();
+  e.flow_id = id;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.parent_span_id = ctx.parent_span_id;
+  push(std::move(e));
+}
+
+void Tracer::flow_finish(std::string name, std::string cat, std::uint64_t id,
+                         const TraceContext& ctx) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'f';
+  e.ts_us = now_us();
+  e.pid = kWallPid;
+  e.tid = this_thread_tid();
+  e.flow_id = id;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.parent_span_id = ctx.parent_span_id;
   push(std::move(e));
 }
 
@@ -132,7 +233,14 @@ std::string Tracer::to_chrome_json() const {
         << ",\"tid\":" << e.tid;
     if (e.ph == 'X') out << ",\"dur\":" << e.dur_us;
     if (e.ph == 'i') out << ",\"s\":\"t\"";  // thread-scoped instant
-    if (e.ph == 'C') out << ",\"args\":{\"value\":" << e.value << '}';
+    if (e.ph == 's' || e.ph == 'f') out << ",\"id\":" << e.flow_id;
+    if (e.ph == 'f') out << ",\"bp\":\"e\"";  // bind to enclosing slice
+    if (e.ph == 'C') {
+      out << ",\"args\":{\"value\":" << e.value << '}';
+    } else if (e.trace_id != 0) {
+      out << ",\"args\":{\"trace_id\":" << e.trace_id << ",\"span_id\":" << e.span_id
+          << ",\"parent_span_id\":" << e.parent_span_id << '}';
+    }
     out << '}';
   }
   out << "]}";
@@ -159,6 +267,9 @@ void Tracer::clear() {
   // Re-epoch on the *current* clock so a test that installs a
   // VirtualClock and clears the tracer gets timestamps from virtual zero.
   epoch_ = clock().now();
+  // Reset root-id allocation too: seeded DST runs must produce identical
+  // trace/span ids, and ids join the canonical fingerprints.
+  next_trace_id_.store(1, std::memory_order_relaxed);
 }
 
 ScopedTrace::ScopedTrace(std::string name, std::string cat) {
@@ -170,11 +281,26 @@ ScopedTrace::ScopedTrace(std::string name, std::string cat) {
   start_us_ = tracer.now_us();
 }
 
+ScopedTrace::ScopedTrace(std::string name, std::string cat, const TraceContext& ctx) {
+  auto& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  cat_ = std::move(cat);
+  start_us_ = tracer.now_us();
+  ctx_ = ctx;
+}
+
 ScopedTrace::~ScopedTrace() {
   if (!active_) return;
   auto& tracer = Tracer::global();
-  tracer.complete(std::move(name_), std::move(cat_), start_us_,
-                  tracer.now_us() - start_us_);
+  if (ctx_.valid()) {
+    tracer.complete(std::move(name_), std::move(cat_), start_us_,
+                    tracer.now_us() - start_us_, ctx_);
+  } else {
+    tracer.complete(std::move(name_), std::move(cat_), start_us_,
+                    tracer.now_us() - start_us_);
+  }
 }
 
 }  // namespace dosas::obs

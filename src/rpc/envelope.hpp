@@ -20,6 +20,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "server/messages.hpp"
 
 namespace dosas::rpc {
@@ -59,6 +60,16 @@ struct Envelope {
   /// Trace-span name; the observability interceptor fills a default
   /// ("rpc.active.s<target>") when empty. Every envelope gets a span.
   std::string span;
+  /// Causal trace context. The client stamps a per-leg context before
+  /// submission (the observability interceptor allocates a root when the
+  /// caller didn't), and the transport copies it into the server-side
+  /// request so every span a request produces joins one tree.
+  obs::TraceContext trace;
+  /// clock().now() when the caller handed the envelope to the outermost
+  /// transport layer (negative = unknown; a VirtualClock legitimately
+  /// starts at 0). The server-side admission path uses it for the
+  /// stage.transport_us histogram.
+  Seconds submitted_at = -1;
 };
 
 /// One response. `kind` mirrors the envelope.

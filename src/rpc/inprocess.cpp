@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/clock.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace dosas::rpc {
 
@@ -84,7 +85,7 @@ void InProcessTransport::dispatch_active(Envelope& env, PendingReply& reply) {
     reply.set_canceller(
         [s, ticket](const Status& reason) { return s->cancel_active(ticket, reason); });
   }
-  if (env.deadline > 0.0 && !reply.ready()) arm_deadline(reply, env.deadline);
+  if (env.deadline > 0.0 && !reply.ready()) arm_deadline(reply, env);
 }
 
 void InProcessTransport::dispatch_read(Envelope& env, PendingReply& reply) {
@@ -173,7 +174,7 @@ std::vector<PendingReply> InProcessTransport::submit_batch(std::vector<Envelope>
             [s, ticket](const Status& reason) { return s->cancel_active(ticket, reason); });
       }
       if (envs[idx].deadline > 0.0 && !replies[idx].ready()) {
-        arm_deadline(replies[idx], envs[idx].deadline);
+        arm_deadline(replies[idx], envs[idx]);
       }
     }
   }
@@ -184,12 +185,12 @@ std::vector<PendingReply> InProcessTransport::submit_batch(std::vector<Envelope>
   return replies;
 }
 
-void InProcessTransport::arm_deadline(PendingReply reply, Seconds deadline) {
-  const Seconds when = clock().now() + deadline;
+void InProcessTransport::arm_deadline(PendingReply reply, const Envelope& env) {
+  const Seconds when = clock().now() + env.deadline;
   {
     std::lock_guard lock(watchdog_mu_);
     if (shutdown_) return;
-    expiries_.push(Expiry{when, std::move(reply), deadline});
+    expiries_.push(Expiry{when, std::move(reply), env.deadline, env.trace.trace_id, env.target});
   }
   clock().wake_all(watchdog_cv_);
 }
@@ -221,8 +222,16 @@ void InProcessTransport::watchdog_loop() {
           error(ErrorCode::kTimedOut, "active request exceeded its " +
                                           std::to_string(expired.deadline) + "s deadline"));
       if (cancelled) {
-        std::lock_guard slock(mu_);
-        ++timed_out_;
+        {
+          std::lock_guard slock(mu_);
+          ++timed_out_;
+        }
+        // A deadline miss is exactly the post-hoc question the flight
+        // recorder exists for: record it and dump the recent history.
+        obs::flight_record(obs::FlightEventKind::kDeadlineMiss, expired.trace_id,
+                           expired.target, 0, "watchdog cancelled past deadline");
+        obs::FlightRecorder::global().trigger_dump(
+            "active request exceeded its deadline", expired.trace_id);
       }
     }
     lock.lock();

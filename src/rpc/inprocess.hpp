@@ -53,8 +53,8 @@ class InProcessTransport : public Transport {
   /// plain object reads; a socket backend would).
   void dispatch_read(Envelope& env, PendingReply& reply);
 
-  /// Register `reply` for cancellation at now + deadline seconds.
-  void arm_deadline(PendingReply reply, Seconds deadline);
+  /// Register `reply` for cancellation at now + env.deadline seconds.
+  void arm_deadline(PendingReply reply, const Envelope& env);
 
   void watchdog_loop();
 
@@ -78,6 +78,8 @@ class InProcessTransport : public Transport {
     Seconds when = 0;  ///< absolute clock time (clock().now() + deadline)
     PendingReply reply;
     Seconds deadline = 0;
+    std::uint64_t trace_id = 0;  ///< causal trace of the armed request
+    std::uint32_t target = 0;
     bool operator>(const Expiry& other) const { return when > other.when; }
   };
   std::mutex watchdog_mu_;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rpc/inprocess.hpp"
@@ -29,6 +31,14 @@ void obs_annotate(Envelope& env) {
   if (env.span.empty()) {
     env.span = std::string("rpc.") + op_kind_name(env.kind) + ".s" + std::to_string(env.target);
   }
+  // Every envelope travels with a causal context: the client pre-stamps
+  // active legs; reads and bare submissions get a root here. Allocation is
+  // one relaxed fetch_add, cheap enough to do unconditionally so the
+  // always-on flight recorder has ids even with tracing off.
+  if (!env.trace.valid()) env.trace = obs::Tracer::global().new_root();
+  if (env.submitted_at < 0) env.submitted_at = clock().now();
+  env.active.trace = env.trace;
+  env.active.submitted_at = env.submitted_at;
 }
 
 /// Register the span/latency completion hook. Captures no transport state,
@@ -37,13 +47,19 @@ void obs_observe(const Envelope& env, PendingReply& reply) {
   const bool tracing = obs::tracing_enabled();
   const bool metrics = obs::metrics_enabled();
   if (!tracing && !metrics) return;
+  if (tracing) {
+    // Flow start on the submitting thread; the server's queue span emits
+    // the matching finish, drawing the cross-thread arrow in the viewer.
+    obs::Tracer::global().flow_start(env.span, "flow", env.trace.span_id, env.trace);
+  }
   std::string span = env.span;
   const char* kind = op_kind_name(env.kind);
+  const obs::TraceContext ctx = env.trace;
   const double t0 = obs::Tracer::global().now_us();
-  reply.on_complete([span = std::move(span), kind, t0, tracing, metrics](Reply&) {
+  reply.on_complete([span = std::move(span), kind, t0, tracing, metrics, ctx](Reply&) {
     const double t1 = obs::Tracer::global().now_us();
-    if (tracing) obs::Tracer::global().complete(span, "rpc", t0, t1 - t0);
-    if (metrics) obs::observe(std::string("rpc.latency_us.") + kind, t1 - t0);
+    if (tracing) obs::Tracer::global().complete(span, "rpc", t0, t1 - t0, ctx);
+    if (metrics) obs::observe(std::string("rpc.latency_us.") + kind, t1 - t0, ctx.trace_id);
   });
 }
 
@@ -51,9 +67,10 @@ void obs_observe(const Envelope& env, PendingReply& reply) {
 
 PendingReply ObsTransport::submit(Envelope env) {
   obs_annotate(env);
-  Envelope snapshot;  // the hook needs span/kind after the move below
+  Envelope snapshot;  // the hook needs span/kind/trace after the move below
   snapshot.kind = env.kind;
   snapshot.span = env.span;
+  snapshot.trace = env.trace;
   auto reply = next_->submit(std::move(env));
   obs_observe(snapshot, reply);
   return reply;
@@ -67,6 +84,7 @@ std::vector<PendingReply> ObsTransport::submit_batch(std::vector<Envelope> envs)
     Envelope s;
     s.kind = env.kind;
     s.span = env.span;
+    s.trace = env.trace;
     snapshots.push_back(std::move(s));
   }
   auto replies = next_->submit_batch(std::move(envs));
@@ -105,7 +123,14 @@ void CircuitBreakerTransport::note_outcome(std::uint32_t target, bool unavailabl
   auto& node = nodes_[target];
   if (unavailable) {
     ++node.consecutive_unavailable;
+    if (node.consecutive_unavailable == threshold_) {
+      obs::flight_record(obs::FlightEventKind::kBreakerTrip, 0, target,
+                         static_cast<std::uint64_t>(threshold_), "circuit opened");
+    }
   } else {
+    if (node.consecutive_unavailable >= threshold_ && threshold_ > 0) {
+      obs::flight_record(obs::FlightEventKind::kBreakerTrip, 0, target, 0, "circuit closed");
+    }
     node.consecutive_unavailable = 0;
     node.skips = 0;
   }
@@ -246,6 +271,14 @@ PendingReply RetryTransport::submit_with_retry(Envelope env, PendingReply first_
         ++self->retries_;
       }
       if (obs::metrics_enabled()) obs::count("rpc.retries");
+      obs::flight_record(obs::FlightEventKind::kRetry, env.trace.trace_id, env.target,
+                         static_cast<std::uint64_t>(failed_attempt), "active rpc retry");
+      if (obs::tracing_enabled()) {
+        // Per-attempt instant with a derived child span, so retries show up
+        // as marks inside the request's causal tree.
+        obs::Tracer::global().instant(
+            "rpc.retry", "rpc", env.trace.child("retry" + std::to_string(failed_attempt)));
+      }
       auto next_attempt = self->next_->submit(env);  // env reused verbatim
       {
         std::lock_guard lock(mu);

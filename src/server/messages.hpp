@@ -14,6 +14,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "obs/trace.hpp"
 #include "pfs/data_server.hpp"
 #include "sched/request.hpp"
 
@@ -37,6 +38,13 @@ struct ActiveIoRequest {
   /// request after this many (wall-clock) seconds, gets kTimedOut, and the
   /// server interrupts the kernel. Set via ActiveClient::Config.
   Seconds timeout = 0;
+
+  /// Causal trace context carried over from the rpc envelope, so the
+  /// server-side queue/kernel spans join the client's request tree.
+  obs::TraceContext trace;
+  /// Envelope submission time (clock().now() seconds, negative = unknown)
+  /// — feeds the server's stage.transport_us histogram.
+  Seconds submitted_at = -1;
 
   bool is_resumption() const { return !resume_checkpoint.empty(); }
 };

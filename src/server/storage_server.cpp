@@ -8,10 +8,21 @@
 #include "common/logging.hpp"
 #include "kernels/pipeline.hpp"
 #include "kernels/stream.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dosas::server {
+
+namespace {
+
+/// Request class for the stage.* histograms: the kernel name, i.e. the
+/// operation string up to its first parameter separator.
+std::string stage_class(const std::string& operation) {
+  return operation.substr(0, operation.find(':'));
+}
+
+}  // namespace
 
 const char* outcome_name(ActiveOutcome o) {
   switch (o) {
@@ -146,6 +157,7 @@ std::shared_ptr<StorageServer::Entry> StorageServer::find_coalesce_locked(
 std::pair<sched::RequestId, std::shared_ptr<StorageServer::Entry>> StorageServer::register_entry(
     ActiveIoRequest request, Waiter waiter) {
   auto entry = std::make_shared<Entry>();
+  const Seconds now = clock().now();
   std::lock_guard lock(mu_);
   const sched::RequestId id = request.id != 0 ? request.id : next_id_++;
   request.id = id;
@@ -153,8 +165,16 @@ std::pair<sched::RequestId, std::shared_ptr<StorageServer::Entry>> StorageServer
   entry->interrupt = std::make_shared<std::atomic<bool>>(false);
   entry->progress = std::make_shared<std::atomic<Bytes>>(0);
   entry->waiters.push_back(std::move(waiter));
+  entry->enqueued_at = now;
   entries_.emplace(id, entry);
   obs_queue_depth_locked();
+  obs::flight_record(obs::FlightEventKind::kStateTransition, request.trace.trace_id,
+                     server_id_, id, "active request queued");
+  if (obs::metrics_enabled() && request.submitted_at >= 0) {
+    // Transport stage: client-side hand-off to server-side admission.
+    obs::observe("stage.transport_us." + stage_class(request.operation),
+                 (now - request.submitted_at) * 1e6, request.trace.trace_id);
+  }
   return {id, entry};
 }
 
@@ -210,6 +230,8 @@ void StorageServer::complete_entry(sched::RequestId id, const std::shared_ptr<En
     for (std::size_t i = 0; i < waiters.size(); ++i) count_outcome_locked(response);
     obs_queue_depth_locked();
   }
+  obs::flight_record(obs::FlightEventKind::kStateTransition, entry->request.trace.trace_id,
+                     server_id_, id, outcome_name(response.outcome));
   // Deliver outside mu_: completions may submit follow-up work (the
   // client's cooperative resubmission path) or take unrelated locks. All
   // but the last waiter get a copy; the last takes the response by move.
@@ -317,6 +339,12 @@ StorageServer::ActiveTicket StorageServer::submit_active(ActiveIoRequest request
       twin->waiters.push_back(Waiter{ticket.waiter, std::move(done)});
       ++stats_.active_coalesced;
       if (obs::metrics_enabled()) obs::count(obs_name_ + ".coalesced");
+      obs::flight_record(obs::FlightEventKind::kCoalesce, request.trace.trace_id,
+                         server_id_, twin->request.id, "coalesced onto in-flight twin");
+      if (obs::tracing_enabled() && request.trace.valid()) {
+        obs::Tracer::global().instant(obs_name_ + ".coalesce", "server",
+                                      request.trace.child("coalesce"));
+      }
       return ticket;
     }
   }
@@ -379,6 +407,12 @@ std::vector<StorageServer::ActiveTicket> StorageServer::submit_active_batch(
         twin->waiters.push_back(Waiter{tickets[i].waiter, std::move(dones[i])});
         ++stats_.active_coalesced;
         if (obs::metrics_enabled()) obs::count(obs_name_ + ".coalesced");
+        obs::flight_record(obs::FlightEventKind::kCoalesce, requests[i].trace.trace_id,
+                           server_id_, twin->request.id, "coalesced onto in-flight twin");
+        if (obs::tracing_enabled() && requests[i].trace.valid()) {
+          obs::Tracer::global().instant(obs_name_ + ".coalesce", "server",
+                                        requests[i].trace.child("coalesce"));
+        }
         continue;
       }
       tickets[i].waiter = next_waiter_++;
@@ -419,6 +453,10 @@ bool StorageServer::cancel_active(const ActiveTicket& ticket, const Status& reas
       ++stats_.active_cancelled;
       if (obs::metrics_enabled()) obs::count(obs_name_ + ".cancelled");
     }
+    obs::flight_record(obs::FlightEventKind::kCancel, entry->request.trace.trace_id,
+                       server_id_, ticket.id,
+                       reason.code() == ErrorCode::kTimedOut ? "waiter timed out"
+                                                             : "waiter cancelled");
     if (!entry->waiters.empty()) return true;  // twin waiters keep the run alive
     // Last waiter gone: abandon the request. A queued entry never starts; a
     // running kernel stops at its next chunk boundary and its late
@@ -635,6 +673,12 @@ void StorageServer::evaluate_policy() {
       auto& entry = *it->second;
       if (entry.state == EntryState::kQueued) {
         entry.reject_before_start = true;
+        obs::flight_record(obs::FlightEventKind::kDemotion, entry.request.trace.trace_id,
+                           server_id_, requests[i].id, "queued request demoted by policy");
+        if (obs::tracing_enabled() && entry.request.trace.valid()) {
+          obs::Tracer::global().instant(obs_name_ + ".demote", "ce",
+                                        entry.request.trace.child("demote"));
+        }
       } else if (entry.state == EntryState::kRunning) {
         // Hysteresis: nearly-finished kernels are cheaper to let complete
         // than to checkpoint, ship, and re-run remotely.
@@ -645,6 +689,12 @@ void StorageServer::evaluate_policy() {
             config_.interrupt_min_remaining * static_cast<double>(total)) {
           entry.interrupt->store(true);
           if (obs::metrics_enabled()) obs::count(obs_name_ + ".interrupts_signalled");
+          obs::flight_record(obs::FlightEventKind::kInterrupt, entry.request.trace.trace_id,
+                             server_id_, requests[i].id, "running kernel interrupt signalled");
+          if (obs::tracing_enabled() && entry.request.trace.valid()) {
+            obs::Tracer::global().instant(obs_name_ + ".interrupt", "ce",
+                                          entry.request.trace.child("interrupt"));
+          }
         }
       }
     }
@@ -657,6 +707,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
   std::shared_ptr<std::atomic<bool>> interrupt;
   std::shared_ptr<std::atomic<Bytes>> progress;
   std::shared_ptr<fault::FaultInjector> fi;
+  Seconds enqueued_at = 0;
   {
     std::lock_guard lock(mu_);
     auto it = entries_.find(id);
@@ -670,6 +721,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
     request = entry->request;
     interrupt = entry->interrupt;
     progress = entry->progress;
+    enqueued_at = entry->enqueued_at;
     fi = faults_;
   }
   if (entry->reject_before_start) {
@@ -681,6 +733,30 @@ void StorageServer::run_kernel(sched::RequestId id) {
   }
   if (fi != nullptr) fi->note_kernel_start(server_id_);
 
+  // Queue-wait stage: registration -> this launch, emitted as a span that
+  // joins the request's causal tree and closes the client's flow arrow on
+  // this worker thread.
+  {
+    const bool tracing = obs::tracing_enabled();
+    const bool metrics = obs::metrics_enabled();
+    if (tracing || metrics) {
+      const double wait_us = (clock().now() - enqueued_at) * 1e6;
+      if (tracing && request.trace.valid()) {
+        auto& tracer = obs::Tracer::global();
+        const auto qctx = request.trace.child("queue");
+        tracer.complete(obs_name_ + ".queue_wait", "server", tracer.now_us() - wait_us,
+                        wait_us, qctx);
+        tracer.flow_finish(obs_name_ + ".queue_wait", "flow", request.trace.span_id, qctx);
+      }
+      if (metrics) {
+        obs::observe("stage.queue_wait_us." + stage_class(request.operation), wait_us,
+                     request.trace.trace_id);
+      }
+    }
+  }
+  obs::flight_record(obs::FlightEventKind::kStateTransition, request.trace.trace_id,
+                     server_id_, id, "kernel launched");
+
   // Completion delivery is the LAST thing this worker does for the
   // request: the waiter it unblocks may immediately finish the run and
   // snapshot the trace/metrics, so every observable side effect — the
@@ -688,7 +764,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
   ActiveIoResponse resp;
   Bytes done_bytes = 0;
   {
-    obs::ScopedTrace span(request.operation, "kernel");
+    obs::ScopedTrace span(request.operation, "kernel", request.trace.child("kernel"));
     const bool obs_on = obs::metrics_enabled();
     const double t0 = obs_on ? obs::now_us() : 0.0;
 
@@ -824,6 +900,10 @@ void StorageServer::run_kernel(sched::RequestId id) {
         done_bytes = 0;
       }
     }();
+    if (obs_on) {
+      obs::observe("stage.kernel_exec_us." + stage_class(request.operation),
+                   obs::now_us() - t0, request.trace.trace_id);
+    }
   }
   complete_entry(id, entry, std::move(resp), done_bytes);
 }

@@ -190,6 +190,7 @@ class StorageServer {
     std::shared_ptr<std::atomic<bool>> interrupt;
     std::shared_ptr<std::atomic<Bytes>> progress;  ///< bytes processed so far
     std::vector<Waiter> waiters;
+    Seconds enqueued_at = 0;  ///< clock().now() at registration (queue-wait stage)
   };
 
   /// Build the CE queue snapshot, run the scheduler per operation group,

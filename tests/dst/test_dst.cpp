@@ -26,7 +26,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <iomanip>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,13 +50,16 @@ namespace {
 // (assigned per-thread in registration order, which legitimately races)
 // and buffer position (emission order races at completion edges).
 // Timestamps and durations are VIRTUAL time, so they are part of the
-// determinism contract.
+// determinism contract — and so are the causal ids: root trace ids are
+// allocated in the single app thread's issue order and every child span id
+// is derived by hashing, so the full id triple must reproduce bit-exactly.
 std::string canonical_trace() {
   std::vector<std::string> lines;
   for (const auto& e : obs::Tracer::global().snapshot()) {
     std::ostringstream os;
     os << e.name << '|' << e.cat << '|' << e.ph << '|' << e.pid << '|' << std::fixed
-       << std::setprecision(3) << e.ts_us << '|' << e.dur_us << '|' << e.value;
+       << std::setprecision(3) << e.ts_us << '|' << e.dur_us << '|' << e.value << '|'
+       << e.trace_id << '|' << e.span_id << '|' << e.parent_span_id;
     lines.push_back(os.str());
   }
   std::sort(lines.begin(), lines.end());
@@ -243,6 +249,82 @@ ScenarioOutput run_striped(std::uint64_t seed) {
   return out;
 }
 
+// ---------------------------------------------------------------- causal
+
+struct CausalOutput {
+  std::vector<obs::TraceEvent> events;
+  std::uint64_t coalesced = 0;
+  std::uint64_t demoted = 0;
+  std::uint64_t retries = 0;
+};
+
+// One storage node under the contention-aware DOSAS admission path, with a
+// guaranteed-stall fault so every kernel is still in flight while the single
+// app thread finishes submitting: the duplicate pair coalesces
+// deterministically, the burst overflows the CE's knee into demote-to-local,
+// and seeded network errors force transport retries. Every recovery path a
+// request can take must still hang off its client-side root span.
+CausalOutput run_causal(std::uint64_t seed) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  obs::MetricsRegistry::global().clear();
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_enabled(true);
+
+  CausalOutput out;
+  {
+    ClockParticipant me;
+
+    ClusterConfig cfg;
+    cfg.storage_nodes = 1;
+    cfg.cores_per_node = 1;
+    cfg.server_chunk_size = 64_KiB;
+    cfg.client_chunk_size = 256_KiB;
+    cfg.scheme = SchemeKind::kDosas;  // real admission: the burst demotes
+    cfg.coalesce_identical = true;
+    std::ostringstream spec_text;
+    spec_text << "seed=" << seed << ",net_error=0.10,stall=1.0,stall_ms=20";
+    auto spec = fault::FaultSpec::parse(spec_text.str());
+    EXPECT_TRUE(spec.is_ok()) << spec.status().to_string();
+    cfg.faults = std::make_shared<fault::FaultInjector>(spec.value());
+    cfg.client_retry.max_attempts = 6;
+    cfg.client_retry.base_delay = 0.005;
+    Cluster cluster(cfg);
+
+    constexpr std::size_t kCount = 1'048'576;  // 8 MiB per file, single extent
+    std::vector<pfs::FileMeta> metas;
+    for (std::size_t f = 0; f < 10; ++f) {
+      auto meta = pfs::write_doubles(
+          cluster.pfs_client(), "/causal" + std::to_string(f), kCount,
+          [f](std::size_t i) { return static_cast<double>((i + f) % 7); });
+      EXPECT_TRUE(meta.is_ok());
+      metas.push_back(meta.value());
+    }
+
+    // The duplicate pair first (identical file/range/op -> the second
+    // coalesces onto the first's in-flight entry), then the distinct burst
+    // that pushes the queue past the admission knee.
+    std::vector<client::ActiveClient::PendingReadEx> pending;
+    pending.push_back(cluster.asc().read_ex_async(metas[0], 0, metas[0].size, "sum"));
+    pending.push_back(cluster.asc().read_ex_async(metas[0], 0, metas[0].size, "sum"));
+    for (std::size_t f = 1; f < 10; ++f) {
+      pending.push_back(cluster.asc().read_ex_async(metas[f], 0, metas[f].size, "gaussian2d"));
+    }
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      auto res = pending[i].wait();
+      EXPECT_TRUE(res.is_ok()) << "request " << i << ": " << res.status().to_string();
+    }
+
+    out.events = obs::Tracer::global().snapshot();
+    out.coalesced = cluster.storage_server(0).stats().active_coalesced;
+    out.demoted = cluster.asc().stats().demoted;
+    out.retries = cluster.asc().transport_stats().retries;
+  }
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  return out;
+}
+
 // ----------------------------------------------------------------- tests
 
 TEST(Dst, SerializedScenarioIsBitIdenticalAcrossRuns) {
@@ -274,6 +356,66 @@ TEST(Dst, StripedAsyncScenarioIsBitIdenticalAcrossRuns) {
   }
   EXPECT_EQ(a.fingerprint, b.fingerprint);
   EXPECT_DOUBLE_EQ(a.virtual_end, b.virtual_end);
+}
+
+TEST(Dst, EveryServerSpanHangsOffAClientRoot) {
+  const auto out = run_causal(31337);
+
+  // The scenario must actually exercise the recovery paths it claims to:
+  // a coalesced duplicate, contention demotions, and transport retries.
+  EXPECT_GE(out.coalesced, 1u) << "duplicate request did not coalesce";
+  EXPECT_GE(out.demoted, 1u) << "burst did not overflow the admission knee";
+  EXPECT_GE(out.retries, 1u) << "seeded net faults produced no retries";
+
+  // Group the causal events (those carrying a trace id) per request.
+  std::map<std::uint64_t, std::vector<const obs::TraceEvent*>> traces;
+  for (const auto& e : out.events) {
+    if (e.trace_id != 0) traces[e.trace_id].push_back(&e);
+  }
+  ASSERT_EQ(traces.size(), 11u) << "one trace per issued request";
+
+  std::size_t multi_thread_trees = 0;
+  for (const auto& [trace_id, events] : traces) {
+    // Exactly one root span id, and the root must be client-side: the
+    // request was born on the application thread, so whatever the server
+    // did to it (queue, coalesce, demote, retry) must trace back there.
+    std::set<std::uint64_t> root_spans;
+    std::set<std::uint64_t> span_ids;
+    std::set<std::uint32_t> tids;
+    std::set<std::string> cats;
+    for (const auto* e : events) {
+      span_ids.insert(e->span_id);
+      tids.insert(e->tid);
+      cats.insert(e->cat);
+      if (e->parent_span_id == 0) {
+        root_spans.insert(e->span_id);
+        EXPECT_EQ(e->cat, "client")
+            << "trace " << trace_id << ": root span '" << e->name << "' is not client-side";
+      }
+    }
+    EXPECT_EQ(root_spans.size(), 1u) << "trace " << trace_id << " must have exactly one root";
+
+    // Connectivity: every non-root event's parent span was itself emitted
+    // in the same trace, so the spans form one connected causal tree.
+    for (const auto* e : events) {
+      if (e->parent_span_id == 0) continue;
+      EXPECT_TRUE(span_ids.count(e->parent_span_id))
+          << "trace " << trace_id << ": span '" << e->name << "' (" << e->cat
+          << ") is orphaned from its parent";
+    }
+
+    // Server-side work must always be claimed by a client-rooted trace.
+    const bool server_side = cats.count("server") || cats.count("kernel") || cats.count("ce");
+    if (server_side) {
+      EXPECT_EQ(root_spans.size(), 1u);
+    }
+    if (tids.size() >= 2 && cats.count("client") && cats.count("rpc") && server_side) {
+      ++multi_thread_trees;
+    }
+  }
+  // At least one request's tree spans the app thread and a worker thread
+  // end to end (client issue -> rpc -> server queue/kernel).
+  EXPECT_GE(multi_thread_trees, 1u);
 }
 
 TEST(Dst, VirtualTimeBeatsWallClockTenfold) {

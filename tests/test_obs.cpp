@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -151,6 +152,115 @@ TEST(Registry, EnabledHelpersRecord) {
   EXPECT_DOUBLE_EQ(reg.gauge("test_obs.enabled_gauge").value(), 4.0);
   EXPECT_EQ(reg.histogram("test_obs.enabled_hist").summary().count, 1u);
   reg.set_enabled(false);
+}
+
+TEST(Registry, TextOutputIsDeterministicallySorted) {
+  // DST fingerprints embed the full metrics text, so the rendering must be
+  // one global lexicographic order over all kinds — not creation order, not
+  // per-kind sections whose interleave could drift.
+  MetricsRegistry reg;
+  reg.counter("z.count").inc();
+  reg.gauge("m.depth").set(1.0);
+  reg.histogram("a.lat").observe(1.0);
+  reg.counter("b.count").inc();
+
+  const std::string text = reg.to_text();
+  const auto pa = text.find("a.lat");
+  const auto pb = text.find("b.count");
+  const auto pm = text.find("m.depth");
+  const auto pz = text.find("z.count");
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pb, std::string::npos);
+  ASSERT_NE(pm, std::string::npos);
+  ASSERT_NE(pz, std::string::npos);
+  EXPECT_LT(pa, pb);
+  EXPECT_LT(pb, pm);
+  EXPECT_LT(pm, pz);
+  EXPECT_EQ(text, reg.to_text());  // stable across renders
+}
+
+TEST(Histogram, ExemplarTracksTheMaxSample) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("stage.e2e_us.sum");
+  h.observe(5.0, 42);
+  h.observe(9.0, 77);
+  h.observe(7.0, 99);
+  EXPECT_EQ(h.summary().exemplar_trace_id, 77u);
+
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("exemplar=trace:77"), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"exemplar_trace_id\":77"), std::string::npos);
+}
+
+TEST(FlightRecorder, RecordSnapshotAndTraceFilteredDump) {
+  FlightRecorder fr;
+  fr.record(FlightEventKind::kStateTransition, 7, 0, 1, "queued");
+  fr.record(FlightEventKind::kRetry, 9, 1, 2, "attempt 2");
+  fr.record(FlightEventKind::kDemotion, 7, 0, 1, "knee exceeded");
+  EXPECT_EQ(fr.events_recorded(), 3u);
+
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].trace_id, 7u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kRetry);
+  EXPECT_STREQ(events[2].note, "knee exceeded");
+
+  // Trace filter keeps only trace 7's history; the retry drops out.
+  const std::string filtered = fr.dump_text(/*only_trace_id=*/7);
+  EXPECT_NE(filtered.find("queued"), std::string::npos);
+  EXPECT_NE(filtered.find("knee exceeded"), std::string::npos);
+  EXPECT_EQ(filtered.find("attempt 2"), std::string::npos);
+
+  // Tail keeps the newest line only.
+  const std::string tail = fr.dump_text(0, /*tail=*/1);
+  EXPECT_EQ(tail.find("queued"), std::string::npos);
+  EXPECT_NE(tail.find("knee exceeded"), std::string::npos);
+}
+
+TEST(FlightRecorder, RingWrapKeepsTheNewestEvents) {
+  FlightRecorder fr;
+  const std::size_t total = FlightRecorder::kSlots + 10;
+  for (std::size_t i = 0; i < total; ++i) {
+    fr.record(FlightEventKind::kStateTransition, 0, 0, i, "e");
+  }
+  EXPECT_EQ(fr.events_recorded(), total);
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kSlots);
+  EXPECT_EQ(events.front().detail, 10u);  // the 10 oldest were overwritten
+  EXPECT_EQ(events.back().detail, total - 1);
+}
+
+TEST(FlightRecorder, DumpsAreCappedAndGoToTheSink) {
+  FlightRecorder fr;
+  fr.record(FlightEventKind::kDeadlineMiss, 3, 0, 0, "watchdog fired");
+  int dumps = 0;
+  std::string last;
+  fr.set_sink([&](const std::string& text) {
+    ++dumps;
+    last = text;
+  });
+  for (int i = 0; i < 20; ++i) fr.trigger_dump("test reason", 3);
+  fr.set_sink(nullptr);
+  EXPECT_EQ(dumps, 8) << "dump cascade must be capped";
+  EXPECT_EQ(fr.dumps_triggered(), 20u);
+  EXPECT_NE(last.find("test reason"), std::string::npos);
+  EXPECT_NE(last.find("(trace 3)"), std::string::npos);
+  EXPECT_NE(last.find("watchdog fired"), std::string::npos);
+}
+
+TEST(Trace, ChildContextDerivationIsDeterministicAndCollisionResistant) {
+  Tracer tracer;
+  const TraceContext root = tracer.new_root();
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(root.parent_span_id, 0u);
+
+  const TraceContext a = root.child("queue");
+  const TraceContext b = root.child("kernel");
+  EXPECT_EQ(a.trace_id, root.trace_id);
+  EXPECT_EQ(a.parent_span_id, root.span_id);
+  EXPECT_NE(a.span_id, b.span_id) << "different salts must derive different spans";
+  EXPECT_EQ(a.span_id, root.child("queue").span_id) << "derivation must be pure";
 }
 
 TEST(Trace, ChromeJsonRoundTrip) {

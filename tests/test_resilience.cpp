@@ -13,6 +13,7 @@
 #include "core/cluster.hpp"
 #include "fault/fault.hpp"
 #include "kernels/sum.hpp"
+#include "obs/flight_recorder.hpp"
 #include "server/storage_server.hpp"
 
 namespace dosas::core {
@@ -344,6 +345,48 @@ TEST(FaultE2E, StallingNodeHitsDeadlineAndClientRecovers) {
   EXPECT_GE(cluster->asc().stats().timed_out, 1u);
   EXPECT_GE(cluster->storage_server(0).stats().active_timed_out, 1u);
   EXPECT_GE(cluster->fault_injector()->stats().stalls, 1u);
+}
+
+TEST(FaultE2E, DeadlineMissDumpsTheFlightRecorder) {
+  // The deadline watchdog is a crash-dump site: when it cancels a request
+  // past its deadline it must trigger a flight-recorder dump that carries
+  // the request's recent history (it was queued, its kernel launched, a
+  // stall was injected) so the miss is debuggable post-hoc.
+  auto& fr = obs::FlightRecorder::global();
+  fr.clear();
+  std::mutex cap_mu;
+  std::string captured;
+  fr.set_sink([&](const std::string& text) {
+    std::lock_guard lock(cap_mu);
+    captured += text;
+  });
+
+  constexpr std::size_t kCount = 50'000;
+  auto cluster = cluster_with_faults(
+      {.spec = "seed=6,stall=1,stall_ms=40", .timeout = 0.010}, kCount);
+  auto meta = cluster->pfs_client().open("/data");
+  ASSERT_TRUE(meta.is_ok());
+  expect_sum_ok(cluster->asc().read_ex(meta.value(), 0, meta.value().size, "sum"), kCount);
+  EXPECT_GE(cluster->asc().stats().timed_out, 1u);
+
+  // The watchdog dumps after it unblocks the client; give it a beat.
+  for (int i = 0; i < 2000; ++i) {
+    {
+      std::lock_guard lock(cap_mu);
+      if (captured.find("deadline-miss") != std::string::npos) break;
+    }
+    clock().sleep(0.001);
+  }
+  fr.set_sink(nullptr);
+  std::lock_guard lock(cap_mu);
+  EXPECT_GE(fr.dumps_triggered(), 1u);
+  EXPECT_NE(captured.find("exceeded its deadline"), std::string::npos);
+  // The dump carries the doomed request's last recorded events.
+  EXPECT_NE(captured.find("active request queued"), std::string::npos);
+  EXPECT_NE(captured.find("kernel launched"), std::string::npos);
+  EXPECT_NE(captured.find("stall"), std::string::npos);
+  EXPECT_NE(captured.find("deadline-miss"), std::string::npos);
+  fr.clear();
 }
 
 TEST(FaultE2E, CorruptedCheckpointIsDetectedAndRestartedCleanly) {

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# check_bench_json.sh — schema-validate BENCH_*.json bench telemetry.
+#
+# Every bench that emits telemetry writes one BENCH_<name>.json conforming
+# to schema "dosas-bench-v1" (bench/bench_common.hpp BenchJson; field
+# reference in docs/OBSERVABILITY.md "Bench telemetry"). This script fails
+# on malformed JSON, a wrong/missing schema tag, missing required fields
+# (schema, name, git_sha, config, metrics), an empty metrics object, or
+# mistyped optional fields (latency_us.{p50,p95,p99}, throughput,
+# demotion_rate, stages) — so CI artifacts and the committed trajectory
+# points in bench/trajectory/ stay machine-readable.
+#
+# Usage: tools/check_bench_json.sh [file-or-dir ...]
+#   (no arguments: validates bench/trajectory/ in the repo root)
+# Exit 0 = all valid, 1 = violation or nothing to validate.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+files=()
+if [ "$#" -eq 0 ]; then
+  set -- "$root/bench/trajectory"
+fi
+for arg in "$@"; do
+  if [ -d "$arg" ]; then
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find "$arg" -maxdepth 1 -name 'BENCH_*.json' | sort)
+  elif [ -f "$arg" ]; then
+    files+=("$arg")
+  else
+    echo "check_bench_json: no such file or directory: $arg" >&2
+    exit 1
+  fi
+done
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_bench_json: no BENCH_*.json files found" >&2
+  exit 1
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  if python3 - "$f" <<'PYEOF'
+import json
+import numbers
+import sys
+
+path = sys.argv[1]
+errors = []
+try:
+    with open(path) as fh:
+        doc = json.load(fh)
+except (OSError, ValueError) as exc:
+    print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+    sys.exit(1)
+
+def err(msg):
+    errors.append(msg)
+
+if not isinstance(doc, dict):
+    err("top level is not an object")
+else:
+    if doc.get("schema") != "dosas-bench-v1":
+        err(f"schema must be \"dosas-bench-v1\" (got {doc.get('schema')!r})")
+    for key in ("name", "git_sha"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            err(f"required field {key!r} missing or not a non-empty string")
+    if not isinstance(doc.get("config"), dict):
+        err("required field 'config' missing or not an object")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        err("required field 'metrics' missing, not an object, or empty")
+    elif not all(isinstance(v, numbers.Real) for v in metrics.values()):
+        err("'metrics' values must all be numbers")
+    lat = doc.get("latency_us")
+    if lat is not None:
+        if not isinstance(lat, dict):
+            err("'latency_us' must be an object")
+        else:
+            for q in ("p50", "p95", "p99"):
+                if not isinstance(lat.get(q), numbers.Real):
+                    err(f"'latency_us.{q}' missing or not a number")
+    for key in ("throughput", "demotion_rate"):
+        if key in doc and not isinstance(doc[key], numbers.Real):
+            err(f"'{key}' must be a number")
+    if "stages" in doc and not isinstance(doc["stages"], dict):
+        err("'stages' must be an object")
+
+if errors:
+    for e in errors:
+        print(f"{path}: {e}", file=sys.stderr)
+    sys.exit(1)
+PYEOF
+  then
+    :
+  else
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_bench_json: ${#files[@]} telemetry file(s) conform to dosas-bench-v1"
+fi
+exit "$fail"

@@ -14,6 +14,9 @@
 #   * std::this_thread::sleep_for / sleep_until
 #   * condition_variable wait_for( / wait_until(
 #   * condition_variable notify_all( / notify_one(
+#   * the raw C time APIs: clock_gettime, gettimeofday, time(nullptr) —
+#     flight-recorder and trace timestamps must come from dosas::clock()
+#     so virtual-time runs record virtual seconds
 #
 # Use instead: clock().now(), clock().sleep(), clock().wait(),
 # clock().timed_wait(), clock().wake_all(), clock().wake_one() — and
@@ -26,7 +29,7 @@ set -u
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$root" || exit 2
 
-pattern='steady_clock|system_clock|high_resolution_clock|sleep_for|sleep_until|\bwait_for[[:space:]]*\(|\bwait_until[[:space:]]*\(|notify_all[[:space:]]*\(|notify_one[[:space:]]*\('
+pattern='steady_clock|system_clock|high_resolution_clock|sleep_for|sleep_until|\bwait_for[[:space:]]*\(|\bwait_until[[:space:]]*\(|notify_all[[:space:]]*\(|notify_one[[:space:]]*\(|\bclock_gettime[[:space:]]*\(|\bgettimeofday[[:space:]]*\(|\btime[[:space:]]*\([[:space:]]*(nullptr|NULL|0)[[:space:]]*\)'
 
 hits=$(grep -rnE "$pattern" src tests bench tools examples \
   --include='*.cpp' --include='*.hpp' 2>/dev/null \

@@ -57,6 +57,22 @@ for doc in $docs; do
   done
 done
 
+# The bench telemetry schema must stay documented: every dosas-bench-v1
+# field that tools/check_bench_json.sh validates has to appear (as a
+# backtick-quoted token) in docs/OBSERVABILITY.md's schema section.
+if [ -f docs/OBSERVABILITY.md ]; then
+  if ! grep -q 'dosas-bench-v1' docs/OBSERVABILITY.md; then
+    note docs/OBSERVABILITY.md "dosas-bench-v1 schema section"
+  fi
+  for field in schema name git_sha config metrics latency_us throughput \
+               demotion_rate stages; do
+    if ! grep -q "\`$field\`" docs/OBSERVABILITY.md; then
+      echo "undocumented bench telemetry field: '$field' (docs/OBSERVABILITY.md)" >&2
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "check_docs: all documentation file references resolve"
 fi

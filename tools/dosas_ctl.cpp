@@ -39,6 +39,7 @@
 #include "core/trace.hpp"
 #include "kernels/calibrate.hpp"
 #include "kernels/registry.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -382,6 +383,38 @@ int cmd_runtime(const Args& args) {
         static_cast<unsigned long long>(fst.crash_rejections),
         static_cast<unsigned long long>(fst.total()));
   }
+  // Per-stage latency decomposition: where each request class spent its
+  // time (transport -> admission queue -> kernel, plus client e2e), with
+  // an exemplar trace id per histogram linking the worst sample to its
+  // causal tree in the --trace-out dump.
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    Table stages({"stage", "count", "mean (us)", "p50 (us)", "p99 (us)", "exemplar"});
+    std::size_t rows = 0;
+    for (const auto& name : reg.histogram_names()) {
+      if (name.rfind("stage.", 0) != 0) continue;
+      const auto s = reg.histogram(name).summary();
+      stages.add_row({name, std::to_string(s.count), fmt(s.mean, 1), fmt(s.p50, 1),
+                      fmt(s.p99, 1),
+                      s.exemplar_trace_id != 0
+                          ? "trace:" + std::to_string(s.exemplar_trace_id)
+                          : "-"});
+      ++rows;
+    }
+    if (rows > 0) {
+      std::printf("\nper-stage latency decomposition:\n");
+      stages.print(std::cout);
+    }
+  }
+
+  if (args.has("dump-flight-recorder")) {
+    auto& fr = obs::FlightRecorder::global();
+    std::printf("\nflight recorder: %llu event(s) recorded, %llu dump(s) triggered\n",
+                static_cast<unsigned long long>(fr.events_recorded()),
+                static_cast<unsigned long long>(fr.dumps_triggered()));
+    std::fputs(fr.dump_text().c_str(), stdout);
+  }
+
   const auto cs = dosas::clock().status();
   std::printf("\nclock: %s  now=%.6f s  participants=%d  blocked=%d  timed_waiters=%d",
               cs.virtual_time ? "virtual" : "wall", cs.now, cs.participants, cs.blocked,
@@ -459,6 +492,7 @@ int usage() {
       "  runtime    --trace file [--scheme ts|as|dosas] [--strip 64KiB] [--chunk 1MiB]\n"
       "             [--fault-spec k=v,...] [--retries N] [--timeout-ms T] [--circuit N]\n"
       "             [--virtual-clock]  (deterministic virtual time: sleeps become jumps)\n"
+      "             [--dump-flight-recorder]  (print the event ring after the run)\n"
       "  calibrate  [--mb 64]\n"
       "  trace-gen  --ios 32 --size 128MiB [--gap 0.25] [--nodes 4] [--out file]\n"
       "global flags: --metrics (snapshot at exit)  --trace-out=<file> (Chrome trace)\n",
