@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "kernels/stream.hpp"
 #include "obs/flight_recorder.hpp"
@@ -35,6 +36,20 @@ void emit_request_e2e(const obs::TraceContext& root, double t0_us, const std::st
   }
 }
 
+/// Client-compute pacing (ActiveClientConfig::pace_compute_rates): the
+/// progress hook that charges each locally-processed chunk its cost at the
+/// table's C_{C,op} rate, on the injected clock. Null when pacing is off
+/// or the operation has no table entry.
+kernels::ProgressFn compute_pacer(const std::shared_ptr<const server::RateTable>& rates,
+                                  const std::string& operation) {
+  if (rates == nullptr) return nullptr;
+  auto op_rates = rates->get(operation.substr(0, operation.find(':')));
+  if (!op_rates.is_ok() || op_rates.value().compute <= 0.0) return nullptr;
+  return [rate = op_rates.value().compute](Bytes chunk, Bytes) {
+    if (chunk > 0) clock().sleep(static_cast<double>(chunk) / rate);
+  };
+}
+
 }  // namespace
 
 ActiveClient::ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
@@ -51,6 +66,7 @@ ActiveClient::ActiveClient(pfs::Client& pfs, const kernels::Registry& registry,
   options.circuit_threshold = config_.circuit_threshold;
   options.faults = config_.faults;
   options.network = config_.network;
+  options.network_per_node = config_.network_per_node;
   auto chain = rpc::make_chain(servers_, options);
   transport_ = std::move(chain.head);
   breaker_ = std::move(chain.breaker);
@@ -594,7 +610,8 @@ Result<std::vector<std::uint8_t>> ActiveClient::finish_locally(const pfs::FileMe
           stats_.raw_bytes_read += chunk.value().size();
         }
         return chunk;
-      });
+      },
+      /*stop=*/nullptr, compute_pacer(config_.pace_compute_rates, kernel.name()));
   if (!streamed.is_ok()) return streamed.status();
   return kernel.finalize();
 }
@@ -615,7 +632,8 @@ Result<std::vector<std::uint8_t>> ActiveClient::local_kernel(const pfs::FileMeta
   auto streamed = kernels::stream_extent(
       *kernel.value(), offset, offset + length, config_.chunk_size,
       // read() clamps each chunk at EOF and counts raw_bytes_read itself.
-      [&](Bytes pos, Bytes len) { return read(meta, pos, len); });
+      [&](Bytes pos, Bytes len) { return read(meta, pos, len); },
+      /*stop=*/nullptr, compute_pacer(config_.pace_compute_rates, operation));
   if (!streamed.is_ok()) return streamed.status();
   auto result = kernel.value()->finalize();
   if (obs_on) obs::observe("client.local_kernel_us", obs::now_us() - t0);

@@ -55,6 +55,18 @@ struct ActiveClientConfig {
   /// byte (results, checkpoints, raw reads). May be null.
   std::shared_ptr<TokenBucket> network;
 
+  /// Per-storage-node link model (mutually exclusive with `network`, which
+  /// wins when both are set): bucket i charges bytes node i sends. The
+  /// scale harness's shape — one NIC per node, not one shared switch.
+  std::vector<std::shared_ptr<TokenBucket>> network_per_node;
+
+  /// Pace local kernel execution at the table's C_{C,op} compute rate:
+  /// each chunk a client-side kernel consumes sleeps chunk/C on the
+  /// injected clock. This is the client half of the calibrated-pacing seam
+  /// (see StorageServerConfig::pace_kernel_rates); operations without
+  /// table rates run unpaced. Null disables.
+  std::shared_ptr<const server::RateTable> pace_compute_rates;
+
   /// Remote retry discipline (the transport's RetryTransport): a failed
   /// active RPC whose error is transient (kUnavailable/kTimedOut, see
   /// is_transient) is re-sent up to retry.max_attempts times with capped

@@ -10,9 +10,20 @@ Cluster::Cluster(ClusterConfig config)
   const std::string optimizer = config_.optimizer_override.empty()
                                     ? scheme_optimizer(config_.scheme)
                                     : config_.optimizer_override;
-  if (config_.network_rate > 0.0) {
+  if (config_.network_rate > 0.0 && !config_.network_per_node) {
     network_ = std::make_shared<TokenBucket>(config_.network_rate, /*burst=*/1_MiB,
                                              config_.network_mode);
+  }
+  if (config_.network_rate > 0.0 && config_.network_per_node) {
+    // Small burst: a node's uplink must not hide a whole chunk's transfer
+    // cost behind accumulated idle credit, or TS-vs-AS comparisons at low
+    // concurrency would see free reads.
+    node_links_.reserve(config_.storage_nodes);
+    for (std::uint32_t i = 0; i < config_.storage_nodes; ++i) {
+      node_links_.push_back(std::make_shared<TokenBucket>(config_.network_rate,
+                                                          /*burst=*/8_KiB,
+                                                          config_.network_mode));
+    }
   }
   servers_.reserve(config_.storage_nodes);
   for (std::uint32_t i = 0; i < config_.storage_nodes; ++i) {
@@ -26,6 +37,7 @@ Cluster::Cluster(ClusterConfig config)
     sc.result_cache_entries = config_.result_cache_entries;
     sc.coalesce_identical = config_.coalesce_identical;
     sc.probe_interval = config_.probe_interval;
+    sc.pace_kernel_rates = config_.pace_kernel_rates;
     servers_.push_back(std::make_unique<server::StorageServer>(
         fs_, i, kernels::Registry::with_builtins(), ce, config_.rates, sc));
     if (config_.faults != nullptr) {
@@ -41,6 +53,10 @@ Cluster::Cluster(ClusterConfig config)
   cc.chunk_size = config_.client_chunk_size;
   cc.resubmit_interrupted = config_.resubmit_interrupted;
   cc.network = network_;
+  cc.network_per_node = node_links_;
+  if (config_.pace_client_compute) {
+    cc.pace_compute_rates = std::make_shared<server::RateTable>(config_.rates);
+  }
   cc.retry = config_.client_retry;
   cc.request_timeout = config_.request_timeout;
   cc.faults = config_.faults;

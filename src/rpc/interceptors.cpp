@@ -382,12 +382,23 @@ NetChargeTransport::NetChargeTransport(std::shared_ptr<Transport> next,
                                        std::shared_ptr<TokenBucket> network)
     : Filter(std::move(next)), network_(std::move(network)) {}
 
-void NetChargeTransport::charge(PendingReply& reply) {
+NetChargeTransport::NetChargeTransport(std::shared_ptr<Transport> next,
+                                       std::vector<std::shared_ptr<TokenBucket>> per_node)
+    : Filter(std::move(next)), per_node_(std::move(per_node)) {}
+
+TokenBucket* NetChargeTransport::bucket_for(std::uint32_t target) const {
+  if (network_ != nullptr) return network_.get();
+  if (target < per_node_.size()) return per_node_[target].get();
+  return nullptr;
+}
+
+void NetChargeTransport::charge(PendingReply& reply, std::uint32_t target) {
   // Captures `this` (see Filter's lifetime contract). Charging happens on
   // the completing thread — in virtual TokenBucket mode a few arithmetic
   // ops; in real mode the sleep paces the worker exactly like a saturated
-  // NIC would back-pressure the sender.
-  reply.on_complete([this](Reply& r) {
+  // NIC would back-pressure the sender. The Reply carries no target, so
+  // the node id is captured at submission.
+  reply.on_complete([this, target](Reply& r) {
     Bytes payload = 0;
     if (r.kind == OpKind::kActiveIo) {
       switch (r.active.outcome) {
@@ -399,23 +410,27 @@ void NetChargeTransport::charge(PendingReply& reply) {
       payload = r.read.data.size();
     }
     if (payload == 0) return;
-    network_->acquire(payload);
+    TokenBucket* bucket = bucket_for(target);
+    if (bucket == nullptr) return;
+    bucket->acquire(payload);
     std::lock_guard lock(mu_);
     bytes_charged_ += payload;
   });
 }
 
 PendingReply NetChargeTransport::submit(Envelope env) {
+  const std::uint32_t target = env.target;
   auto reply = next_->submit(std::move(env));
-  if (network_ != nullptr) charge(reply);
+  charge(reply, target);
   return reply;
 }
 
 std::vector<PendingReply> NetChargeTransport::submit_batch(std::vector<Envelope> envs) {
+  std::vector<std::uint32_t> targets;
+  targets.reserve(envs.size());
+  for (const auto& env : envs) targets.push_back(env.target);
   auto replies = next_->submit_batch(std::move(envs));
-  if (network_ != nullptr) {
-    for (auto& reply : replies) charge(reply);
-  }
+  for (std::size_t i = 0; i < replies.size(); ++i) charge(replies[i], targets[i]);
   return replies;
 }
 
@@ -434,6 +449,8 @@ Chain make_chain(std::vector<server::StorageServer*> servers, const ChainOptions
   std::shared_ptr<Transport> t = std::make_shared<InProcessTransport>(std::move(servers));
   if (options.network != nullptr) {
     t = std::make_shared<NetChargeTransport>(std::move(t), options.network);
+  } else if (!options.network_per_node.empty()) {
+    t = std::make_shared<NetChargeTransport>(std::move(t), options.network_per_node);
   }
   if (options.faults != nullptr) {
     t = std::make_shared<FaultTransport>(std::move(t), options.faults);

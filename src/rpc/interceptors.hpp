@@ -152,20 +152,28 @@ class FaultTransport : public Filter {
 
 /// Network byte charging: every payload byte a reply carries back across
 /// the "wire" — kernel results, shipped checkpoints, raw read data — is
-/// acquired from the shared TokenBucket link model on completion. Sits
-/// innermost (under fault injection) so lost RPCs charge nothing.
+/// acquired from the TokenBucket link model on completion. Sits innermost
+/// (under fault injection) so lost RPCs charge nothing. Two link shapes:
+/// one shared bucket (the original single-switch model), or one bucket per
+/// storage node (each node's own NIC/1GbE uplink — the scale harness's
+/// model, where 200 nodes must not share one link's serialization).
 class NetChargeTransport : public Filter {
  public:
   NetChargeTransport(std::shared_ptr<Transport> next, std::shared_ptr<TokenBucket> network);
+  NetChargeTransport(std::shared_ptr<Transport> next,
+                     std::vector<std::shared_ptr<TokenBucket>> per_node);
 
   PendingReply submit(Envelope env) override;
   std::vector<PendingReply> submit_batch(std::vector<Envelope> envs) override;
   void collect_stats(TransportStats& out) const override;
 
  private:
-  void charge(PendingReply& reply);
+  /// The bucket charged for a reply from `target` (null = charge nothing).
+  TokenBucket* bucket_for(std::uint32_t target) const;
+  void charge(PendingReply& reply, std::uint32_t target);
 
-  const std::shared_ptr<TokenBucket> network_;
+  const std::shared_ptr<TokenBucket> network_;  ///< shared-link mode
+  const std::vector<std::shared_ptr<TokenBucket>> per_node_;  ///< per-node mode
   mutable std::mutex mu_;
   Bytes bytes_charged_ = 0;
 };
@@ -178,6 +186,9 @@ struct ChainOptions {
   int circuit_threshold = 0;                      ///< 0: no breaker layer
   std::shared_ptr<fault::FaultInjector> faults;   ///< null: no fault layer
   std::shared_ptr<TokenBucket> network;           ///< null: no charging layer
+  /// Per-node link buckets, indexed by storage node id (empty: none).
+  /// Mutually exclusive with `network`; `network` wins when both are set.
+  std::vector<std::shared_ptr<TokenBucket>> network_per_node;
 };
 
 struct Chain {

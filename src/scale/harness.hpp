@@ -1,0 +1,146 @@
+// harness.hpp — the cluster-scale deterministic-simulation harness.
+//
+// Stands up hundreds of REAL StorageServer instances (each with its CE and
+// kernel worker pool) plus the real rpc transport chain and the shared
+// ActiveClient in one process, installs a VirtualClock, and replays a
+// seed-deterministic traffic Schedule (traffic.hpp) against it — thousands
+// of logical clients in seconds of wall time.
+//
+// The paper-rate calibration is what makes the numbers mean something:
+// with PacingConfig's defaults the cluster runs with
+//   * kernel execution paced at the rate table's S_{C,op}
+//     (StorageServerConfig::pace_kernel_rates),
+//   * client-side local kernels paced at C_{C,op}
+//     (ActiveClientConfig::pace_compute_rates),
+//   * one 118 MB/s TokenBucket per storage node in kReal mode
+//     (ClusterConfig::network_per_node), whose sleeps are deterministic
+//     jumps under the VirtualClock,
+// so the REAL code paths — queueing, CE decisions, demotion, checkpoint
+// hand-back — execute under the same timing assumptions as the calibrated
+// DES models in core/sim_model.hpp. That is the sim/runtime merge: one
+// code base, one timeline, paper-shaped contention at 100x the paper's
+// node and client counts.
+//
+// Concurrency shape (chosen for determinism, see docs/SCALE.md):
+//   * ONE submitter thread (the caller) walks the schedule open-loop:
+//     clock().sleep() to each arrival, read_ex_async(), push the pending
+//     handle to an unbounded channel. It never blocks on completions.
+//   * N completer threads model the client-side compute pool, sharded by
+//     CompleterAffinity (per target node for fingerprint-grade
+//     determinism, per logical client for the paper's one-CPU-per-client
+//     cost model): each pops a pending handle and resolves it (wait()
+//     runs demoted/interrupted kernels on the completer, paced at C —
+//     limited client CPUs queue exactly like the cost model's z term
+//     says).
+//   * Metrics and tracing are forced OFF during the run: quantile sketches
+//     ingest in completion-scheduling order, which is not part of the
+//     deterministic surface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/scheme.hpp"
+#include "fault/fault.hpp"
+#include "scale/traffic.hpp"
+#include "server/rate_table.hpp"
+
+namespace dosas::scale {
+
+/// The calibrated-rate knobs merging sim_model assumptions into the real
+/// runtime (all on by default — that is the point of the harness).
+struct PacingConfig {
+  server::RateTable rates = server::RateTable::paper_rates();
+  BytesPerSec node_link = mb_per_sec(118.0);  ///< per-node uplink (0 = unmodeled)
+  bool pace_server = true;   ///< kernel chunks sleep at S_{C,op}
+  bool pace_client = true;   ///< local kernel chunks sleep at C_{C,op}
+};
+
+/// How requests map onto completer threads.
+///
+/// kNode (default): requests for storage node n resolve on completer
+/// (n % pool). All client-side users of one node's token bucket share one
+/// thread, so tied virtual instants cannot let scheduler order pick who
+/// gets the link — this is the fingerprint-grade deterministic mode, at
+/// the price of serializing client compute for any one node's demotions.
+///
+/// kClient: requests from logical client c resolve on completer
+/// (c % pool) — the faithful one-CPU-per-client model the paper's cost
+/// terms assume (concurrent clients of one node compute in parallel).
+/// Hot-node link arbitration between two completers tied at one virtual
+/// instant is scheduler-order dependent, so run-to-run completion times
+/// can differ by a transfer slot; use it for makespan-shape scenarios,
+/// not fingerprint comparisons.
+enum class CompleterAffinity { kNode, kClient };
+
+struct ScaleScenario {
+  std::string name = "scale";
+  std::uint32_t nodes = 200;
+  core::SchemeKind scheme = core::SchemeKind::kDosas;
+  /// Per-key object size; each key is one single-strip file placed whole
+  /// on storage node (key % nodes).
+  Bytes file_bytes = 256_KiB;
+  Bytes chunk_size = 64_KiB;  ///< streaming/interruption granularity
+  std::size_t completer_threads = 32;  ///< client-side compute pool
+  CompleterAffinity affinity = CompleterAffinity::kNode;
+  std::uint64_t seed = 1;
+  PacingConfig pacing;
+  TrafficConfig traffic;  ///< used by the generate-and-run overload
+  std::shared_ptr<fault::FaultInjector> faults;  ///< optional, cluster-wide
+};
+
+/// Outcome of one scheduled request, in schedule order.
+struct RequestRecord {
+  Seconds arrival = 0.0;    ///< scheduled (open-loop) arrival
+  Seconds submitted = 0.0;  ///< virtual time the submitter issued it
+  Seconds completion = 0.0; ///< virtual time wait() resolved it
+  std::uint64_t key = 0;
+  std::uint32_t tenant = 0;
+  bool ok = false;
+  std::uint64_t result_hash = 0;  ///< FNV-1a of the result bytes (or error)
+};
+
+struct ScaleReport {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::uint64_t completed_remote = 0;
+  std::uint64_t demoted = 0;        ///< admission rejections finished locally
+  std::uint64_t resumed_local = 0;  ///< interruptions finished locally
+  std::uint64_t local_kernel_runs = 0;
+  double demotion_rate = 0.0;       ///< (demoted + resumed_local) / requests
+  Seconds virtual_makespan = 0.0;   ///< last completion - first arrival
+  Seconds virtual_end = 0.0;        ///< clock reading at teardown
+  Seconds wall_seconds = 0.0;       ///< physical cost of the run
+  double throughput_rps = 0.0;      ///< requests per virtual second
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;  ///< e2e latency quantiles
+  /// FNV-1a over the schedule, every record, the client counters and the
+  /// final virtual time: two same-seed runs must produce equal values.
+  std::uint64_t fingerprint = 0;
+  std::vector<RequestRecord> records;  ///< schedule order
+};
+
+/// Replay `schedule` against a fresh cluster under a run-owned
+/// VirtualClock. The calling thread is the submitter.
+ScaleReport run_scale(const ScaleScenario& scenario, const Schedule& schedule);
+
+/// Generate (scenario.traffic, scenario.seed) and replay it.
+ScaleReport run_scale(const ScaleScenario& scenario);
+
+/// Deterministic per-node burst schedule for the contention-crossover
+/// scenario: node j receives `per_node` near-simultaneous tenant-0
+/// requests on key j starting at j*window. Staggered windows keep the
+/// in-flight count per instant ~per_node, so a bounded completer pool
+/// never distorts the per-node contention the paper measures.
+Schedule burst_schedule(std::uint32_t nodes, std::uint32_t per_node, Seconds window,
+                        Seconds stagger = 1e-4);
+
+/// Mean over nodes of (latest completion - earliest arrival) within each
+/// node's burst — the per-node makespan a paper figure point reports.
+/// Requires a burst_schedule-style run where key == node.
+Seconds mean_node_makespan(const ScaleReport& report);
+
+}  // namespace dosas::scale

@@ -1,0 +1,119 @@
+#include "scale/traffic.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dosas::scale {
+
+namespace {
+
+/// Partial zeta sum: sum_{i=1..n} 1/i^theta.
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+/// SplitMix64 finalizer: the stateless scramble that scatters Zipf ranks
+/// across the keyspace. Collisions (two ranks hashing to one key) are
+/// accepted, as in the YCSB generator.
+std::uint64_t scramble(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ScrambledZipf::ScrambledZipf(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n_ > 0);
+  assert(theta_ >= 0.0 && theta_ < 1.0);
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(std::min<std::uint64_t>(n_, 2), theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ScrambledZipf::sample_rank(Rng& rng) const {
+  // Gray et al., "Quickly Generating Billion-Record Synthetic Databases":
+  // invert the Zipf CDF approximately with two exact low-rank branches.
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+std::uint64_t ScrambledZipf::sample(Rng& rng) const {
+  return scramble(sample_rank(rng)) % n_;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t Schedule::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& op : ops) {
+    h = fnv1a(&op.arrival, sizeof op.arrival, h);
+    h = fnv1a(&op.client, sizeof op.client, h);
+    h = fnv1a(&op.tenant, sizeof op.tenant, h);
+    h = fnv1a(&op.key, sizeof op.key, h);
+  }
+  return h;
+}
+
+Schedule generate_traffic(const TrafficConfig& config, std::uint64_t seed) {
+  assert(!config.tenants.empty());
+  assert(config.clients > 0 && config.keys > 0 && config.arrival_rate > 0.0);
+
+  // Independent sub-streams so adding a draw to one concern (say, a new
+  // per-op field) cannot shift every other concern's sequence.
+  Rng root(seed);
+  Rng arrivals = root.fork();
+  Rng tenant_pick = root.fork();
+  Rng key_pick = root.fork();
+  Rng client_pick = root.fork();
+
+  double total_weight = 0.0;
+  for (const auto& t : config.tenants) total_weight += t.weight;
+
+  std::vector<ScrambledZipf> zipf;
+  zipf.reserve(config.tenants.size());
+  for (const auto& t : config.tenants) zipf.emplace_back(config.keys, t.zipf_theta);
+
+  Schedule schedule;
+  schedule.ops.reserve(config.requests);
+  Seconds t = 0.0;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    // Exponential inter-arrival: open-loop Poisson process at arrival_rate.
+    t += -std::log(1.0 - arrivals.uniform()) / config.arrival_rate;
+
+    // Weighted tenant draw.
+    double pick = tenant_pick.uniform() * total_weight;
+    std::uint32_t tenant = 0;
+    for (; tenant + 1 < config.tenants.size(); ++tenant) {
+      pick -= config.tenants[tenant].weight;
+      if (pick < 0.0) break;
+    }
+
+    TrafficOp op;
+    op.arrival = t;
+    op.tenant = tenant;
+    op.key = zipf[tenant].sample(key_pick);
+    op.client = static_cast<std::uint32_t>(client_pick.uniform_index(config.clients));
+    schedule.ops.push_back(op);
+  }
+  return schedule;
+}
+
+}  // namespace dosas::scale

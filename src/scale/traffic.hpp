@@ -1,0 +1,101 @@
+// traffic.hpp — seed-deterministic cluster-scale traffic generation.
+//
+// The scale harness (harness.hpp) drives the real runtime with OPEN-LOOP
+// traffic: request arrival times are drawn up front from a Poisson process
+// and never react to completion latency, so a congested cluster keeps
+// receiving load exactly like real multi-tenant clients would (closed-loop
+// replay would throttle itself and hide the contention the paper studies).
+// Key popularity follows a scrambled Zipfian distribution (Gray et al.,
+// the YCSB generator): rank r's probability is proportional to 1/r^theta,
+// and ranks are scattered across the keyspace by a SplitMix64 hash so hot
+// keys land on unrelated storage nodes instead of clustering at key 0.
+//
+// Everything is a pure function of (TrafficConfig, seed): the same inputs
+// produce a bit-identical Schedule on every run, which is what lets two
+// DST runs of the same scenario be fingerprint-compared.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dosas::scale {
+
+/// Scrambled Zipfian sampler over ranks [0, n) with skew `theta` in
+/// [0, 1). theta = 0 degenerates to uniform; the YCSB default 0.99 makes
+/// the top rank draw ~10-15% of all samples for typical keyspaces.
+class ScrambledZipf {
+ public:
+  ScrambledZipf(std::uint64_t n, double theta);
+
+  /// Draw one key in [0, n): a Zipf rank, scrambled by a stateless hash.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// The UNscrambled rank draw (rank 0 is the hottest). Exposed so tests
+  /// can check the skew without inverting the scramble.
+  std::uint64_t sample_rank(Rng& rng) const;
+
+  std::uint64_t items() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;   ///< sum_{i=1..n} 1/i^theta
+  double zeta2_;   ///< sum_{i=1..2} 1/i^theta
+  double alpha_;   ///< 1 / (1 - theta)
+  double eta_;
+};
+
+/// One tenant class in the workload mix: a share of the arrival stream
+/// issuing one operation at one skew over the shared keyspace.
+struct TenantSpec {
+  std::string name;
+  double weight = 1.0;         ///< share of arrivals (normalized over mix)
+  std::string operation;       ///< kernel operation string (e.g. "sum")
+  double zipf_theta = 0.99;    ///< key-popularity skew (0 = uniform)
+  Bytes request_bytes = 256_KiB;  ///< extent each request reads
+};
+
+struct TrafficConfig {
+  std::uint32_t clients = 1;   ///< logical client population (ids stamped on ops)
+  std::uint64_t keys = 1;      ///< shared keyspace size (one file per key)
+  double arrival_rate = 100.0; ///< open-loop Poisson arrivals per second
+  std::size_t requests = 1000; ///< total ops to generate
+  std::vector<TenantSpec> tenants;
+};
+
+/// One generated request: who sends what, over which key, when.
+struct TrafficOp {
+  Seconds arrival = 0.0;
+  std::uint32_t client = 0;
+  std::uint32_t tenant = 0;  ///< index into TrafficConfig::tenants
+  std::uint64_t key = 0;
+};
+
+struct Schedule {
+  std::vector<TrafficOp> ops;  ///< ascending by arrival
+
+  /// Arrival time of the last op (0 for an empty schedule).
+  Seconds horizon() const { return ops.empty() ? 0.0 : ops.back().arrival; }
+
+  /// FNV-1a over every field of every op: bit-identical generation
+  /// produces equal fingerprints.
+  std::uint64_t fingerprint() const;
+};
+
+/// Generate the full open-loop schedule for `config` from `seed`. Pure:
+/// same (config, seed) -> bit-identical Schedule.
+Schedule generate_traffic(const TrafficConfig& config, std::uint64_t seed);
+
+/// FNV-1a helpers shared by the schedule and harness fingerprints.
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h = kFnvOffset);
+inline std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t h = kFnvOffset) {
+  return fnv1a(&v, sizeof v, h);
+}
+
+}  // namespace dosas::scale

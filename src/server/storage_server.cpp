@@ -835,8 +835,27 @@ void StorageServer::run_kernel(sched::RequestId id) {
         auto read = [&](Bytes pos, Bytes len) {
           return ds.read_object(request.handle, pos, len);
         };
-        auto note_progress = [&](Bytes, Bytes total) {
+        // Calibrated pacing (config_.pace_kernel_rates): charge each chunk
+        // its cost at the table's storage-side rate for this operation —
+        // the same S_{C,op} the CE's cost model predicts with. On the
+        // injected clock, so a VirtualClock turns the sleeps into
+        // deterministic jumps.
+        double pace_rate = 0.0;
+        if (config_.pace_kernel_rates) {
+          auto spec = kernels::OperationSpec::parse(request.operation);
+          std::string rate_key = spec.is_ok() ? spec.value().kernel : request.operation;
+          if (spec.is_ok() && spec.value().kernel == "pipe") {
+            rate_key = pipeline_rate_key(spec.value());
+          }
+          if (auto rates = ce_.rates().get(rate_key); rates.is_ok()) {
+            pace_rate = rates.value().storage_max;
+          }
+        }
+        auto note_progress = [&](Bytes chunk, Bytes total) {
           progress->store(total, std::memory_order_relaxed);
+          if (pace_rate > 0.0 && chunk > 0) {
+            clock().sleep(static_cast<double>(chunk) / pace_rate);
+          }
         };
 
         auto streamed = kernels::stream_extent(*kernel, from, end, config_.chunk_size, read,

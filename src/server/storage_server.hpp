@@ -73,6 +73,13 @@ struct StorageServerConfig {
   /// periodic Contention Estimator tick. Under a VirtualClock the ticks
   /// are deterministic jumps; tests may still call probe() directly.
   Seconds probe_interval = 0.0;
+  /// Pace kernel execution at the rate table's S_{C,op} (the calibrated
+  /// storage-side rate the CE schedules against): each streamed chunk
+  /// sleeps chunk/S on the injected clock. Under a VirtualClock this makes
+  /// the real runtime's kernel timing match the sim_model's assumptions —
+  /// the scale harness's paper-rate cluster (see scale/harness.hpp).
+  /// Operations without table rates run unpaced.
+  bool pace_kernel_rates = false;
 };
 
 class StorageServer {

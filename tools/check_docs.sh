@@ -73,6 +73,22 @@ if [ -f docs/OBSERVABILITY.md ]; then
   done
 fi
 
+# The scale-run playbook must exist and keep documenting the harness's
+# load-bearing knobs: a scenario that silently drops one of these loses
+# either determinism or the paper-shaped contention it exists to model.
+if [ -f docs/SCALE.md ]; then
+  for token in VirtualClock CompleterAffinity PacingConfig \
+               pace_kernel_rates pace_compute_rates network_per_node \
+               generate_traffic ScrambledZipf dosas-bench-v1; do
+    if ! grep -q "$token" docs/SCALE.md; then
+      echo "scale playbook no longer documents '$token' (docs/SCALE.md)" >&2
+      fail=1
+    fi
+  done
+else
+  note docs/SCALE.md "docs/SCALE.md (scale-run playbook)"
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "check_docs: all documentation file references resolve"
 fi
