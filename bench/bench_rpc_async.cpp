@@ -79,6 +79,76 @@ double run_clients(std::size_t clients, std::size_t rounds,
   return wall_clock().now() - t0;
 }
 
+/// One straggler run for the hedging point: a fresh 4-node cluster, a
+/// warm-up that fills the per-node latency quantiles, then a guaranteed
+/// per-chunk stall on the last node and `kReads` measured striped reads.
+struct StragglerRun {
+  std::vector<double> latencies_us;
+  std::vector<std::uint8_t> result;
+  client::ActiveClient::Stats stats;
+  rpc::TransportStats transport;
+};
+
+StragglerRun run_straggler(bool hedge) {
+  constexpr std::uint32_t kNodes = 4;
+  constexpr std::size_t kWarmup = 12;
+  constexpr std::size_t kReads = 8;
+  constexpr std::size_t kDoubles = 32 * 1024;  // 256 KiB: one 64 KiB strip per node
+
+  core::ClusterConfig cfg;
+  cfg.storage_nodes = kNodes;
+  cfg.strip_size = 64_KiB;
+  cfg.cores_per_node = 1;
+  cfg.server_chunk_size = 16_KiB;
+  cfg.client_chunk_size = 64_KiB;
+  cfg.scheme = core::SchemeKind::kActive;
+  // Below the stalled leg's ~200 ms completion time: the unhedged client
+  // times out and recovers locally, pulling the straggler's strip over the
+  // wire exactly as the hedge's local twin does — so the byte comparison
+  // isolates the hedge's cost, and the latency comparison its win.
+  cfg.request_timeout = 0.15;
+  // Virtual (never-sleeping) per-node link buckets: pure byte accounting,
+  // so bytes_charged shows the hedge's extra-byte cost without slowing the
+  // wall-clock measurement.
+  cfg.network_rate = mb_per_sec(118.0);
+  cfg.network_per_node = true;
+  cfg.hedge_reads = hedge;
+  core::Cluster cluster(cfg);
+
+  auto meta = pfs::write_doubles(cluster.pfs_client(), "/straggler", kDoubles,
+                                 [](std::size_t i) { return static_cast<double>(i % 61); });
+  assert(meta.is_ok());
+
+  StragglerRun out;
+  for (std::size_t r = 0; r < kWarmup; ++r) {
+    auto res = cluster.asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+    assert(res.is_ok());
+    out.result = res.value();
+  }
+
+  // The straggler onset: every kernel chunk on the last node now stalls
+  // 50 ms (wall time — this bench runs on the physical clock), so the
+  // unhedged client pays ~200 ms per read waiting out that leg while the
+  // hedged one races a local twin after its ~2 ms p99-derived delay.
+  fault::FaultSpec stall_spec;
+  stall_spec.seed = 7;
+  stall_spec.stall = 1.0;
+  stall_spec.stall_delay = 50e-3;
+  cluster.storage_server(kNodes - 1)
+      .set_fault_injector(std::make_shared<fault::FaultInjector>(stall_spec));
+
+  for (std::size_t r = 0; r < kReads; ++r) {
+    const Seconds t0 = wall_clock().now();
+    auto res = cluster.asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+    out.latencies_us.push_back((wall_clock().now() - t0) * 1e6);
+    assert(res.is_ok());
+    assert(res.value() == out.result);  // hedging never changes WHAT is computed
+  }
+  out.stats = cluster.asc().stats();
+  out.transport = cluster.asc().transport_stats();
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -155,6 +225,29 @@ int main() {
   std::printf("\nbit-identical results: %s\n", identical ? "yes" : "NO");
   std::printf("speedup (sequential / pipelined): %.2fx\n", seq_s / pipe_s);
 
+  // Straggler hedging: the same fan-out with one chronically stalled node,
+  // unhedged vs hedged (p99-derived delay, cancel the loser). The paired
+  // runs share the result check inside run_straggler.
+  const StragglerRun unhedged = run_straggler(/*hedge=*/false);
+  const StragglerRun hedged = run_straggler(/*hedge=*/true);
+  const bool hedge_identical = unhedged.result == hedged.result;
+  const double straggler_p99_ms = bench::percentile(unhedged.latencies_us, 99) / 1e3;
+  const double hedged_p99_ms = bench::percentile(hedged.latencies_us, 99) / 1e3;
+  const double hedge_speedup = hedged_p99_ms > 0 ? straggler_p99_ms / hedged_p99_ms : 0.0;
+  const double hedge_extra_bytes =
+      unhedged.transport.bytes_charged > 0
+          ? static_cast<double>(hedged.transport.bytes_charged) /
+                    static_cast<double>(unhedged.transport.bytes_charged) -
+                1.0
+          : 0.0;
+  std::printf("\nstraggler p99: unhedged %.1f ms, hedged %.1f ms (%.1fx); "
+              "hedges fired=%llu won=%llu wasted=%llu, extra bytes %+.1f%%\n",
+              straggler_p99_ms, hedged_p99_ms, hedge_speedup,
+              static_cast<unsigned long long>(hedged.stats.hedges_fired),
+              static_cast<unsigned long long>(hedged.stats.hedges_won),
+              static_cast<unsigned long long>(hedged.stats.hedges_wasted),
+              hedge_extra_bytes * 100.0);
+
   // BENCH_rpc_async.json: the machine-readable record of this run.
   bench::BenchJson out("rpc_async");
   out.config("nodes", static_cast<double>(kNodes));
@@ -168,6 +261,13 @@ int main() {
   out.metric("pipelined_total_s", pipe_s);
   out.metric("speedup", seq_s / pipe_s);
   out.metric("reads", n);
+  out.metric("straggler_p99_ms", straggler_p99_ms);
+  out.metric("hedged_p99_ms", hedged_p99_ms);
+  out.metric("hedge_p99_speedup", hedge_speedup);
+  out.metric("hedge_extra_bytes_frac", hedge_extra_bytes);
+  out.metric("hedges_fired", static_cast<double>(hedged.stats.hedges_fired));
+  out.metric("hedges_won", static_cast<double>(hedged.stats.hedges_won));
+  out.metric("hedges_wasted", static_cast<double>(hedged.stats.hedges_wasted));
   out.latency_us(bench::percentile(pipe_lat_us, 50), bench::percentile(pipe_lat_us, 95),
                  bench::percentile(pipe_lat_us, 99));
   out.throughput(n / pipe_s);
@@ -180,9 +280,10 @@ int main() {
   std::printf(
       "\nReading: each striped read touches all %u nodes; the async transport keeps\n"
       "every node busy for the whole request instead of one at a time, so the\n"
-      "per-request critical path drops toward the slowest single leg.\n",
+      "per-request critical path drops toward the slowest single leg. With one\n"
+      "node stalled, hedging caps that leg at the p99-derived delay instead.\n",
       kNodes);
 
-  if (!identical) return 1;
-  return seq_s > pipe_s ? 0 : 2;
+  if (!identical || !hedge_identical) return 1;
+  return seq_s > pipe_s && straggler_p99_ms > hedged_p99_ms ? 0 : 2;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -251,7 +252,14 @@ ActiveClient::PendingReadEx ActiveClient::read_ex_async(const pfs::FileMeta& met
   }
 
   auto extents = server_extents(meta, offset, length);
-  assert(!extents.empty());
+  if (extents.empty()) {
+    // A non-empty clamped range must map to at least one server; reaching
+    // here means the layout math is broken. A typed error beats UB straight
+    // into legs_[0] in release builds.
+    pending.immediate_ = Result<std::vector<std::uint8_t>>(
+        error(ErrorCode::kInternal, "layout mapped a non-empty extent to no servers"));
+    return pending;
+  }
 
   // Multi-server extents need fan-out + merge; when the kernel cannot
   // merge (gaussian2d) or item boundaries misalign with strips, the bytes
@@ -276,6 +284,7 @@ ActiveClient::PendingReadEx ActiveClient::read_ex_async(const pfs::FileMeta& met
   // read_ex_async() calls pipeline across the cluster.
   pending.mode_ = PendingReadEx::Mode::kRemote;
   pending.fanout_ = extents.size() > 1;
+  pending.hedge_budget_ = config_.hedge_reads ? config_.hedge_max_per_read : 0;
   pending.legs_.reserve(extents.size());
   for (auto& ext : extents) {
     PendingReadEx::Leg leg;
@@ -285,13 +294,79 @@ ActiveClient::PendingReadEx ActiveClient::read_ex_async(const pfs::FileMeta& met
       auto env = active_envelope(meta, ext, operation);
       env.trace = leg.ctx;
       leg.reply = transport_->submit(std::move(env));
+      if (config_.hedge_reads && leg.reply.valid()) {
+        const Seconds delay = hedge_delay_for(ext.server);
+        if (delay > 0) leg.hedge_at = clock().now() + delay;
+      }
     }
     pending.legs_.push_back(std::move(leg));
+  }
+
+  // Resolution order: fastest predicted node first (submission above stays
+  // in stripe order, so per-node arrival order is unchanged). The predicted
+  // straggler is then waited on LAST, with the whole hedge budget and the
+  // fast legs' results already in hand.
+  pending.wait_order_.resize(pending.legs_.size());
+  for (std::size_t i = 0; i < pending.wait_order_.size(); ++i) pending.wait_order_[i] = i;
+  if (config_.hedge_reads && pending.legs_.size() > 1) {
+    std::vector<double> predicted(pending.legs_.size());
+    for (std::size_t i = 0; i < pending.legs_.size(); ++i) {
+      predicted[i] =
+          transport_->node_latency(static_cast<std::uint32_t>(pending.legs_[i].ext.server))
+              .p50_us;
+    }
+    std::stable_sort(pending.wait_order_.begin(), pending.wait_order_.end(),
+                     [&](std::size_t a, std::size_t b) { return predicted[a] < predicted[b]; });
   }
   return pending;
 }
 
+ActiveClient::PendingReadEx::~PendingReadEx() {
+  if (client_ == nullptr || waited_) return;
+  // Abandoned without wait(): withdraw the server-side work (a queued leg
+  // never starts, a running one is interrupted) and close the root span so
+  // the causal tree is not left dangling.
+  cancel_outstanding("read_ex handle dropped before wait()");
+  if (ctx_.valid()) emit_request_e2e(ctx_, t0_us_, operation_);
+}
+
+ActiveClient::PendingReadEx::PendingReadEx(PendingReadEx&& other) noexcept
+    : client_(std::exchange(other.client_, nullptr)),
+      mode_(other.mode_),
+      ctx_(other.ctx_),
+      t0_us_(other.t0_us_),
+      immediate_(std::move(other.immediate_)),
+      meta_(other.meta_),
+      operation_(std::move(other.operation_)),
+      offset_(other.offset_),
+      length_(other.length_),
+      legs_(std::move(other.legs_)),
+      fanout_(other.fanout_),
+      wait_order_(std::move(other.wait_order_)),
+      hedge_budget_(other.hedge_budget_),
+      waited_(other.waited_) {}
+
+ActiveClient::PendingReadEx& ActiveClient::PendingReadEx::operator=(
+    PendingReadEx&& other) noexcept {
+  if (this != &other) {
+    this->~PendingReadEx();
+    new (this) PendingReadEx(std::move(other));
+  }
+  return *this;
+}
+
+void ActiveClient::PendingReadEx::cancel_outstanding(const char* why) {
+  for (auto& leg : legs_) {
+    if (!leg.reply.valid() || leg.reply.ready()) continue;
+    if (leg.reply.cancel(error(ErrorCode::kCancelled, why))) {
+      obs::flight_record(obs::FlightEventKind::kCancel, leg.ctx.trace_id,
+                         static_cast<std::uint32_t>(leg.ext.server), 0, why);
+    }
+  }
+}
+
 Result<std::vector<std::uint8_t>> ActiveClient::PendingReadEx::wait() {
+  waited_ = true;
   auto result = resolve();
   // The root span of the causal tree: every transport/server/kernel span
   // of this request is a descendant of ctx_.
@@ -309,17 +384,32 @@ Result<std::vector<std::uint8_t>> ActiveClient::PendingReadEx::resolve() {
       break;
   }
 
-  if (!fanout_) return client_->resolve_leg(meta_, legs_[0], operation_);
+  if (!fanout_) return client_->resolve_leg(meta_, legs_[0], operation_, &hedge_budget_);
 
   auto master = client_->registry_.create(operation_);
-  if (!master.is_ok()) return master.status();
+  if (!master.is_ok()) {
+    cancel_outstanding("fan-out merge kernel unavailable");
+    return master.status();
+  }
   master.value()->reset();
-  // Merge in stripe order regardless of completion order, so the result
-  // is bit-identical to the sequential path.
-  for (auto& leg : legs_) {
-    auto partial = client_->resolve_leg(meta_, leg, operation_);
-    if (!partial.is_ok()) return partial.status();
-    Status st = master.value()->merge(partial.value());
+  // Resolve legs fastest-predicted-node first (wait_order_), buffering the
+  // partials; the merge below runs in stripe order regardless of
+  // resolution or completion order, so the result is bit-identical to the
+  // sequential path.
+  std::vector<std::optional<Result<std::vector<std::uint8_t>>>> partials(legs_.size());
+  for (std::size_t idx : wait_order_) {
+    auto partial = client_->resolve_leg(meta_, legs_[idx], operation_, &hedge_budget_);
+    if (!partial.is_ok()) {
+      // One failed leg dooms the whole read: withdraw every sibling still
+      // in flight BEFORE propagating, or the storage nodes keep burning
+      // queue slots and kernel time on a request nobody will merge.
+      cancel_outstanding("sibling fan-out leg failed");
+      return partial.status();
+    }
+    partials[idx] = std::move(partial);
+  }
+  for (std::size_t i = 0; i < legs_.size(); ++i) {
+    Status st = master.value()->merge(partials[i]->value());
     if (!st.is_ok()) return st;
   }
   return master.value()->finalize();
@@ -327,7 +417,8 @@ Result<std::vector<std::uint8_t>> ActiveClient::PendingReadEx::resolve() {
 
 Result<std::vector<std::uint8_t>> ActiveClient::resolve_leg(const pfs::FileMeta& meta,
                                                             PendingReadEx::Leg& leg,
-                                                            const std::string& operation) {
+                                                            const std::string& operation,
+                                                            std::size_t* hedge_budget) {
   if (leg.ext.server >= servers_.size()) {
     return error(ErrorCode::kInternal, "no storage server for data server id " +
                                            std::to_string(leg.ext.server));
@@ -339,6 +430,104 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_leg(const pfs::FileMeta&
   if (!leg.reply.valid()) {
     return serve_extent_locally(meta, leg.ext, operation, leg.ctx);
   }
+  // Hedge timer: give the RPC until its p99-derived deadline, then race a
+  // local twin against it instead of waiting out the straggler.
+  if (leg.hedge_at > 0 && hedge_budget != nullptr && *hedge_budget > 0 &&
+      !leg.reply.wait_until_ready(leg.hedge_at)) {
+    --*hedge_budget;
+    return hedge_leg(meta, leg, operation);
+  }
+  auto reply = leg.reply.wait();
+  note_timed_out(reply.active);
+  return resolve_response(meta, leg.ext, operation, std::move(reply.active),
+                          /*allow_resubmit=*/true, leg.ctx);
+}
+
+Seconds ActiveClient::hedge_delay_for(pfs::ServerId server) const {
+  if (!config_.hedge_reads) return 0;
+  const auto nl = transport_->node_latency(static_cast<std::uint32_t>(server));
+  if (nl.samples < config_.hedge_min_samples) return config_.hedge_cold_delay;
+  return std::max(config_.hedge_min_delay, config_.hedge_p99_multiplier * nl.p99_us * 1e-6);
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::hedge_leg(const pfs::FileMeta& meta,
+                                                          PendingReadEx::Leg& leg,
+                                                          const std::string& operation) {
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.hedges_fired;
+  }
+  if (obs::metrics_enabled()) obs::count("client.hedges_fired");
+  obs::flight_record(obs::FlightEventKind::kHedge, leg.ctx.trace_id,
+                     static_cast<std::uint32_t>(leg.ext.server), 0,
+                     "leg past hedge delay: racing a local twin");
+  // The hedge branch of the causal tree: the twin's chunk reads hang off
+  // this child, so the trace shows the race explicitly.
+  const obs::TraceContext hedge_ctx = leg.ctx.child("hedge");
+  if (obs::tracing_enabled() && leg.ctx.valid()) {
+    obs::Tracer::global().instant("client.hedge", "client", hedge_ctx);
+  }
+
+  auto kernel = registry_.create(operation);
+  if (!kernel.is_ok()) {
+    // No local twin possible; fall back to waiting out the remote leg.
+    auto reply = leg.reply.wait();
+    note_timed_out(reply.active);
+    return resolve_response(meta, leg.ext, operation, std::move(reply.active),
+                            /*allow_resubmit=*/true, leg.ctx);
+  }
+  kernel.value()->reset();
+
+  // The local twin: this architecture has no remote replica to re-issue the
+  // active RPC to, so the replica-capable path IS demote-to-local — normal
+  // I/O chunks through the node's still-live data path, kernel on this
+  // client. The stop check ends the twin at chunk granularity the moment
+  // the remote reply lands.
+  auto streamed = kernels::stream_extent(
+      *kernel.value(), leg.ext.object_offset, leg.ext.object_offset + leg.ext.length,
+      config_.chunk_size,
+      [&](Bytes pos, Bytes len) -> Result<std::vector<std::uint8_t>> {
+        auto chunk = remote_read(leg.ext.server, meta.handle, pos, len,
+                                 hedge_ctx.child("read@" + std::to_string(pos)));
+        if (chunk.is_ok()) {
+          std::lock_guard lock(mu_);
+          stats_.raw_bytes_read += chunk.value().size();
+        }
+        return chunk;
+      },
+      /*stop=*/[&] { return leg.reply.ready(); },
+      compute_pacer(config_.pace_compute_rates, operation));
+
+  // Arbitration: the twin only wins if it finished AND the remote leg can
+  // still be withdrawn. cancel() is the atomic arbiter — when it returns
+  // true the RPC completes kCancelled (its server work withdrawn, no bytes
+  // charged); when false the real reply already landed and stands.
+  const bool twin_finished = streamed.is_ok() && !streamed.value().stopped;
+  if (twin_finished &&
+      leg.reply.cancel(error(ErrorCode::kCancelled, "hedged leg lost: local twin finished first"))) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.hedges_won;
+      ++stats_.local_kernel_runs;
+    }
+    if (obs::metrics_enabled()) obs::count("client.hedges_won");
+    obs::flight_record(obs::FlightEventKind::kHedge, leg.ctx.trace_id,
+                       static_cast<std::uint32_t>(leg.ext.server), 0,
+                       "hedge won: remote leg cancelled");
+    return kernel.value()->finalize();
+  }
+
+  // The remote reply won the race (or the twin's read failed): the twin's
+  // partial work is the hedge's waste, the reply is the leg's result —
+  // resolved through the normal completion/demotion/resume state machine.
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.hedges_wasted;
+  }
+  if (obs::metrics_enabled()) obs::count("client.hedges_wasted");
+  obs::flight_record(obs::FlightEventKind::kHedge, leg.ctx.trace_id,
+                     static_cast<std::uint32_t>(leg.ext.server), 0,
+                     "hedge wasted: remote reply stands");
   auto reply = leg.reply.wait();
   note_timed_out(reply.active);
   return resolve_response(meta, leg.ext, operation, std::move(reply.active),

@@ -94,6 +94,29 @@ struct ActiveClientConfig {
 
   /// Seed for retry backoff jitter (deterministic per client).
   std::uint64_t retry_seed = 1234;
+
+  /// Straggler-aware hedged striped reads: when a fan-out leg is still
+  /// outstanding past a p99-derived delay, duplicate it down the
+  /// demote-to-local path (normal I/O + local kernel — the replica-capable
+  /// twin this architecture has) and race the two, cancelling the loser via
+  /// PendingReply::cancel() so exactly one leg's bytes are charged. Legs
+  /// are also resolved fastest-predicted-node first, so the hedge timer
+  /// spends the wait budget on the straggler, not on legs that are already
+  /// done. Off by default.
+  bool hedge_reads = false;
+  /// Hedge delay for a warm node = max(hedge_min_delay,
+  /// hedge_p99_multiplier × that node's p99 active-RPC latency).
+  double hedge_p99_multiplier = 3.0;
+  /// Floor under the derived delay: a node whose history is microseconds
+  /// must not hedge on scheduling noise.
+  Seconds hedge_min_delay = 0.002;
+  /// Per-node samples required before the p99 is trusted; colder nodes
+  /// hedge after hedge_cold_delay instead (0 = never hedge a cold node).
+  std::uint64_t hedge_min_samples = 8;
+  Seconds hedge_cold_delay = 0;
+  /// Hedge budget per read_ex (all fan-out legs share it): bounds the
+  /// extra bytes a fully-stalled cluster could cost.
+  std::size_t hedge_max_per_read = 1;
 };
 
 class ActiveClient {
@@ -124,6 +147,9 @@ class ActiveClient {
     std::uint64_t node_down_demotes = 0;    ///< circuit open: straight to local compute
     std::uint64_t checkpoint_corrupt_restarts = 0;  ///< bad checkpoint -> clean local restart
     Seconds backoff_total = 0;              ///< accrued retry backoff (virtual or slept)
+    std::uint64_t hedges_fired = 0;         ///< legs duplicated past their hedge delay
+    std::uint64_t hedges_won = 0;           ///< hedges whose local twin beat the RPC
+    std::uint64_t hedges_wasted = 0;        ///< hedges where the remote leg won anyway
   };
 
   /// `servers[i]` must be the Active Storage Server wrapping PFS data
@@ -141,6 +167,15 @@ class ActiveClient {
    public:
     PendingReadEx() = default;
 
+    /// Dropping an unawaited handle must not leak: outstanding legs are
+    /// cancelled (withdrawing queued/running server work) and the root span
+    /// is closed, exactly as if the request had failed.
+    ~PendingReadEx();
+    PendingReadEx(PendingReadEx&& other) noexcept;
+    PendingReadEx& operator=(PendingReadEx&& other) noexcept;
+    PendingReadEx(const PendingReadEx&) = delete;
+    PendingReadEx& operator=(const PendingReadEx&) = delete;
+
     /// Block for the remaining replies and finish any handed-back work.
     Result<std::vector<std::uint8_t>> wait();
 
@@ -157,10 +192,18 @@ class ActiveClient {
       ServerExtent ext;
       rpc::PendingReply reply;  ///< invalid: serve locally (circuit open)
       obs::TraceContext ctx;    ///< per-leg child of the request's root trace
+      /// Absolute clock time after which this still-outstanding leg is
+      /// hedged (0 = hedging off / node too cold). Stamped at submission.
+      Seconds hedge_at = 0;
     };
 
     /// Resolve the result (wait() minus the root-span/e2e bookkeeping).
     Result<std::vector<std::uint8_t>> resolve();
+
+    /// Cancel every leg whose RPC is still outstanding (a failed sibling or
+    /// an abandoned handle must not leave storage nodes burning kernel time
+    /// on a doomed request).
+    void cancel_outstanding(const char* why);
 
     ActiveClient* client_ = nullptr;
     Mode mode_ = Mode::kImmediate;
@@ -173,6 +216,11 @@ class ActiveClient {
     Bytes length_ = 0;
     std::vector<Leg> legs_;
     bool fanout_ = false;  ///< merge per-leg partials in stripe order
+    /// Leg indices in resolution order: fastest predicted node first, so
+    /// the slowest node is waited on last with the hedge timer armed.
+    std::vector<std::size_t> wait_order_;
+    std::size_t hedge_budget_ = 0;  ///< hedges this read may still fire
+    bool waited_ = false;           ///< wait() consumed this handle
   };
 
   /// The enhanced read: run `operation` over file bytes
@@ -252,9 +300,25 @@ class ActiveClient {
 
   /// Resolve one leg of a pending read: wait for its reply (or serve it
   /// locally when the circuit was open) and finish any handed-back work.
+  /// `hedge_budget` (may be null: no hedging) is decremented when the leg's
+  /// hedge timer expires and a local twin is raced against the RPC.
   Result<std::vector<std::uint8_t>> resolve_leg(const pfs::FileMeta& meta,
                                                 PendingReadEx::Leg& leg,
-                                                const std::string& operation);
+                                                const std::string& operation,
+                                                std::size_t* hedge_budget = nullptr);
+
+  /// The hedge: race a local twin (normal I/O + local kernel, chunked so it
+  /// aborts as soon as the remote reply lands) against the still-outstanding
+  /// RPC, and cancel the loser. Exactly one of the two becomes the leg's
+  /// result; the cancelled loser is charged no bytes.
+  Result<std::vector<std::uint8_t>> hedge_leg(const pfs::FileMeta& meta,
+                                              PendingReadEx::Leg& leg,
+                                              const std::string& operation);
+
+  /// How long a leg to `server` may stay outstanding before it is hedged
+  /// (0 = do not hedge this leg). p99-derived for warm nodes, the cold
+  /// delay otherwise.
+  Seconds hedge_delay_for(pfs::ServerId server) const;
 
   /// True when the circuit for `server` is open (too many consecutive
   /// kUnavailable) and this request is not a re-probe.

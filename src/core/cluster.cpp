@@ -38,6 +38,9 @@ Cluster::Cluster(ClusterConfig config)
     sc.coalesce_identical = config_.coalesce_identical;
     sc.probe_interval = config_.probe_interval;
     sc.pace_kernel_rates = config_.pace_kernel_rates;
+    if (i < config_.node_capacity_factor.size() && config_.node_capacity_factor[i] > 0.0) {
+      sc.capacity_factor = config_.node_capacity_factor[i];
+    }
     servers_.push_back(std::make_unique<server::StorageServer>(
         fs_, i, kernels::Registry::with_builtins(), ce, config_.rates, sc));
     if (config_.faults != nullptr) {
@@ -61,6 +64,12 @@ Cluster::Cluster(ClusterConfig config)
   cc.request_timeout = config_.request_timeout;
   cc.faults = config_.faults;
   cc.circuit_threshold = config_.circuit_threshold;
+  cc.hedge_reads = config_.hedge_reads;
+  cc.hedge_p99_multiplier = config_.hedge_p99_multiplier;
+  cc.hedge_min_delay = config_.hedge_min_delay;
+  cc.hedge_min_samples = config_.hedge_min_samples;
+  cc.hedge_cold_delay = config_.hedge_cold_delay;
+  cc.hedge_max_per_read = config_.hedge_max_per_read;
   asc_ = std::make_unique<client::ActiveClient>(pfs_client_, registry_, std::move(raw), cc);
 }
 

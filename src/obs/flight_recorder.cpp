@@ -29,6 +29,7 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kCancel: return "cancel";
     case FlightEventKind::kResume: return "resume";
     case FlightEventKind::kCoalesce: return "coalesce";
+    case FlightEventKind::kHedge: return "hedge";
   }
   return "?";
 }

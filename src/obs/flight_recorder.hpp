@@ -40,6 +40,7 @@ enum class FlightEventKind : std::uint8_t {
   kCancel,               ///< request cancelled
   kResume,               ///< client resumed from a checkpoint
   kCoalesce,             ///< request coalesced onto an identical in-flight one
+  kHedge,                ///< straggler leg hedged with a local twin
 };
 
 const char* flight_event_kind_name(FlightEventKind kind);

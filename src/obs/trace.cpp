@@ -83,7 +83,9 @@ TraceContext Tracer::new_root() {
   return ctx;
 }
 
-double Tracer::now_us() const { return (clock().now() - epoch_) * 1e6; }
+double Tracer::now_us() const {
+  return (clock().now() - epoch_.load(std::memory_order_relaxed)) * 1e6;
+}
 
 void Tracer::push(TraceEvent e) {
   std::lock_guard lock(mu_);
@@ -266,7 +268,7 @@ void Tracer::clear() {
   events_.clear();
   // Re-epoch on the *current* clock so a test that installs a
   // VirtualClock and clears the tracer gets timestamps from virtual zero.
-  epoch_ = clock().now();
+  epoch_.store(clock().now(), std::memory_order_relaxed);
   // Reset root-id allocation too: seeded DST runs must produce identical
   // trace/span ids, and ids join the canonical fingerprints.
   next_trace_id_.store(1, std::memory_order_relaxed);

@@ -129,7 +129,9 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_trace_id_{1};  ///< reset by clear()
-  Seconds epoch_ = 0.0;  ///< clock().now() at construction / last clear()
+  /// clock().now() at construction / last clear(). Atomic: now_us() reads
+  /// it lock-free from worker threads while clear() re-epochs it.
+  std::atomic<Seconds> epoch_{0.0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };

@@ -6,6 +6,7 @@
 
 #include "common/clock.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 
 namespace dosas::rpc {
 
@@ -47,8 +48,15 @@ PendingReply InProcessTransport::track(const Envelope& env) {
   // Registration precedes dispatch, so it runs before any caller callback
   // and observes every completion path (server reply, deadline, cancel).
   const OpKind kind = env.kind;
-  reply.on_complete([this, t0, kind](Reply& r) {
+  const std::uint32_t target = env.target;
+  const std::uint64_t trace_id = env.trace.trace_id;
+  reply.on_complete([this, t0, kind, target, trace_id](Reply& r) {
     const double us = (clock().now() - t0) * 1e6;
+    const ErrorCode code = r.status().code();
+    // A cancelled or watchdog-expired reply measures time-to-cancel, not the
+    // node's service latency; feeding it to the per-node quantiles would
+    // make a straggler look fast the moment hedging starts winning.
+    const bool genuine = code != ErrorCode::kCancelled && code != ErrorCode::kTimedOut;
     bool drained;
     {
       std::lock_guard lock(mu_);
@@ -58,8 +66,18 @@ PendingReply InProcessTransport::track(const Envelope& env) {
       if (kind == OpKind::kActiveIo) {
         active_p50_.add(us);
         active_p99_.add(us);
+        if (genuine) {
+          if (target >= node_latency_.size()) node_latency_.resize(target + 1);
+          auto& nl = node_latency_[target];
+          nl.p50.add(us);
+          nl.p99.add(us);
+          ++nl.samples;
+        }
       }
-      if (r.status().code() == ErrorCode::kCancelled) ++cancelled_;
+      if (code == ErrorCode::kCancelled) ++cancelled_;
+    }
+    if (kind == OpKind::kActiveIo && genuine && obs::metrics_enabled()) {
+      obs::observe("rpc.node_latency_us." + std::to_string(target), us, trace_id);
     }
     if (drained) clock().wake_all(drained_cv_);
   });
@@ -250,6 +268,13 @@ void InProcessTransport::collect_stats(TransportStats& out) const {
   out.inflight_hwm = std::max(out.inflight_hwm, inflight_hwm_);
   out.active_latency_p50_us = active_p50_.value();
   out.active_latency_p99_us = active_p99_.value();
+}
+
+NodeLatency InProcessTransport::node_latency(std::uint32_t target) const {
+  std::lock_guard lock(mu_);
+  if (target >= node_latency_.size()) return {};
+  const auto& nl = node_latency_[target];
+  return NodeLatency{nl.p50.value(), nl.p99.value(), nl.samples};
 }
 
 }  // namespace dosas::rpc

@@ -41,6 +41,7 @@ class InProcessTransport : public Transport {
   PendingReply submit(Envelope env) override;
   std::vector<PendingReply> submit_batch(std::vector<Envelope> envs) override;
   void collect_stats(TransportStats& out) const override;
+  NodeLatency node_latency(std::uint32_t target) const override;
 
  private:
   /// Shared bookkeeping for one submission: started / finished / deadline.
@@ -73,6 +74,16 @@ class InProcessTransport : public Transport {
   std::size_t inflight_hwm_ = 0;
   P2Quantile active_p50_{0.5};
   P2Quantile active_p99_{0.99};
+
+  /// Per-target-node active-RPC latency (the straggler signal). Grown on
+  /// demand under mu_; cancelled/timed-out replies are excluded — their
+  /// time-to-cancel would make a straggler look fast.
+  struct NodeQuantiles {
+    P2Quantile p50{0.5};
+    P2Quantile p99{0.99};
+    std::uint64_t samples = 0;
+  };
+  std::vector<NodeQuantiles> node_latency_;  // indexed by target
 
   struct Expiry {
     Seconds when = 0;  ///< absolute clock time (clock().now() + deadline)

@@ -46,6 +46,9 @@ class Filter : public Transport {
     return next_->submit_batch(std::move(envs));
   }
   void collect_stats(TransportStats& out) const override { next_->collect_stats(out); }
+  NodeLatency node_latency(std::uint32_t target) const override {
+    return next_->node_latency(target);
+  }
 
  protected:
   const std::shared_ptr<Transport> next_;

@@ -62,6 +62,14 @@ Reply PendingReply::wait() {
   return std::move(state_->reply);
 }
 
+bool PendingReply::wait_until_ready(Seconds deadline) {
+  std::unique_lock lock(state_->mu);
+  // Gate on `ready`, not `claimed`: a true return must imply the completion
+  // chain (transport accounting, byte charging) has fully run, exactly like
+  // wait().
+  return clock().timed_wait(state_->cv, lock, deadline, [&] { return state_->ready; });
+}
+
 void PendingReply::on_complete(Callback cb) {
   {
     std::lock_guard lock(state_->mu);

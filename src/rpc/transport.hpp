@@ -46,6 +46,16 @@ struct TransportStats {
   double active_latency_p99_us = 0.0;
 };
 
+/// Per-target-node active-RPC latency summary — the straggler signal the
+/// client's hedging policy and leg ordering feed on. Only genuine
+/// completions contribute; cancelled/timed-out replies are excluded (their
+/// time-to-cancel would understate a straggler's true latency).
+struct NodeLatency {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t samples = 0;
+};
+
 /// Completion handle for one submitted envelope: a future (wait) and a
 /// callback hook (on_complete) over one shared completion slot, plus
 /// best-effort cancellation that propagates back into the transport.
@@ -76,6 +86,13 @@ class PendingReply {
 
   /// Block until completed and take the reply. Single consumer.
   Reply wait();
+
+  /// Block until completed or clock time reaches `deadline` (absolute
+  /// seconds on the injected clock). Returns true when the reply is ready;
+  /// false when the deadline expired first. Does NOT consume the reply —
+  /// follow up with wait(), or cancel() to withdraw it. The hedging
+  /// primitive: "give the slow leg this much longer, then act".
+  bool wait_until_ready(Seconds deadline);
 
   /// Register `cb`; fires immediately (on this thread) if already
   /// complete. Multiple callbacks fire in registration order.
@@ -117,6 +134,14 @@ class Transport {
 
   /// Add this layer's counters to `out` and forward down the chain.
   virtual void collect_stats(TransportStats& out) const { (void)out; }
+
+  /// Latency summary for one target node (zeros when the backend keeps no
+  /// per-node statistics or has no samples for `target` yet). Decorators
+  /// forward to the backend.
+  virtual NodeLatency node_latency(std::uint32_t target) const {
+    (void)target;
+    return {};
+  }
 };
 
 /// Convenience: chain-wide stats of the transport rooted at `head`.

@@ -708,12 +708,14 @@ void StorageServer::run_kernel(sched::RequestId id) {
   std::shared_ptr<std::atomic<Bytes>> progress;
   std::shared_ptr<fault::FaultInjector> fi;
   Seconds enqueued_at = 0;
+  bool rejected = false;  // snapshot under mu_: cancel_active writes the flag
   {
     std::lock_guard lock(mu_);
     auto it = entries_.find(id);
     if (it == entries_.end()) return;  // every waiter cancelled before start
     entry = it->second;
-    if (entry->reject_before_start) {
+    rejected = entry->reject_before_start;
+    if (rejected) {
       // Completed via complete_entry below, outside mu_.
     } else {
       entry->state = EntryState::kRunning;
@@ -724,7 +726,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
     enqueued_at = entry->enqueued_at;
     fi = faults_;
   }
-  if (entry->reject_before_start) {
+  if (rejected) {
     ActiveIoResponse resp;
     resp.outcome = ActiveOutcome::kRejected;
     resp.status = error(ErrorCode::kRejected, "demoted to normal I/O before start");
@@ -849,6 +851,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
           }
           if (auto rates = ce_.rates().get(rate_key); rates.is_ok()) {
             pace_rate = rates.value().storage_max;
+            if (config_.capacity_factor > 0.0) pace_rate *= config_.capacity_factor;
           }
         }
         auto note_progress = [&](Bytes chunk, Bytes total) {

@@ -80,6 +80,12 @@ struct StorageServerConfig {
   /// the scale harness's paper-rate cluster (see scale/harness.hpp).
   /// Operations without table rates run unpaced.
   bool pace_kernel_rates = false;
+  /// Relative kernel-CPU capacity of this node, applied to the paced rate
+  /// (effective rate = S_{C,op} × capacity_factor). 0.25 models a node
+  /// whose kernel CPU runs at quarter speed — the real-runtime counterpart
+  /// of the DES's MultiNodeConfig::node_capacity_factor straggler knob.
+  /// Only meaningful with pace_kernel_rates; values <= 0 mean 1.0.
+  double capacity_factor = 1.0;
 };
 
 class StorageServer {

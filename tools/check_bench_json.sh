@@ -85,6 +85,14 @@ else:
             err(f"'{key}' must be a number")
     if "stages" in doc and not isinstance(doc["stages"], dict):
         err("'stages' must be an object")
+    # The rpc_async bench carries the hedged-read point: its telemetry must
+    # keep the hedge fields, or the trajectory loses the straggler story.
+    if doc.get("name") == "rpc_async" and isinstance(metrics, dict):
+        for key in ("straggler_p99_ms", "hedged_p99_ms", "hedge_p99_speedup",
+                    "hedge_extra_bytes_frac", "hedges_fired", "hedges_won",
+                    "hedges_wasted"):
+            if not isinstance(metrics.get(key), numbers.Real):
+                err(f"'metrics.{key}' missing or not a number (hedge telemetry)")
 
 if errors:
     for e in errors:

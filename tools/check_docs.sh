@@ -71,6 +71,25 @@ if [ -f docs/OBSERVABILITY.md ]; then
       fail=1
     fi
   done
+  # Hedging telemetry: the straggler signal and the hedge counters that
+  # tests/dst/test_straggler.cpp asserts on must stay in the catalog.
+  for token in 'rpc.node_latency_us' 'client.hedges_fired' \
+               'client.hedges_won' 'client.hedges_wasted'; do
+    if ! grep -q "$token" docs/OBSERVABILITY.md; then
+      echo "undocumented hedging metric: '$token' (docs/OBSERVABILITY.md)" >&2
+      fail=1
+    fi
+  done
+fi
+
+# The hedging design note must keep naming its load-bearing knobs.
+if [ -f docs/ARCHITECTURE.md ]; then
+  for token in hedge_reads hedge_min_delay hedge_max_per_read node_latency; do
+    if ! grep -q "$token" docs/ARCHITECTURE.md; then
+      echo "architecture doc no longer documents '$token' (docs/ARCHITECTURE.md)" >&2
+      fail=1
+    fi
+  done
 fi
 
 # The scale-run playbook must exist and keep documenting the harness's

@@ -38,7 +38,8 @@ run_one() {
     # clock's cross-thread accounting (ctest registers individual gtest
     # cases, so run the binaries).
     local bin
-    for bin in test_server test_stress test_resilience test_fault test_dst; do
+    for bin in test_server test_stress test_resilience test_fault test_dst \
+               test_hedge test_straggler; do
       "$dir/tests/$bin"
     done
   else
