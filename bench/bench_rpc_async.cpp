@@ -14,8 +14,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/arena.hpp"
 #include "common/clock.hpp"
+#include "common/ring.hpp"
 #include "core/cluster.hpp"
+#include "obs/contention.hpp"
 #include "pfs/layout.hpp"
 #include "rpc/transport.hpp"
 
@@ -197,15 +200,32 @@ int main() {
     return r.value();
   };
 
+  auto dispatch_cas_retries = [&] {
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < kNodes; ++s) {
+      const RingStats rs = cluster.storage_server(s).dispatch_ring_stats();
+      total += rs.push_cas_retries + rs.pop_cas_retries;
+    }
+    return total;
+  };
+
   // Warm both paths (page in the data, spin up pools), then measure.
   run_clients(kClients, 1, sequential, seq_results);
   run_clients(kClients, 1, pipelined, pipe_results);
   const double seq_s = run_clients(kClients, kRounds, sequential, seq_results);
   // Collect per-stage histograms (queue-wait / transport / kernel / e2e)
-  // over the measured pipelined run for the telemetry record.
+  // over the measured pipelined run for the telemetry record, plus the
+  // data-plane deltas: owning copies (the zero-copy claim) and dispatch-
+  // ring CAS retries across all storage nodes.
   obs::MetricsRegistry::global().set_enabled(true);
+  const std::uint64_t ledger0 = data_bytes_copied();
+  const std::uint64_t cas0 = dispatch_cas_retries();
   std::vector<double> pipe_lat_us;
   const double pipe_s = run_clients(kClients, kRounds, pipelined, pipe_results, &pipe_lat_us);
+  const double bytes_copied_per_req = static_cast<double>(data_bytes_copied() - ledger0) /
+                                      static_cast<double>(kClients * kRounds);
+  const double cas_retries_per_req = static_cast<double>(dispatch_cas_retries() - cas0) /
+                                     static_cast<double>(kClients * kRounds);
 
   bool identical = true;
   for (std::size_t c = 0; c < kClients; ++c) identical &= seq_results[c] == pipe_results[c];
@@ -224,6 +244,17 @@ int main() {
 
   std::printf("\nbit-identical results: %s\n", identical ? "yes" : "NO");
   std::printf("speedup (sequential / pipelined): %.2fx\n", seq_s / pipe_s);
+
+  // Zero-copy check: an active striped read moves kernel RESULTS, not raw
+  // extents — with BufferRefs end to end, the owning copies left per
+  // 16 MiB request are bounded by result/cache traffic (a few KiB), not
+  // the data size. A regression that re-copies extents shows up as MiBs.
+  const double req_bytes = static_cast<double>(kDoubles * sizeof(double));
+  const bool zero_copy = bytes_copied_per_req < req_bytes * 0.01;
+  std::printf("data plane: %.0f bytes copied per %.0f-byte request (%s), "
+              "%.2f dispatch-ring CAS retries per request\n",
+              bytes_copied_per_req, req_bytes, zero_copy ? "~zero-copy" : "COPY REGRESSION",
+              cas_retries_per_req);
 
   // Straggler hedging: the same fan-out with one chronically stalled node,
   // unhedged vs hedged (p99-derived delay, cancel the loser). The paired
@@ -268,6 +299,8 @@ int main() {
   out.metric("hedges_fired", static_cast<double>(hedged.stats.hedges_fired));
   out.metric("hedges_won", static_cast<double>(hedged.stats.hedges_won));
   out.metric("hedges_wasted", static_cast<double>(hedged.stats.hedges_wasted));
+  out.metric("bytes_copied_per_req", bytes_copied_per_req);
+  out.metric("cas_retries_per_req", cas_retries_per_req);
   out.latency_us(bench::percentile(pipe_lat_us, 50), bench::percentile(pipe_lat_us, 95),
                  bench::percentile(pipe_lat_us, 99));
   out.throughput(n / pipe_s);
@@ -275,6 +308,16 @@ int main() {
   out.demotion_rate(st.reads_ex > 0 ? static_cast<double>(st.demoted + st.node_down_demotes) /
                                           static_cast<double>(st.reads_ex)
                                     : 0.0);
+  // Publish the schedule-dependent data-plane gauges explicitly (they are
+  // never auto-emitted: DST fingerprints must not see them) so the metrics
+  // dump alongside this record carries ring.*, arena.* and
+  // data.bytes_copied for eyeballing.
+  RingStats ring_total;
+  for (std::uint32_t s = 0; s < kNodes; ++s) {
+    ring_total += cluster.storage_server(s).dispatch_ring_stats();
+  }
+  obs::publish_ring_stats(ring_total);
+  obs::publish_bytes_copied();
   out.stages_from_metrics();
   out.write();
   std::printf(
@@ -285,5 +328,6 @@ int main() {
       kNodes);
 
   if (!identical || !hedge_identical) return 1;
+  if (!zero_copy) return 3;
   return seq_s > pipe_s && straggler_p99_ms > hedged_p99_ms ? 0 : 2;
 }

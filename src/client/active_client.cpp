@@ -98,10 +98,10 @@ rpc::Envelope ActiveClient::active_envelope(const pfs::FileMeta& meta, const Ser
   return env;
 }
 
-Result<std::vector<std::uint8_t>> ActiveClient::remote_read(pfs::ServerId target,
-                                                            pfs::FileHandle handle,
-                                                            Bytes object_offset, Bytes length,
-                                                            const obs::TraceContext& ctx) {
+Result<BufferRef> ActiveClient::remote_read(pfs::ServerId target,
+                                            pfs::FileHandle handle,
+                                            Bytes object_offset, Bytes length,
+                                            const obs::TraceContext& ctx) {
   rpc::Envelope env;
   env.target = target;
   env.kind = rpc::OpKind::kRead;
@@ -189,6 +189,9 @@ Result<std::vector<std::uint8_t>> ActiveClient::assemble_read(const pfs::FileMet
       if (r.read.status.code() == ErrorCode::kNotFound) continue;
       return r.read.status;
     }
+    // Gather into the caller's contiguous buffer: the one owning copy a
+    // whole-extent normal read cannot avoid (and the ledger records it).
+    note_bytes_copied(r.read.data.size());
     std::copy(r.read.data.begin(), r.read.data.end(),
               out.begin() + static_cast<std::ptrdiff_t>(segments[i].logical_offset - offset));
   }
@@ -486,7 +489,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::hedge_leg(const pfs::FileMeta& m
   auto streamed = kernels::stream_extent(
       *kernel.value(), leg.ext.object_offset, leg.ext.object_offset + leg.ext.length,
       config_.chunk_size,
-      [&](Bytes pos, Bytes len) -> Result<std::vector<std::uint8_t>> {
+      [&](Bytes pos, Bytes len) -> Result<BufferRef> {
         auto chunk = remote_read(leg.ext.server, meta.handle, pos, len,
                                  hedge_ctx.child("read@" + std::to_string(pos)));
         if (chunk.is_ok()) {
@@ -789,7 +792,7 @@ Result<std::vector<std::uint8_t>> ActiveClient::finish_locally(const pfs::FileMe
                                                                const obs::TraceContext& ctx) {
   auto streamed = kernels::stream_extent(
       kernel, from, ext.object_offset + ext.length, config_.chunk_size,
-      [&](Bytes pos, Bytes len) -> Result<std::vector<std::uint8_t>> {
+      [&](Bytes pos, Bytes len) -> Result<BufferRef> {
         // Each chunk read joins the request's causal tree (distinct salt
         // per offset, so spans stay unique).
         auto chunk = remote_read(ext.server, meta.handle, pos, len,
@@ -821,7 +824,13 @@ Result<std::vector<std::uint8_t>> ActiveClient::local_kernel(const pfs::FileMeta
   auto streamed = kernels::stream_extent(
       *kernel.value(), offset, offset + length, config_.chunk_size,
       // read() clamps each chunk at EOF and counts raw_bytes_read itself.
-      [&](Bytes pos, Bytes len) { return read(meta, pos, len); },
+      // The assembled vector is adopted (one move, no copy) to cross the
+      // ChunkReader boundary.
+      [&](Bytes pos, Bytes len) -> Result<BufferRef> {
+        auto chunk = read(meta, pos, len);
+        if (!chunk.is_ok()) return chunk.status();
+        return BufferRef::adopt(std::move(chunk).value());
+      },
       /*stop=*/nullptr, compute_pacer(config_.pace_compute_rates, operation));
   if (!streamed.is_ok()) return streamed.status();
   auto result = kernel.value()->finalize();

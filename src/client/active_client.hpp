@@ -285,9 +285,9 @@ class ActiveClient {
   /// A valid `ctx` joins the read to an existing causal tree (the
   /// demote/resume paths); an invalid one lets the transport start a fresh
   /// root trace.
-  Result<std::vector<std::uint8_t>> remote_read(pfs::ServerId target, pfs::FileHandle handle,
-                                                Bytes object_offset, Bytes length,
-                                                const obs::TraceContext& ctx = {});
+  Result<BufferRef> remote_read(pfs::ServerId target, pfs::FileHandle handle,
+                                Bytes object_offset, Bytes length,
+                                const obs::TraceContext& ctx = {});
 
   /// EOF-clamped striped read assembled from per-server kRead RPCs (one
   /// batch submission; holes read as zeros). No stats side effects.

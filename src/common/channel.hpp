@@ -14,6 +14,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -22,6 +23,15 @@
 #include "common/clock.hpp"
 
 namespace dosas {
+
+/// Tri-state result of a non-blocking queue poll. Distinguishes "nothing
+/// right now" from "closed and fully drained" so pollers can terminate —
+/// a plain optional cannot (nullopt is ambiguous between the two).
+enum class QueuePoll : std::uint8_t {
+  kItem,    // out-param holds a dequeued item
+  kEmpty,   // nothing available, but the queue is still open
+  kClosed,  // closed and drained: no item will ever arrive again
+};
 
 template <typename T>
 class Channel {
@@ -68,15 +78,26 @@ class Channel {
     return item;
   }
 
-  /// Non-blocking receive.
-  std::optional<T> try_receive() {
+  /// Non-blocking tri-state receive. On kItem `out` holds the item; on
+  /// kEmpty the channel is open but momentarily empty; kClosed means closed
+  /// *and* drained, so a polling loop can terminate.
+  QueuePoll poll(std::optional<T>& out) {
+    out.reset();
     std::unique_lock lock(mu_);
-    if (queue_.empty()) return std::nullopt;
-    T item = std::move(queue_.front());
+    if (queue_.empty()) return closed_ ? QueuePoll::kClosed : QueuePoll::kEmpty;
+    out.emplace(std::move(queue_.front()));
     queue_.pop_front();
     lock.unlock();
     clock().wake_one(not_full_);
-    return item;
+    return QueuePoll::kItem;
+  }
+
+  /// Non-blocking receive. nullopt conflates "empty" with "closed and
+  /// drained" — pollers that need to terminate must use poll() instead.
+  std::optional<T> try_receive() {
+    std::optional<T> out;
+    poll(out);
+    return out;
   }
 
   /// After close(), sends fail and receivers drain remaining items then get

@@ -48,7 +48,7 @@ std::vector<std::uint8_t> Checkpoint::encode() const {
   return w.take();
 }
 
-Result<Checkpoint> Checkpoint::decode(const std::vector<std::uint8_t>& bytes) {
+Result<Checkpoint> Checkpoint::decode(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   std::uint32_t magic = 0;
   std::uint32_t count = 0;

@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.hpp"
@@ -28,12 +30,15 @@ class ByteWriter {
   void put_i64(std::int64_t v) { put_raw(&v, sizeof(v)); }
   void put_f64(double v) { put_raw(&v, sizeof(v)); }
 
-  void put_string(const std::string& s) {
+  // Non-owning views: callers encoding an envelope or checkpoint hand in
+  // whatever they already hold (string literal, vector, BufferRef span)
+  // without materializing an intermediate copy.
+  void put_string(std::string_view s) {
     put_u32(static_cast<std::uint32_t>(s.size()));
     put_raw(s.data(), s.size());
   }
 
-  void put_blob(const std::vector<std::uint8_t>& b) {
+  void put_blob(std::span<const std::uint8_t> b) {
     put_u32(static_cast<std::uint32_t>(b.size()));
     put_raw(b.data(), b.size());
   }
@@ -49,10 +54,12 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Bounds-checked reader over an encoded buffer.
+/// Bounds-checked reader over an encoded buffer. Holds a non-owning view;
+/// the underlying bytes must outlive the reader (a vector converts
+/// implicitly, so existing call sites are unchanged).
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+  explicit ByteReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
 
   bool get_u8(std::uint8_t& v) { return get_raw(&v, sizeof(v)); }
   bool get_u32(std::uint32_t& v) { return get_raw(&v, sizeof(v)); }
@@ -87,7 +94,7 @@ class ByteReader {
     pos_ += n;
     return true;
   }
-  const std::vector<std::uint8_t>& buf_;
+  std::span<const std::uint8_t> buf_;
   std::size_t pos_ = 0;
 };
 
@@ -142,7 +149,7 @@ class Checkpoint {
   std::size_t encoded_size() const { return encode().size(); }
 
   std::vector<std::uint8_t> encode() const;
-  static Result<Checkpoint> decode(const std::vector<std::uint8_t>& bytes);
+  static Result<Checkpoint> decode(std::span<const std::uint8_t> bytes);
 
   bool operator==(const Checkpoint& other) const {
     return i64_ == other.i64_ && f64_ == other.f64_ && str_ == other.str_ &&

@@ -20,7 +20,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/channel.hpp"
+#include "common/ring.hpp"
 
 namespace dosas {
 
@@ -30,8 +30,12 @@ class ThreadPool {
   /// Must not throw. May be null.
   using ErrorCallback = std::function<void(std::exception_ptr)>;
 
-  explicit ThreadPool(std::size_t threads, ErrorCallback on_error = nullptr)
-      : on_error_(std::move(on_error)) {
+  /// `queue_capacity` bounds the dispatch ring; a submit against a full
+  /// ring blocks (through the Clock seam) until a worker drains a slot —
+  /// real backpressure instead of an unbounded queue.
+  explicit ThreadPool(std::size_t threads, ErrorCallback on_error = nullptr,
+                      std::size_t queue_capacity = 4096)
+      : tasks_(queue_capacity), on_error_(std::move(on_error)) {
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
       // Pre-register each worker's clock participation from this thread
@@ -58,6 +62,10 @@ class ThreadPool {
     return task_exceptions_.load(std::memory_order_relaxed);
   }
 
+  /// Contention counters of the lock-free dispatch ring (CAS retries,
+  /// park/wake trylock probe). Snapshot; publish explicitly if desired.
+  RingStats ring_stats() const { return tasks_.stats(); }
+
   /// Stop accepting work, drain the queue, join all workers. Idempotent.
   void shutdown() {
     tasks_.close();
@@ -83,7 +91,9 @@ class ThreadPool {
     }
   }
 
-  Channel<std::function<void()>> tasks_;
+  // The dispatch hop every active request crosses: lock-free ring on the
+  // fast path, Clock-seam parking when idle/full (see ring.hpp).
+  Ring<std::function<void()>> tasks_;
   ErrorCallback on_error_;
   std::atomic<std::uint64_t> task_exceptions_{0};
   std::vector<std::thread> workers_;

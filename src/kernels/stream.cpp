@@ -18,7 +18,7 @@ Result<StreamResult> stream_extent(Kernel& kernel, Bytes from, Bytes end, Bytes 
     auto chunk = read(r.position, n);
     if (!chunk.is_ok()) return chunk.status();
     if (chunk.value().empty()) break;  // end of data
-    kernel.consume(chunk.value());
+    kernel.consume(chunk.value().span());
     r.processed += chunk.value().size();
     r.position += chunk.value().size();
     if (progress) progress(chunk.value().size(), r.processed);

@@ -17,6 +17,7 @@
 
 #include <functional>
 
+#include "common/arena.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "kernels/kernel.hpp"
@@ -32,8 +33,11 @@ struct StreamResult {
 
 /// Produce the chunk at [pos, pos+len); may return short or empty at the
 /// end of the data. May throw (the server's fault-injection path does);
-/// exceptions propagate to the caller.
-using ChunkReader = std::function<Result<std::vector<std::uint8_t>>(Bytes pos, Bytes len)>;
+/// exceptions propagate to the caller. Returns a ref-counted BufferRef so
+/// the arena slab the PFS data server filled flows straight into
+/// Kernel::consume without an owning copy (locally produced bytes cross
+/// via BufferRef::adopt).
+using ChunkReader = std::function<Result<BufferRef>(Bytes pos, Bytes len)>;
 
 /// Polled before each read; returning true stops the stream (the kernel
 /// keeps its state, `position` is the resume offset). May be null.

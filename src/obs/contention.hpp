@@ -1,0 +1,68 @@
+// contention.hpp — explicit publication of data-plane contention stats.
+//
+// Ring (src/common/ring.hpp) and BufferArena (src/common/arena.hpp)
+// expose their contention counters only as snapshot structs: CAS retry
+// and lock fast/contended counts are schedule-dependent, so letting them
+// flow into the metrics registry automatically would break the DST
+// fingerprint suites, which compare the registry's full text output
+// bit-for-bit. Callers that *want* them in the registry — benches, ad
+// hoc diagnostics — publish a snapshot explicitly through these helpers.
+// Snapshots are published as gauges (set-to-current-value) so repeated
+// publication is idempotent rather than double-counting.
+#pragma once
+
+#include <string>
+
+#include "common/arena.hpp"
+#include "common/ring.hpp"
+#include "obs/metrics.hpp"
+
+namespace dosas::obs {
+
+/// Publish a ring stats snapshot under `<prefix>.…` gauges, e.g.
+/// `ring.cas_retries.push`. No-op when metrics are disabled.
+inline void publish_ring_stats(const RingStats& s,
+                               const std::string& prefix = "ring") {
+  if (!metrics_enabled()) return;
+  gauge_set(prefix + ".cas_retries.push",
+            static_cast<double>(s.push_cas_retries));
+  gauge_set(prefix + ".cas_retries.pop",
+            static_cast<double>(s.pop_cas_retries));
+  gauge_set(prefix + ".push_attempts", static_cast<double>(s.push_attempts));
+  gauge_set(prefix + ".pop_attempts", static_cast<double>(s.pop_attempts));
+  gauge_set(prefix + ".lock_fast", static_cast<double>(s.lock_fast));
+  gauge_set(prefix + ".lock_contended",
+            static_cast<double>(s.lock_contended));
+  gauge_set(prefix + ".producer_parks",
+            static_cast<double>(s.producer_parks));
+  gauge_set(prefix + ".consumer_parks",
+            static_cast<double>(s.consumer_parks));
+}
+
+/// Publish an arena stats snapshot under `<prefix>.…` gauges, e.g.
+/// `arena.slabs_recycled`. No-op when metrics are disabled.
+inline void publish_arena_stats(const BufferArena::Stats& s,
+                                const std::string& prefix = "arena") {
+  if (!metrics_enabled()) return;
+  gauge_set(prefix + ".slabs_created", static_cast<double>(s.slabs_created));
+  gauge_set(prefix + ".slabs_recycled",
+            static_cast<double>(s.slabs_recycled));
+  gauge_set(prefix + ".slabs_returned",
+            static_cast<double>(s.slabs_returned));
+  gauge_set(prefix + ".slabs_in_use", static_cast<double>(s.slabs_in_use));
+  gauge_set(prefix + ".slabs_free", static_cast<double>(s.slabs_free));
+  gauge_set(prefix + ".bytes_in_use", static_cast<double>(s.bytes_in_use));
+  gauge_set(prefix + ".lock_fast", static_cast<double>(s.lock_fast));
+  gauge_set(prefix + ".lock_contended",
+            static_cast<double>(s.lock_contended));
+}
+
+/// Publish the process-wide owning-copy ledger as the `data.bytes_copied`
+/// gauge. The ledger itself always counts; this only mirrors it into the
+/// registry when metrics are on.
+inline void publish_bytes_copied() {
+  if (!metrics_enabled()) return;
+  gauge_set("data.bytes_copied", static_cast<double>(data_bytes_copied()));
+}
+
+}  // namespace dosas::obs

@@ -40,8 +40,8 @@ Result<std::vector<std::uint8_t>> Client::read(const FileMeta& meta, Bytes offse
   std::vector<std::uint8_t> out(length);
   const Layout layout(meta.striping);
   for (const auto& seg : layout.map_extent(offset, length)) {
-    auto piece = fs_.data_server(seg.server).read_object(meta.handle, seg.object_offset,
-                                                         seg.length);
+    auto piece = fs_.data_server(seg.server).read_object_ref(meta.handle, seg.object_offset,
+                                                             seg.length);
     if (!piece.is_ok()) {
       // A server with no object for this handle is a hole in a sparse
       // file: reads as zeros (already in place in `out`).
@@ -52,6 +52,9 @@ Result<std::vector<std::uint8_t>> Client::read(const FileMeta& meta, Bytes offse
       // A hole (sparse region never written): zero-fill is already in
       // place since `out` is zero-initialised; copy what exists.
     }
+    // Gather into the contiguous result — the one owning copy a striped
+    // whole-extent read needs (recorded in the bytes-copied ledger).
+    note_bytes_copied(piece.value().size());
     std::copy(piece.value().begin(), piece.value().end(),
               out.begin() + static_cast<std::ptrdiff_t>(seg.logical_offset - offset));
   }

@@ -31,8 +31,8 @@ void DataServer::set_fault_injector(std::shared_ptr<fault::FaultInjector> fi) {
   faults_ = std::move(fi);
 }
 
-Result<std::vector<std::uint8_t>> DataServer::read_object(FileHandle fh, Bytes offset,
-                                                          Bytes length) const {
+Result<BufferRef> DataServer::read_object_ref(FileHandle fh, Bytes offset,
+                                              Bytes length) const {
   std::lock_guard lock(mu_);
   if (fail_reads_ > 0) {
     --fail_reads_;
@@ -51,13 +51,22 @@ Result<std::vector<std::uint8_t>> DataServer::read_object(FileHandle fh, Bytes o
                                            ": no object for handle " + std::to_string(fh));
   }
   const auto& obj = it->second;
-  if (offset >= obj.size()) return std::vector<std::uint8_t>{};
+  if (offset >= obj.size()) return BufferRef{};
   const Bytes avail = obj.size() - offset;
   const Bytes n = std::min(length, avail);
-  std::vector<std::uint8_t> out(obj.begin() + static_cast<std::ptrdiff_t>(offset),
-                                obj.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  // The ONE copy on the extent path: out of the (resizable) object store
+  // into an arena slab; everything downstream shares the slab.
+  BufferRef out = arena_.fill(
+      std::span<const std::uint8_t>(obj.data() + offset, n));
   bytes_read_ += n;
   return out;
+}
+
+Result<std::vector<std::uint8_t>> DataServer::read_object(FileHandle fh, Bytes offset,
+                                                          Bytes length) const {
+  auto ref = read_object_ref(fh, offset, length);
+  if (!ref.is_ok()) return ref.status();
+  return ref.value().to_vector();
 }
 
 Bytes DataServer::object_size(FileHandle fh) const {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "fault/fault.hpp"
@@ -50,7 +51,18 @@ class DataServer {
 
   /// Read up to `length` bytes at `offset`; reads past the object end are
   /// truncated (short read), reads entirely past it return empty.
+  ///
+  /// read_object_ref is the hot path: the bytes are copied ONCE out of
+  /// the object store (whose vectors writes may resize) into an arena
+  /// slab, and the returned BufferRef flows by reference through
+  /// rpc → server → kernels → client. read_object is the legacy owning
+  /// form for cold callers; it materializes a vector from the same slab
+  /// (and that extra copy lands in the data-bytes-copied ledger).
+  Result<BufferRef> read_object_ref(FileHandle fh, Bytes offset, Bytes length) const;
   Result<std::vector<std::uint8_t>> read_object(FileHandle fh, Bytes offset, Bytes length) const;
+
+  /// Slab/recycle counters for this server's extent-buffer arena.
+  BufferArena::Stats arena_stats() const { return arena_.stats(); }
 
   /// Current size of the object (0 if absent).
   Bytes object_size(FileHandle fh) const;
@@ -73,6 +85,7 @@ class DataServer {
  private:
   const ServerId id_;
   mutable std::mutex mu_;
+  mutable BufferArena arena_;  // extent-buffer slabs handed out by reads
   std::unordered_map<FileHandle, std::vector<std::uint8_t>> objects_;
   mutable Bytes bytes_read_ = 0;  // served-bytes counter bumped on (const) reads
   Bytes bytes_written_ = 0;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "obs/trace.hpp"
@@ -40,10 +41,14 @@ struct ReadRequest {
   Bytes length = 0;
 };
 
-/// Reply payload for OpKind::kRead.
+/// Reply payload for OpKind::kRead. `data` is a ref-counted view of the
+/// arena slab the PFS data server filled — copying the reply (retry
+/// layers, multi-waiter delivery) shares the slab instead of duplicating
+/// the extent. TokenBucket byte charging reads data.size() exactly once
+/// per completed RPC regardless of how many refs exist.
 struct ReadResponse {
-  Status status;                    ///< OK iff `data` is valid
-  std::vector<std::uint8_t> data;  ///< may be short / empty at object end
+  Status status;    ///< OK iff `data` is valid
+  BufferRef data;   ///< may be short / empty at object end
 };
 
 /// One request on the wire.

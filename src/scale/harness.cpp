@@ -10,8 +10,8 @@
 #include <thread>
 #include <utility>
 
-#include "common/channel.hpp"
 #include "common/clock.hpp"
+#include "common/ring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pfs/client.hpp"
@@ -165,10 +165,16 @@ ScaleReport run_scale(const ScaleScenario& scenario, const Schedule& schedule) {
     // exhibits at hot keys. Client affinity instead gives each logical
     // client its own CPU slot, the paper's cost-model assumption.
     const std::size_t pool = std::max<std::size_t>(1, scenario.completer_threads);
-    std::vector<std::unique_ptr<Channel<PendingItem>>> queues;  // unbounded
+    // Lock-free rings sized for the whole schedule, so the open-loop
+    // generator never blocks on a queue hop: a delayed send would distort
+    // the arrival process the scenario exists to model.
+    const std::size_t ring_cap = std::max<std::size_t>(2, schedule.ops.size());
+    std::vector<std::unique_ptr<Ring<PendingItem>>> queues;
     queues.reserve(pool);
-    for (std::size_t i = 0; i < pool; ++i) queues.push_back(std::make_unique<Channel<PendingItem>>());
-    Channel<std::uint8_t> completions;   // one token per resolved request
+    for (std::size_t i = 0; i < pool; ++i) {
+      queues.push_back(std::make_unique<Ring<PendingItem>>(ring_cap));
+    }
+    Ring<std::uint8_t> completions(ring_cap);  // one token per resolved request
     std::vector<std::thread> completers;
     completers.reserve(pool);
     for (std::size_t i = 0; i < pool; ++i) {
@@ -177,7 +183,7 @@ ScaleReport run_scale(const ScaleScenario& scenario, const Schedule& schedule) {
       clock().add_participant();
       completers.emplace_back([&, i] {
         ClockParticipant worker(ClockParticipant::kAdoptPreRegistered);
-        Channel<PendingItem>& queue = *queues[i];
+        Ring<PendingItem>& queue = *queues[i];
         while (auto item = queue.receive()) {
           auto result = item->pending.wait();
           RequestRecord& rec = report.records[item->index];

@@ -118,15 +118,15 @@ StorageServer::~StorageServer() {
   pool_.shutdown();
 }
 
-Result<std::vector<std::uint8_t>> StorageServer::serve_normal(pfs::FileHandle handle,
-                                                              Bytes object_offset, Bytes length) {
+Result<BufferRef> StorageServer::serve_normal(pfs::FileHandle handle,
+                                              Bytes object_offset, Bytes length) {
   {
     std::lock_guard lock(mu_);
     ++normal_inflight_;
     ++stats_.normal_requests;
   }
   if (obs::metrics_enabled()) obs::count(obs_name_ + ".normal_requests");
-  auto data = fs_.data_server(server_id_).read_object(handle, object_offset, length);
+  auto data = fs_.data_server(server_id_).read_object_ref(handle, object_offset, length);
   {
     std::lock_guard lock(mu_);
     --normal_inflight_;
@@ -236,6 +236,7 @@ void StorageServer::complete_entry(sched::RequestId id, const std::shared_ptr<En
   // client's cooperative resubmission path) or take unrelated locks. All
   // but the last waiter get a copy; the last takes the response by move.
   for (std::size_t i = 0; i + 1 < waiters.size(); ++i) {
+    note_bytes_copied(response.result.size() + response.checkpoint.size());
     if (waiters[i].done) waiters[i].done(response);
   }
   if (!waiters.empty() && waiters.back().done) waiters.back().done(std::move(response));
@@ -285,7 +286,8 @@ std::optional<ActiveIoResponse> StorageServer::cache_lookup(const ActiveIoReques
   ++stats_.cache_hits;
   ActiveIoResponse resp;
   resp.outcome = ActiveOutcome::kCompleted;
-  resp.result = it->second.result;
+  resp.result = it->second.result;  // owning copy out of the cache
+  note_bytes_copied(resp.result.size());
   return resp;
 }
 
@@ -302,6 +304,7 @@ void StorageServer::cache_insert(const ActiveIoRequest& request, std::uint64_t v
     }
     result_cache_.erase(victim);
   }
+  note_bytes_copied(result.size());  // owning copy into the cache
   result_cache_[CacheKey{request.handle, request.object_offset, request.length,
                          request.operation}] = CacheEntry{version, result, ++cache_tick_};
 }
@@ -835,7 +838,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
           return false;
         };
         auto read = [&](Bytes pos, Bytes len) {
-          return ds.read_object(request.handle, pos, len);
+          return ds.read_object_ref(request.handle, pos, len);
         };
         // Calibrated pacing (config_.pace_kernel_rates): charge each chunk
         // its cost at the table's storage-side rate for this operation —

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "kernels/registry.hpp"
@@ -133,10 +134,12 @@ class StorageServer {
   StorageServer& operator=(const StorageServer&) = delete;
 
   /// Normal I/O: read a byte extent of this server's object for `handle`.
-  /// (Network byte charging is the transport's job — see
-  /// rpc::NetChargeTransport — not this data path's.)
-  Result<std::vector<std::uint8_t>> serve_normal(pfs::FileHandle handle, Bytes object_offset,
-                                                 Bytes length);
+  /// Returns a ref-counted view of the data server's arena slab — the
+  /// bytes flow to the client without another owning copy. (Network byte
+  /// charging is the transport's job — see rpc::NetChargeTransport — not
+  /// this data path's.)
+  Result<BufferRef> serve_normal(pfs::FileHandle handle, Bytes object_offset,
+                                 Bytes length);
 
   /// Async active I/O: enqueue the request under the CE policy and return.
   /// `done` fires exactly once with the outcome (completion, rejection,
@@ -184,6 +187,10 @@ class StorageServer {
   ContentionEstimator& estimator() { return ce_; }
   const kernels::Registry& registry() const { return registry_; }
   Stats stats() const;
+
+  /// Contention counters of the worker pool's lock-free dispatch ring
+  /// (snapshot; benches aggregate these into cas_retries_per_req).
+  RingStats dispatch_ring_stats() const { return pool_.ring_stats(); }
 
   /// Current in-flight active request count (queued + running entries).
   std::size_t inflight() const;

@@ -429,6 +429,27 @@ TEST(Channel, MultiProducerMultiConsumerDeliversAll) {
   EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
 }
 
+TEST(Channel, PollDistinguishesEmptyFromClosed) {
+  // try_receive() conflates "momentarily empty" with "closed and drained";
+  // poll() is the tri-state form drain loops must use to tell them apart.
+  Channel<int> ch;
+  std::optional<int> out;
+  EXPECT_EQ(ch.poll(out), QueuePoll::kEmpty);
+  EXPECT_FALSE(out.has_value());
+
+  ch.send(5);
+  EXPECT_EQ(ch.poll(out), QueuePoll::kItem);
+  EXPECT_EQ(out.value(), 5);
+
+  ch.send(6);
+  ch.close();
+  EXPECT_EQ(ch.poll(out), QueuePoll::kItem);  // drain continues past close
+  EXPECT_EQ(out.value(), 6);
+  EXPECT_EQ(ch.poll(out), QueuePoll::kClosed);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(ch.poll(out), QueuePoll::kClosed);  // stable once signalled
+}
+
 // ---------------------------------------------------------------- thread pool
 
 TEST(ThreadPool, ExecutesAllTasks) {

@@ -116,7 +116,7 @@ TEST(PendingReply, CancelAfterCompletionFailsAndKeepsReply) {
   auto reply = PendingReply::make(OpKind::kRead);
   Reply r;
   r.kind = OpKind::kRead;
-  r.read.data = {7};
+  r.read.data = BufferRef::adopt({7});
   EXPECT_TRUE(reply.complete(std::move(r)));
   EXPECT_FALSE(reply.cancel(error(ErrorCode::kCancelled, "too late")));
   auto got = reply.wait();
@@ -364,6 +364,41 @@ TEST(Rpc, BreakerOpensAfterConsecutiveUnavailability) {
   auto r = chain.head->submit(fx.active_env("sum")).wait();
   EXPECT_EQ(r.active.outcome, server::ActiveOutcome::kCompleted);
   EXPECT_FALSE(chain.breaker->is_open(0));
+}
+
+TEST(Rpc, TokenBucketChargesExtentBytesExactlyOnce) {
+  Fixture fx(4096);  // 32 KiB object on the single data server
+
+  ChainOptions options;
+  // Virtual bucket with a deep burst: acquire() is pure accounting here.
+  options.network = std::make_shared<TokenBucket>(mb_per_sec(100.0), 64_MiB);
+  auto chain = make_chain({fx.server.get()}, options);
+
+  Envelope env;
+  env.target = 0;
+  env.kind = OpKind::kRead;
+  env.read.handle = fx.meta.handle;
+  env.read.object_offset = 0;
+  env.read.length = fx.meta.size;
+
+  auto reply = chain.head->submit(env).wait();
+  ASSERT_TRUE(reply.read.status.is_ok());
+  const Bytes n = reply.read.data.size();
+  EXPECT_EQ(n, fx.meta.size);
+  EXPECT_EQ(stats_of(*chain.head).bytes_charged, n);
+
+  // The payload is a ref-counted arena view: copying the reply or slicing
+  // the extent shares the slab and must NOT hit the bucket again.
+  Reply shared = reply;
+  BufferRef view = shared.read.data.slice(0, 1_KiB);
+  EXPECT_EQ(view.size(), 1_KiB);
+  EXPECT_EQ(stats_of(*chain.head).bytes_charged, n);
+
+  // Charging is exactly once per completed RPC, not per ref: a second
+  // read doubles the total.
+  auto reply2 = chain.head->submit(env).wait();
+  ASSERT_TRUE(reply2.read.status.is_ok());
+  EXPECT_EQ(stats_of(*chain.head).bytes_charged, 2 * n);
 }
 
 }  // namespace

@@ -10,12 +10,26 @@
 # demotion_rate, stages) — so CI artifacts and the committed trajectory
 # points in bench/trajectory/ stay machine-readable.
 #
+# Beyond the schema, freshly produced telemetry is DIFFED against the
+# committed baseline point in bench/trajectory/BENCH_<name>.json (skipped
+# when the validated file IS the baseline): every shared metric and the
+# latency quantiles are reported, and a latency_us.p99 regression beyond
+# DOSAS_BENCH_P99_TOLERANCE (default 0.25 = +25%) on the rpc_async point —
+# the 8-client contention measurement the data-plane work is judged by —
+# fails the check. Set DOSAS_BENCH_DIFF_REPORT to a path to also write the
+# diff as a report file (CI uploads it with the telemetry artifact).
+#
 # Usage: tools/check_bench_json.sh [file-or-dir ...]
 #   (no arguments: validates bench/trajectory/ in the repo root)
 # Exit 0 = all valid, 1 = violation or nothing to validate.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
+tolerance="${DOSAS_BENCH_P99_TOLERANCE:-0.25}"
+report="${DOSAS_BENCH_DIFF_REPORT:-}"
+if [ -n "$report" ]; then
+  : > "$report"
+fi
 
 files=()
 if [ "$#" -eq 0 ]; then
@@ -93,6 +107,13 @@ else:
                     "hedges_wasted"):
             if not isinstance(metrics.get(key), numbers.Real):
                 err(f"'metrics.{key}' missing or not a number (hedge telemetry)")
+    # Data-plane telemetry (v1 additions): the zero-copy ledger and ring
+    # CAS counters must keep flowing from the two benches that measure the
+    # lock-free data plane.
+    if doc.get("name") in ("rpc_async", "micro_core") and isinstance(metrics, dict):
+        for key in ("bytes_copied_per_req", "cas_retries_per_req"):
+            if not isinstance(metrics.get(key), numbers.Real):
+                err(f"'metrics.{key}' missing or not a number (data-plane telemetry)")
 
 if errors:
     for e in errors:
@@ -103,6 +124,71 @@ PYEOF
     :
   else
     fail=1
+  fi
+done
+
+# ---- trajectory diff: fresh telemetry vs the committed baseline point ----
+for f in "${files[@]}"; do
+  name="$(basename "$f")"
+  baseline="$root/bench/trajectory/$name"
+  [ -f "$baseline" ] || continue
+  # The baseline diffed against itself is vacuous — skip when the file
+  # under validation IS the committed trajectory point.
+  if [ "$(realpath "$f")" = "$(realpath "$baseline")" ]; then
+    continue
+  fi
+  diff_out="$(python3 - "$f" "$baseline" "$tolerance" <<'PYEOF'
+import json
+import sys
+
+path, base_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(path) as fh:
+    new = json.load(fh)
+with open(base_path) as fh:
+    base = json.load(fh)
+
+name = new.get("name", "?")
+lines = [f"== {name}: {path} vs baseline {base_path}"]
+
+def fmt(old, cur):
+    if isinstance(old, (int, float)) and isinstance(cur, (int, float)) and old:
+        return f"{old:.6g} -> {cur:.6g} ({(cur / old - 1) * 100:+.1f}%)"
+    return f"{old!r} -> {cur!r}"
+
+for key in sorted(set(base.get("metrics", {})) | set(new.get("metrics", {}))):
+    old = base.get("metrics", {}).get(key)
+    cur = new.get("metrics", {}).get(key)
+    if old != cur:
+        lines.append(f"  metrics.{key}: {fmt(old, cur)}")
+for q in ("p50", "p95", "p99"):
+    old = (base.get("latency_us") or {}).get(q)
+    cur = (new.get("latency_us") or {}).get(q)
+    if old is not None or cur is not None:
+        lines.append(f"  latency_us.{q}: {fmt(old, cur)}")
+
+failed = False
+# The enforced gate: the rpc_async 8-client point's p99 must not regress
+# past the tolerance. Everything else is report-only.
+if name == "rpc_async":
+    old = (base.get("latency_us") or {}).get("p99")
+    cur = (new.get("latency_us") or {}).get("p99")
+    if isinstance(old, (int, float)) and isinstance(cur, (int, float)) and old > 0:
+        if cur > old * (1 + tol):
+            lines.append(
+                f"  FAIL: latency_us.p99 regressed {cur / old - 1:+.1%} "
+                f"(tolerance {tol:+.0%})")
+            failed = True
+        else:
+            lines.append(
+                f"  OK: latency_us.p99 within {tol:+.0%} of baseline")
+
+print("\n".join(lines))
+sys.exit(1 if failed else 0)
+PYEOF
+)" || fail=1
+  echo "$diff_out" >&2
+  if [ -n "$report" ]; then
+    echo "$diff_out" >> "$report"
   fi
 done
 

@@ -80,11 +80,26 @@ if [ -f docs/OBSERVABILITY.md ]; then
       fail=1
     fi
   done
+  # Data-plane telemetry: the ring/arena contention gauges, the zero-copy
+  # ledger, and the per-request bench metrics the regression gate reads.
+  for token in 'ring.cas_retries.push' 'ring.cas_retries.pop' \
+               'ring.lock_fast' 'ring.lock_contended' \
+               'arena.slabs_in_use' 'arena.slabs_recycled' \
+               'data.bytes_copied' \
+               'bytes_copied_per_req' 'cas_retries_per_req'; do
+    if ! grep -q "$token" docs/OBSERVABILITY.md; then
+      echo "undocumented data-plane metric: '$token' (docs/OBSERVABILITY.md)" >&2
+      fail=1
+    fi
+  done
 fi
 
-# The hedging design note must keep naming its load-bearing knobs.
+# The hedging design note must keep naming its load-bearing knobs, and
+# the data-plane section its load-bearing types and contracts.
 if [ -f docs/ARCHITECTURE.md ]; then
-  for token in hedge_reads hedge_min_delay hedge_max_per_read node_latency; do
+  for token in hedge_reads hedge_min_delay hedge_max_per_read node_latency \
+               BufferRef BufferArena QueuePoll read_object_ref \
+               close-then-drain; do
     if ! grep -q "$token" docs/ARCHITECTURE.md; then
       echo "architecture doc no longer documents '$token' (docs/ARCHITECTURE.md)" >&2
       fail=1
