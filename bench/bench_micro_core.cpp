@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -145,6 +146,26 @@ void BM_RingThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_RingThroughput);
 
+void BM_RingSpscThroughput(benchmark::State& state) {
+  // Same shape as BM_RingThroughput on the SPSC specialization: the delta
+  // between the two rows is what removing the CAS claim loop buys a queue
+  // that really has one producer and one consumer (the scale harness's
+  // completer queues).
+  for (auto _ : state) {
+    SpscRing<int> ring(1024);
+    for (int i = 0; i < 1000; ++i) ring.try_send(i);
+    int sum = 0;
+    std::optional<int> v;
+    while (ring.poll(v) == QueuePoll::kItem) sum += *v;
+    benchmark::DoNotOptimize(sum);
+    const RingStats rs = ring.stats();
+    g_ring_cas_retries += rs.push_cas_retries + rs.pop_cas_retries;  // 0 by construction
+    g_ring_transfers += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RingSpscThroughput);
+
 void BM_RingMpmcContended(benchmark::State& state) {
   // The contended path the storage-server dispatch ring actually runs:
   // multiple producers CASing the tail against multiple draining
@@ -190,6 +211,23 @@ void BM_SumKernelConsume(benchmark::State& state) {
                           static_cast<std::int64_t>(chunk.size()));
 }
 BENCHMARK(BM_SumKernelConsume);
+
+void BM_SumKernelConsumeMisaligned(benchmark::State& state) {
+  // The staging path: a chunk starting one byte off item alignment cannot
+  // be processed in place, so consume() pays the bounded scratch copy.
+  // The delta against BM_SumKernelConsume is the in-place fast path's win.
+  kernels::SumKernel k;
+  std::vector<std::uint8_t> backing(1_MiB + 1, 0x3C);
+  const std::span<const std::uint8_t> chunk(backing.data() + 1, 1_MiB);
+  for (auto _ : state) {
+    k.reset();
+    k.consume(chunk);
+    benchmark::DoNotOptimize(k.consumed());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_SumKernelConsumeMisaligned);
 
 void BM_GaussianKernelConsume(benchmark::State& state) {
   kernels::Gaussian2dKernel k(1024);

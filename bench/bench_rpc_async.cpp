@@ -4,6 +4,7 @@
 // measures that difference end to end on the real runtime: N concurrent
 // clients issuing striped active reads, sequential-per-extent vs pipelined
 // fan-out, with a bit-identical result check between the two modes.
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <functional>
@@ -256,6 +257,93 @@ int main() {
               bytes_copied_per_req, req_bytes, zero_copy ? "~zero-copy" : "COPY REGRESSION",
               cas_retries_per_req);
 
+  // Striped WRITE point: the request direction of the zero-copy claim.
+  // Each client ships a 4 MiB BufferRef through ActiveClient::write — the
+  // envelope carries per-strip slices of the same slab, so the ledger
+  // delta per request must stay at ~0 (the store memcpy is the terminal
+  // materialization and is deliberately uncharged).
+  constexpr Bytes kWriteBytes = 4_MiB;
+  std::vector<BufferRef> payloads;
+  payloads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    std::vector<std::uint8_t> raw(kWriteBytes);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      raw[i] = static_cast<std::uint8_t>((i * 131 + c * 17) & 0xff);
+    }
+    payloads.push_back(BufferRef::adopt(std::move(raw)));
+  }
+  const std::uint64_t wledger0 = data_bytes_copied();
+  const Seconds w0 = wall_clock().now();
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      writers.emplace_back([&, c] {
+        for (std::size_t r = 0; r < kRounds; ++r) {
+          auto w = asc.write(metas[c], 0, payloads[c]);
+          assert(w.is_ok());
+          (void)w;
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+  }
+  const double write_s = wall_clock().now() - w0;
+  const double write_bytes_copied_per_req =
+      static_cast<double>(data_bytes_copied() - wledger0) /
+      static_cast<double>(kClients * kRounds);
+  const bool write_zero_copy =
+      write_bytes_copied_per_req < static_cast<double>(kWriteBytes) * 0.01;
+  // The bytes actually landed: spot-check one client's head through the
+  // zero-copy read path.
+  {
+    auto back = cluster.pfs_client().read_ref(metas[0], 0, 4096);
+    assert(back.is_ok());
+    assert(std::equal(back.value().span().begin(), back.value().span().end(),
+                      payloads[0].span().begin()));
+    (void)back;
+  }
+  std::printf("striped writes: %zu x %zu x %llu bytes in %.3f s — %.0f bytes copied "
+              "per request (%s)\n",
+              kClients, kRounds, static_cast<unsigned long long>(kWriteBytes), write_s,
+              write_bytes_copied_per_req, write_zero_copy ? "~zero-copy" : "COPY REGRESSION");
+
+  // Repeat-read cache-hit point: with the slab-backed result cache on, a
+  // repeated active read shares the cached ref — the per-hit ledger delta
+  // is the client's h(d)-sized materialization, never the extent.
+  double cache_hit_bytes_copied_per_req = 0.0;
+  bool cache_zero_copy = true;
+  {
+    constexpr std::size_t kHits = 16;
+    core::ClusterConfig ccfg;
+    ccfg.storage_nodes = 1;
+    ccfg.scheme = core::SchemeKind::kActive;
+    ccfg.result_cache_entries = 4;
+    core::Cluster cache_cluster(ccfg);
+    auto cmeta = pfs::write_doubles(cache_cluster.pfs_client(), "/cache", 1024 * 1024,
+                                    [](std::size_t i) { return static_cast<double>(i % 13); });
+    assert(cmeta.is_ok());
+    auto first = cache_cluster.asc().read_ex(cmeta.value(), 0, cmeta.value().size, "sum");
+    assert(first.is_ok());  // the one kernel run; everything after hits
+    const std::uint64_t cledger0 = data_bytes_copied();
+    for (std::size_t r = 0; r < kHits; ++r) {
+      auto res = cache_cluster.asc().read_ex(cmeta.value(), 0, cmeta.value().size, "sum");
+      assert(res.is_ok());
+      assert(res.value() == first.value());
+      (void)res;
+    }
+    cache_hit_bytes_copied_per_req =
+        static_cast<double>(data_bytes_copied() - cledger0) / static_cast<double>(kHits);
+    cache_zero_copy = cache_hit_bytes_copied_per_req <
+                      static_cast<double>(cmeta.value().size) * 0.01;
+    std::printf("cache hits: %llu of %zu repeat reads served from the slab cache — "
+                "%.0f bytes copied per hit (%s)\n",
+                static_cast<unsigned long long>(
+                    cache_cluster.storage_server(0).stats().cache_hits),
+                kHits, cache_hit_bytes_copied_per_req,
+                cache_zero_copy ? "~zero-copy" : "COPY REGRESSION");
+  }
+
   // Straggler hedging: the same fan-out with one chronically stalled node,
   // unhedged vs hedged (p99-derived delay, cancel the loser). The paired
   // runs share the result check inside run_straggler.
@@ -301,6 +389,9 @@ int main() {
   out.metric("hedges_wasted", static_cast<double>(hedged.stats.hedges_wasted));
   out.metric("bytes_copied_per_req", bytes_copied_per_req);
   out.metric("cas_retries_per_req", cas_retries_per_req);
+  out.metric("write_total_s", write_s);
+  out.metric("write_bytes_copied_per_req", write_bytes_copied_per_req);
+  out.metric("cache_hit_bytes_copied_per_req", cache_hit_bytes_copied_per_req);
   out.latency_us(bench::percentile(pipe_lat_us, 50), bench::percentile(pipe_lat_us, 95),
                  bench::percentile(pipe_lat_us, 99));
   out.throughput(n / pipe_s);
@@ -328,6 +419,6 @@ int main() {
       kNodes);
 
   if (!identical || !hedge_identical) return 1;
-  if (!zero_copy) return 3;
+  if (!zero_copy || !write_zero_copy || !cache_zero_copy) return 3;
   return seq_s > pipe_s && straggler_p99_ms > hedged_p99_ms ? 0 : 2;
 }

@@ -156,13 +156,13 @@ std::vector<ActiveClient::ServerExtent> ActiveClient::server_extents(const pfs::
   return out;
 }
 
-Result<std::vector<std::uint8_t>> ActiveClient::assemble_read(const pfs::FileMeta& meta,
-                                                              Bytes offset, Bytes length) {
+Result<BufferRef> ActiveClient::assemble_read(const pfs::FileMeta& meta, Bytes offset,
+                                              Bytes length) {
   // Refresh size so concurrent extenders are visible, then clamp at EOF.
   auto fresh = pfs_.file_system().meta().lookup_handle(meta.handle);
   if (!fresh.is_ok()) return fresh.status();
   const Bytes size = fresh.value().size;
-  if (offset >= size) return std::vector<std::uint8_t>{};
+  if (offset >= size) return BufferRef{};
   length = std::min(length, size - offset);
 
   const pfs::Layout layout(meta.striping);
@@ -180,6 +180,23 @@ Result<std::vector<std::uint8_t>> ActiveClient::assemble_read(const pfs::FileMet
   }
   auto replies = transport_->submit_batch(std::move(envs));
 
+  // Single-segment full reads — every chunk of a demoted/local kernel run
+  // whose chunk fits one strip — are the hot case: the server's slab ref
+  // IS the result, no staging buffer and no copy.
+  if (segments.size() == 1) {
+    auto r = replies[0].wait();
+    if (!r.read.status.is_ok()) {
+      if (r.read.status.code() != ErrorCode::kNotFound) return r.read.status;
+      return BufferRef::adopt(std::vector<std::uint8_t>(length, 0));  // hole: zeros
+    }
+    if (r.read.data.size() == length) return std::move(r.read.data);
+    // Short read (sparse tail): stage with the zero fill below.
+    std::vector<std::uint8_t> out(length);
+    note_bytes_copied(r.read.data.size(), CopySite::kReadGather);
+    std::copy(r.read.data.begin(), r.read.data.end(), out.begin());
+    return BufferRef::adopt(std::move(out));
+  }
+
   std::vector<std::uint8_t> out(length);  // holes/short reads stay zero
   for (std::size_t i = 0; i < segments.size(); ++i) {
     auto r = replies[i].wait();
@@ -189,23 +206,30 @@ Result<std::vector<std::uint8_t>> ActiveClient::assemble_read(const pfs::FileMet
       if (r.read.status.code() == ErrorCode::kNotFound) continue;
       return r.read.status;
     }
-    // Gather into the caller's contiguous buffer: the one owning copy a
-    // whole-extent normal read cannot avoid (and the ledger records it).
-    note_bytes_copied(r.read.data.size());
+    // Gather into the contiguous staging buffer: the one owning copy a
+    // striped whole-extent read cannot avoid (and the ledger records it).
+    note_bytes_copied(r.read.data.size(), CopySite::kReadGather);
     std::copy(r.read.data.begin(), r.read.data.end(),
               out.begin() + static_cast<std::ptrdiff_t>(segments[i].logical_offset - offset));
   }
-  return out;
+  return BufferRef::adopt(std::move(out));
 }
 
-Result<std::vector<std::uint8_t>> ActiveClient::read(const pfs::FileMeta& meta, Bytes offset,
-                                                     Bytes length) {
+Result<BufferRef> ActiveClient::read_ref(const pfs::FileMeta& meta, Bytes offset,
+                                         Bytes length) {
   auto data = assemble_read(meta, offset, length);
   if (data.is_ok()) {
     std::lock_guard lock(mu_);
     stats_.raw_bytes_read += data.value().size();
   }
   return data;
+}
+
+Result<std::vector<std::uint8_t>> ActiveClient::read(const pfs::FileMeta& meta, Bytes offset,
+                                                     Bytes length) {
+  auto data = read_ref(meta, offset, length);
+  if (!data.is_ok()) return data.status();
+  return data.value().to_vector();
 }
 
 Result<std::vector<std::uint8_t>> ActiveClient::read_ex(const pfs::FileMeta& meta, Bytes offset,
@@ -542,10 +566,14 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
     server::ActiveIoResponse resp, bool allow_resubmit, const obs::TraceContext& ctx) {
   switch (resp.outcome) {
     case server::ActiveOutcome::kCompleted: {
-      std::lock_guard lock(mu_);
-      ++stats_.completed_remote;
-      stats_.result_bytes_received += resp.result.size();
-      return std::move(resp.result);
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.completed_remote;
+        stats_.result_bytes_received += resp.result.size();
+      }
+      // Materialize the h(d)-sized result for the owning API; the charge
+      // is the result's bytes, not the extent's.
+      return resp.result.to_vector();
     }
 
     case server::ActiveOutcome::kRejected: {
@@ -599,10 +627,12 @@ Result<std::vector<std::uint8_t>> ActiveClient::resolve_response(
         note_timed_out(second_reply.active);
         auto second = std::move(second_reply.active);
         if (second.outcome == server::ActiveOutcome::kCompleted) {
-          std::lock_guard lock(mu_);
-          ++stats_.completed_remote;
-          stats_.result_bytes_received += second.result.size();
-          return std::move(second.result);
+          {
+            std::lock_guard lock(mu_);
+            ++stats_.completed_remote;
+            stats_.result_bytes_received += second.result.size();
+          }
+          return second.result.to_vector();
         }
         // Rejected (no progress since the first checkpoint) keeps the
         // original state; a second interruption carries fresher state.
@@ -823,19 +853,50 @@ Result<std::vector<std::uint8_t>> ActiveClient::local_kernel(const pfs::FileMeta
   kernel.value()->reset();
   auto streamed = kernels::stream_extent(
       *kernel.value(), offset, offset + length, config_.chunk_size,
-      // read() clamps each chunk at EOF and counts raw_bytes_read itself.
-      // The assembled vector is adopted (one move, no copy) to cross the
-      // ChunkReader boundary.
-      [&](Bytes pos, Bytes len) -> Result<BufferRef> {
-        auto chunk = read(meta, pos, len);
-        if (!chunk.is_ok()) return chunk.status();
-        return BufferRef::adopt(std::move(chunk).value());
-      },
+      // read_ref() clamps each chunk at EOF and counts raw_bytes_read
+      // itself; a chunk on one strip crosses the ChunkReader boundary as
+      // the server's own slab ref — no staging copy.
+      [&](Bytes pos, Bytes len) -> Result<BufferRef> { return read_ref(meta, pos, len); },
       /*stop=*/nullptr, compute_pacer(config_.pace_compute_rates, operation));
   if (!streamed.is_ok()) return streamed.status();
   auto result = kernel.value()->finalize();
   if (obs_on) obs::observe("client.local_kernel_us", obs::now_us() - t0);
   return result;
+}
+
+Result<pfs::FileMeta> ActiveClient::write(const pfs::FileMeta& meta, Bytes offset,
+                                          const BufferRef& data) {
+  obs::ScopedTrace span("client.write", "client");
+  const pfs::Layout layout(meta.striping);
+  std::vector<rpc::Envelope> envs;
+  for (const auto& seg : layout.map_extent(offset, data.size())) {
+    rpc::Envelope env;
+    env.target = seg.server;
+    env.kind = rpc::OpKind::kWrite;
+    env.write.handle = meta.handle;
+    env.write.object_offset = seg.object_offset;
+    // slice() shares the caller's slab — the striped fan-out ships N views
+    // of one buffer; each data server's store is that leg's only copy.
+    env.write.data = data.slice(seg.logical_offset - offset, seg.length);
+    envs.push_back(std::move(env));
+  }
+  auto replies = transport_->submit_batch(std::move(envs));
+  Status failed = Status::ok();
+  for (auto& reply : replies) {
+    auto r = reply.wait();
+    // Drain every leg before propagating a failure: siblings already hit
+    // their data servers, and abandoning their replies would strand the
+    // transport's in-flight accounting.
+    if (!r.write.status.is_ok() && failed.is_ok()) failed = r.write.status;
+  }
+  if (!failed.is_ok()) return failed;
+  {
+    std::lock_guard lock(mu_);
+    stats_.raw_bytes_written += data.size();
+  }
+  Status st = pfs_.file_system().meta().extend(meta.handle, offset + data.size());
+  if (!st.is_ok()) return st;
+  return pfs_.file_system().meta().lookup_handle(meta.handle);
 }
 
 ActiveClient::Stats ActiveClient::stats() const {

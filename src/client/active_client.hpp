@@ -140,6 +140,7 @@ class ActiveClient {
     std::uint64_t failed_remote_retries = 0;  ///< server failures retried locally
     std::uint64_t resubmitted = 0;            ///< interrupted kernels re-offloaded
     Bytes raw_bytes_read = 0;               ///< raw data pulled over "the network"
+    Bytes raw_bytes_written = 0;            ///< raw data shipped via write()
     Bytes result_bytes_received = 0;        ///< kernel results/checkpoints received
     std::uint64_t remote_retries = 0;       ///< transient active RPCs re-sent
     std::uint64_t exhausted_retries = 0;    ///< retry budget spent without success
@@ -239,8 +240,22 @@ class ActiveClient {
                               const std::string& operation);
 
   /// Normal read (the unmodified PFS path), assembled from per-server
-  /// object reads issued through the transport.
+  /// object reads issued through the transport. Materializes an owning
+  /// vector (the copy lands in the data-bytes-copied ledger); hot callers
+  /// use read_ref().
   Result<std::vector<std::uint8_t>> read(const pfs::FileMeta& meta, Bytes offset, Bytes length);
+
+  /// Zero-copy form of read(): an extent on one strip returns the storage
+  /// node's slab ref directly; only striped/sparse extents stage through a
+  /// gather buffer (charged to the ledger's read_gather site).
+  Result<BufferRef> read_ref(const pfs::FileMeta& meta, Bytes offset, Bytes length);
+
+  /// Normal write through the transport: the extent fans out as one kWrite
+  /// per storage node, each leg carrying a slice (shared slab view) of
+  /// `data`, then the file is extended. The data servers' stores are the
+  /// only copies; the link model charges each leg's request bytes exactly
+  /// once (rpc::NetChargeTransport). Returns the refreshed metadata.
+  Result<pfs::FileMeta> write(const pfs::FileMeta& meta, Bytes offset, const BufferRef& data);
 
   /// One active read in a batch.
   struct BatchItem {
@@ -290,9 +305,9 @@ class ActiveClient {
                                 const obs::TraceContext& ctx = {});
 
   /// EOF-clamped striped read assembled from per-server kRead RPCs (one
-  /// batch submission; holes read as zeros). No stats side effects.
-  Result<std::vector<std::uint8_t>> assemble_read(const pfs::FileMeta& meta, Bytes offset,
-                                                  Bytes length);
+  /// batch submission; holes read as zeros). Single-strip extents return
+  /// the server's slab ref without staging. No stats side effects.
+  Result<BufferRef> assemble_read(const pfs::FileMeta& meta, Bytes offset, Bytes length);
 
   /// Run the kernel locally over a file extent (the TS path).
   Result<std::vector<std::uint8_t>> local_kernel(const pfs::FileMeta& meta, Bytes offset,

@@ -42,49 +42,107 @@
 
 namespace dosas {
 
-/// Process-wide ledger of owning data copies on the extent path. Relaxed
-/// monotone counter; benches and tests read deltas around a measured
-/// phase. Published to the metrics registry as `data.bytes_copied` only
-/// on explicit request (obs/contention.hpp).
-inline std::atomic<std::uint64_t>& data_bytes_copied_counter() {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter;
+/// Where an owning copy happened, for the per-site breakdown of the
+/// data-bytes-copied ledger. A site is a *class* of call site, not a code
+/// location: the ledger's job is to say which mechanism still copies, so
+/// a regression report reads "gather" or "fan-out", not a line number.
+enum class CopySite : std::uint8_t {
+  kToVector,     // BufferRef::to_vector() escape hatch
+  kReadGather,   // multi-segment read reassembly (pfs client / ASC)
+  kWaiterFanout, // coalesced active result fanned out to extra waiters
+  kKernelStage,  // kernel staged a misaligned extent through scratch
+  kOther,        // uncategorized (default for legacy call sites)
+  kCount,
+};
+
+inline const char* copy_site_name(CopySite site) {
+  switch (site) {
+    case CopySite::kToVector: return "to_vector";
+    case CopySite::kReadGather: return "read_gather";
+    case CopySite::kWaiterFanout: return "waiter_fanout";
+    case CopySite::kKernelStage: return "kernel_stage";
+    case CopySite::kOther: return "other";
+    case CopySite::kCount: break;
+  }
+  return "?";
 }
 
-inline void note_bytes_copied(std::size_t n) {
-  data_bytes_copied_counter().fetch_add(n, std::memory_order_relaxed);
+/// Process-wide ledger of owning data copies on the extent path. Relaxed
+/// monotone counters; benches and tests read deltas around a measured
+/// phase. The total is published to the metrics registry as
+/// `data.bytes_copied` (per-site as `data.bytes_copied.<site>`) only on
+/// explicit request (obs/contention.hpp).
+struct CopyLedger {
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> by_site[static_cast<std::size_t>(CopySite::kCount)]{};
+};
+
+inline CopyLedger& copy_ledger() {
+  static CopyLedger ledger;
+  return ledger;
+}
+
+inline void note_bytes_copied(std::size_t n, CopySite site = CopySite::kOther) {
+  auto& ledger = copy_ledger();
+  ledger.total.fetch_add(n, std::memory_order_relaxed);
+  ledger.by_site[static_cast<std::size_t>(site)].fetch_add(
+      n, std::memory_order_relaxed);
 }
 
 inline std::uint64_t data_bytes_copied() {
-  return data_bytes_copied_counter().load(std::memory_order_relaxed);
+  return copy_ledger().total.load(std::memory_order_relaxed);
 }
 
-/// Immutable, ref-counted view of extent bytes. Copying/slicing a
-/// BufferRef shares the underlying slab; only to_vector() materializes
-/// an owning copy (and charges the bytes-copied ledger for it).
+inline std::uint64_t data_bytes_copied(CopySite site) {
+  return copy_ledger()
+      .by_site[static_cast<std::size_t>(site)]
+      .load(std::memory_order_relaxed);
+}
+
+/// Immutable, ref-counted view of extent bytes: a (pointer, size) pair
+/// plus a type-erased keepalive that pins whatever owns the storage — an
+/// arena slab, an adopted vector, or nothing at all for borrow()ed spans.
+/// Copying/slicing a BufferRef shares the storage; only to_vector()
+/// materializes an owning copy (and charges the bytes-copied ledger).
 class BufferRef {
  public:
   BufferRef() = default;
 
   /// Wrap an already-owned vector without copying (one move). Used where
   /// bytes are produced locally (e.g. a client-side PFS read feeding a
-  /// local kernel) and only need to cross a ChunkReader boundary.
+  /// local kernel, a finalized kernel result) and only need to cross an
+  /// rpc/cache boundary.
   static BufferRef adopt(std::vector<std::uint8_t> bytes) {
+    auto owner =
+        std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
     BufferRef ref;
+    ref.data_ = owner->data();
+    ref.size_ = owner->size();
+    ref.keepalive_ = std::move(owner);
+    return ref;
+  }
+
+  /// Wrap caller-owned bytes WITHOUT taking a reference. The caller
+  /// guarantees the bytes outlive every copy of the returned ref — use
+  /// only for synchronous call chains (e.g. handing a client's write
+  /// payload down a blocking submit), never for anything queued.
+  static BufferRef borrow(std::span<const std::uint8_t> bytes) {
+    BufferRef ref;
+    ref.data_ = bytes.data();
     ref.size_ = bytes.size();
-    ref.owner_ = std::make_shared<const std::vector<std::uint8_t>>(
-        std::move(bytes));
     return ref;
   }
 
   std::span<const std::uint8_t> span() const {
-    if (!owner_) return {};
-    return std::span<const std::uint8_t>(owner_->data() + offset_, size_);
+    return std::span<const std::uint8_t>(data_, size_);
   }
 
-  const std::uint8_t* data() const {
-    return owner_ ? owner_->data() + offset_ : nullptr;
-  }
+  /// A BufferRef reads as a span anywhere one is expected (kernel
+  /// consume/merge/decode, serializers), so result payloads can change
+  /// type without touching every consumer.
+  operator std::span<const std::uint8_t>() const { return span(); }
+
+  const std::uint8_t* data() const { return data_; }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -95,7 +153,7 @@ class BufferRef {
   /// Materialize an owning copy. This is the escape hatch for cold paths
   /// (tests, legacy callers) — it charges the data-bytes-copied ledger.
   std::vector<std::uint8_t> to_vector() const {
-    note_bytes_copied(size_);
+    note_bytes_copied(size_, CopySite::kToVector);
     const auto s = span();
     return std::vector<std::uint8_t>(s.begin(), s.end());
   }
@@ -120,17 +178,17 @@ class BufferRef {
   BufferRef slice(std::size_t offset, std::size_t length) const {
     BufferRef ref;
     if (offset >= size_) return ref;
-    ref.owner_ = owner_;
-    ref.offset_ = offset_ + offset;
+    ref.data_ = data_ + offset;
     ref.size_ = std::min(length, size_ - offset);
+    ref.keepalive_ = keepalive_;
     return ref;
   }
 
  private:
   friend class BufferArena;
-  std::shared_ptr<const std::vector<std::uint8_t>> owner_;
-  std::size_t offset_ = 0;
+  const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
+  std::shared_ptr<const void> keepalive_;
 };
 
 /// BufferArena construction options (namespace-scope so it is complete
@@ -191,12 +249,14 @@ class BufferArena {
 
     const std::size_t n = bytes.size();
     std::weak_ptr<State> weak = state_;
-    BufferRef ref;
-    ref.size_ = n;
-    ref.owner_ = std::shared_ptr<std::vector<std::uint8_t>>(
+    std::shared_ptr<std::vector<std::uint8_t>> owner(
         slab.release(), [weak, cls, n](std::vector<std::uint8_t>* v) {
           release_slab(weak, cls, n, v);
         });
+    BufferRef ref;
+    ref.data_ = owner->data();
+    ref.size_ = n;
+    ref.keepalive_ = std::move(owner);
     return ref;
   }
 

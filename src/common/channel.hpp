@@ -1,12 +1,19 @@
 // channel.hpp — bounded blocking MPMC channel.
 //
+// DEPRECATED for new intra-process queues: reach for Ring<T> (or
+// SpscRing<T>) in common/ring.hpp first. Every hop through a Channel
+// takes a mutex, which is exactly the self-inflicted contention the
+// lock-free data plane removed from the dispatch and completer paths
+// (tools/check_channel.sh lints src/ for new users). Channel remains the
+// right tool only where its unbounded capacity or its mutex-serialized
+// poll() tri-state is load-bearing — today that is nothing in src/; the
+// remaining in-tree users are its own tests and the bench row that
+// measures the mutex-vs-CAS delta.
+//
 // The paper's R <-> kernel communication is "shared memory ... widely used
 // for inter-process communication within a given compute node" (§III-E).
 // Our runtime is in-process, so the equivalent is a bounded queue with
-// blocking send/receive and a close() for shutdown. Used for:
-//   * request dispatch from the storage server to its kernel workers,
-//   * interrupt signals from the runtime to a running kernel,
-//   * compute-node clients talking to storage servers in the real runtime.
+// blocking send/receive and a close() for shutdown.
 //
 // Blocking and wake-ups route through the Clock seam (clock.hpp) so that
 // idle workers parked in receive() count as quiescent under a
@@ -21,17 +28,9 @@
 #include <utility>
 
 #include "common/clock.hpp"
+#include "common/queue_poll.hpp"
 
 namespace dosas {
-
-/// Tri-state result of a non-blocking queue poll. Distinguishes "nothing
-/// right now" from "closed and fully drained" so pollers can terminate —
-/// a plain optional cannot (nullopt is ambiguous between the two).
-enum class QueuePoll : std::uint8_t {
-  kItem,    // out-param holds a dequeued item
-  kEmpty,   // nothing available, but the queue is still open
-  kClosed,  // closed and drained: no item will ever arrive again
-};
 
 template <typename T>
 class Channel {

@@ -1,0 +1,23 @@
+// queue_poll.hpp — the tri-state poll protocol shared by every in-process
+// queue (Ring, Channel).
+//
+// Extracted from channel.hpp so the lock-free Ring does not have to pull
+// in the mutex Channel just to name the enum: Ring is the default queue
+// for new code (see channel.hpp's deprecation note), and its header should
+// not depend on the thing it replaced.
+#pragma once
+
+#include <cstdint>
+
+namespace dosas {
+
+/// Tri-state result of a non-blocking queue poll. Distinguishes "nothing
+/// right now" from "closed and fully drained" so pollers can terminate —
+/// a plain optional cannot (nullopt is ambiguous between the two).
+enum class QueuePoll : std::uint8_t {
+  kItem,    // out-param holds a dequeued item
+  kEmpty,   // nothing available, but the queue is still open
+  kClosed,  // closed and drained: no item will ever arrive again
+};
+
+}  // namespace dosas

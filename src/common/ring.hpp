@@ -16,7 +16,15 @@
 //   * close(): same contract as Channel — sends fail after close, and any
 //     send() that returned true is guaranteed to be drained by receivers
 //     (a producers-in-flight count lets receivers distinguish "drained"
-//     from "a producer is mid-commit").
+//     from "a producer is mid-commit");
+//   * SPSC specialization: Ring<T, RingKind::kSpsc> (alias SpscRing<T>)
+//     drops the cursor CAS entirely — with one producer owning
+//     enqueue_pos_ and one consumer owning dequeue_pos_, a plain store
+//     claims the slot. Same parking, same close-then-drain contract,
+//     same stats shape; the CAS-retry counters simply stay at zero. Use
+//     it ONLY where single-producer/single-consumer is provable (e.g.
+//     the scale harness's per-completer queues: one submitter, one
+//     completer each).
 //
 // Instrumented per the temporal-slab contention template (SNIPPETS.md
 // Snippet 1): CAS retry counters with attempt denominators, and a
@@ -37,8 +45,8 @@
 #include <optional>
 #include <utility>
 
-#include "common/channel.hpp"  // QueuePoll tri-state, shared with Channel
 #include "common/clock.hpp"
+#include "common/queue_poll.hpp"
 
 // ThreadSanitizer does not model std::atomic_thread_fence (GCC warns
 // [-Wtsan] and the runtime ignores it), so the Dekker wake protocol
@@ -87,7 +95,14 @@ struct RingStats {
   }
 };
 
-template <typename T>
+/// Compile-time concurrency policy for Ring. kMpmc (default) CASes the
+/// enqueue/dequeue cursors; kSpsc assumes exactly one producer thread and
+/// exactly one consumer thread and claims slots with plain stores. The
+/// parking, close-then-drain, and poll contracts are identical — kSpsc is
+/// purely a fast path for queues whose SPSC shape is provable.
+enum class RingKind : std::uint8_t { kMpmc, kSpsc };
+
+template <typename T, RingKind K = RingKind::kMpmc>
 class Ring {
  public:
   /// Capacity is rounded up to a power of two (minimum 2). A Ring is
@@ -292,8 +307,18 @@ class Ring {
       const auto dif =
           static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
       if (dif == 0) {
-        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
-                                               std::memory_order_relaxed)) {
+        bool claimed;
+        if constexpr (K == RingKind::kSpsc) {
+          // Single producer: nobody else can claim this slot, so a plain
+          // store advances the cursor (still atomic — the consumer reads
+          // it in pop_slot's empty check and size()).
+          enqueue_pos_.store(pos + 1, std::memory_order_relaxed);
+          claimed = true;
+        } else {
+          claimed = enqueue_pos_.compare_exchange_weak(
+              pos, pos + 1, std::memory_order_relaxed);
+        }
+        if (claimed) {
           ::new (static_cast<void*>(slot.storage)) T(std::move(item));
           slot.seq.store(pos + 1, std::memory_order_release);
           return PushResult::kOk;
@@ -319,8 +344,15 @@ class Ring {
       const auto dif = static_cast<std::intptr_t>(seq) -
                        static_cast<std::intptr_t>(pos + 1);
       if (dif == 0) {
-        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
-                                               std::memory_order_relaxed)) {
+        bool claimed;
+        if constexpr (K == RingKind::kSpsc) {
+          dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+          claimed = true;
+        } else {
+          claimed = dequeue_pos_.compare_exchange_weak(
+              pos, pos + 1, std::memory_order_relaxed);
+        }
+        if (claimed) {
           out.emplace(std::move(*slot.ptr()));
           slot.ptr()->~T();
           slot.seq.store(pos + mask_ + 1, std::memory_order_release);
@@ -467,5 +499,10 @@ class Ring {
   std::atomic<std::uint64_t> producer_parks_{0};
   std::atomic<std::uint64_t> consumer_parks_{0};
 };
+
+/// The single-producer/single-consumer specialization. Same API and
+/// contracts as Ring<T>; CAS-free cursor claims (see RingKind::kSpsc).
+template <typename T>
+using SpscRing = Ring<T, RingKind::kSpsc>;
 
 }  // namespace dosas

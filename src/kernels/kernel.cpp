@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/arena.hpp"
+
 namespace dosas::kernels {
 
 void ItemwiseKernel::consume(std::span<const std::uint8_t> chunk) {
@@ -27,20 +29,32 @@ void ItemwiseKernel::consume(std::span<const std::uint8_t> chunk) {
     }
   }
 
-  // Process the aligned middle as whole items.
+  // Process the whole-item middle.
   const std::size_t whole = chunk.size() / sizeof(double);
   if (whole > 0) {
-    // Input buffers are byte streams with no alignment guarantee; copy into
-    // an aligned scratch in bounded blocks to keep memory flat.
-    constexpr std::size_t kBlock = 8192;
-    static thread_local std::vector<double> scratch;
-    std::size_t done = 0;
-    while (done < whole) {
-      const std::size_t n = std::min(kBlock, whole - done);
-      scratch.resize(n);
-      std::memcpy(scratch.data(), chunk.data() + done * sizeof(double), n * sizeof(double));
-      process_items(std::span(scratch.data(), n));
-      done += n;
+    if (reinterpret_cast<std::uintptr_t>(chunk.data()) % alignof(double) == 0) {
+      // Aligned input — every arena slab is (vectors are allocator-aligned,
+      // and stream_extent keeps chunk boundaries on item multiples) — is
+      // consumed IN PLACE: the slab the data server filled is the very
+      // memory process_items() reads. No staging, no ledger charge.
+      process_items(
+          std::span(reinterpret_cast<const double*>(chunk.data()), whole));
+    } else {
+      // Misaligned byte stream (ragged head after a carry, foreign
+      // buffers): copy into an aligned scratch in bounded blocks to keep
+      // memory flat. This staging copy is what the ledger's kernel_stage
+      // site measures.
+      constexpr std::size_t kBlock = 8192;
+      static thread_local std::vector<double> scratch;
+      note_bytes_copied(whole * sizeof(double), CopySite::kKernelStage);
+      std::size_t done = 0;
+      while (done < whole) {
+        const std::size_t n = std::min(kBlock, whole - done);
+        scratch.resize(n);
+        std::memcpy(scratch.data(), chunk.data() + done * sizeof(double), n * sizeof(double));
+        process_items(std::span(scratch.data(), n));
+        done += n;
+      }
     }
   }
 

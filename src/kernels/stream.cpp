@@ -14,7 +14,15 @@ Result<StreamResult> stream_extent(Kernel& kernel, Bytes from, Bytes end, Bytes 
       r.stopped = true;
       return r;
     }
-    const Bytes n = std::min<Bytes>(chunk_size, end - r.position);
+    Bytes n = std::min<Bytes>(chunk_size, end - r.position);
+    if (r.position + n < end) {
+      // Keep non-final chunk boundaries on whole-item (8-byte) multiples:
+      // an item-aligned stream then never splits an item across chunks, so
+      // ItemwiseKernel's carry stays empty and every aligned slab is
+      // consumed in place instead of restaging around a ragged head.
+      const Bytes ragged = n % sizeof(double);
+      if (ragged != 0 && n > ragged) n -= ragged;
+    }
     auto chunk = read(r.position, n);
     if (!chunk.is_ok()) return chunk.status();
     if (chunk.value().empty()) break;  // end of data

@@ -57,12 +57,20 @@ inline void publish_arena_stats(const BufferArena::Stats& s,
             static_cast<double>(s.lock_contended));
 }
 
-/// Publish the process-wide owning-copy ledger as the `data.bytes_copied`
-/// gauge. The ledger itself always counts; this only mirrors it into the
-/// registry when metrics are on.
+/// Publish the process-wide owning-copy ledger: the `data.bytes_copied`
+/// total plus one `data.bytes_copied.<site>` gauge per charge site
+/// (to_vector, read_gather, waiter_fanout, kernel_stage, other), so a
+/// regression names the layer that reintroduced a copy. The ledger itself
+/// always counts; this only mirrors it into the registry when metrics
+/// are on.
 inline void publish_bytes_copied() {
   if (!metrics_enabled()) return;
   gauge_set("data.bytes_copied", static_cast<double>(data_bytes_copied()));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(CopySite::kCount); ++i) {
+    const auto site = static_cast<CopySite>(i);
+    gauge_set(std::string("data.bytes_copied.") + copy_site_name(site),
+              static_cast<double>(data_bytes_copied(site)));
+  }
 }
 
 }  // namespace dosas::obs

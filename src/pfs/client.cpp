@@ -54,11 +54,34 @@ Result<std::vector<std::uint8_t>> Client::read(const FileMeta& meta, Bytes offse
     }
     // Gather into the contiguous result — the one owning copy a striped
     // whole-extent read needs (recorded in the bytes-copied ledger).
-    note_bytes_copied(piece.value().size());
+    note_bytes_copied(piece.value().size(), CopySite::kReadGather);
     std::copy(piece.value().begin(), piece.value().end(),
               out.begin() + static_cast<std::ptrdiff_t>(seg.logical_offset - offset));
   }
   return out;
+}
+
+Result<BufferRef> Client::read_ref(const FileMeta& meta, Bytes offset, Bytes length) const {
+  auto fresh = fs_.meta().lookup_handle(meta.handle);
+  if (!fresh.is_ok()) return fresh.status();
+  const Bytes size = fresh.value().size;
+  if (offset >= size) return BufferRef{};
+  length = std::min(length, size - offset);
+
+  const Layout layout(meta.striping);
+  const auto segments = layout.map_extent(offset, length);
+  if (segments.size() == 1) {
+    const auto& seg = segments[0];
+    auto piece =
+        fs_.data_server(seg.server).read_object_ref(meta.handle, seg.object_offset, seg.length);
+    // Full-length single-strip reads hand the slab ref straight through;
+    // holes and short reads need the gather path's zero fill below.
+    if (piece.is_ok() && piece.value().size() == length) return std::move(piece).value();
+    if (!piece.is_ok() && piece.status().code() != ErrorCode::kNotFound) return piece.status();
+  }
+  auto owned = read(meta, offset, length);
+  if (!owned.is_ok()) return owned.status();
+  return BufferRef::adopt(std::move(owned).value());
 }
 
 Status Client::unlink(const std::string& path) {

@@ -32,12 +32,26 @@ class Client {
   Result<FileMeta> open(const std::string& path) { return fs_.meta().lookup(path); }
 
   /// Write `data` at `offset`, extending the file as needed. Returns the
-  /// refreshed metadata.
+  /// refreshed metadata. Per-server chunks are subspans of `data` all the
+  /// way to each data server's store — that terminal store is the write
+  /// path's only copy.
   Result<FileMeta> write(const FileMeta& meta, Bytes offset, std::span<const std::uint8_t> data);
 
+  /// BufferRef form: writes the ref's view without materializing a vector
+  /// (BufferRef converts to a span; the striping math slices that span).
+  Result<FileMeta> write(const FileMeta& meta, Bytes offset, const BufferRef& data) {
+    return write(meta, offset, data.span());
+  }
+
   /// Read up to `length` bytes at `offset`. Short reads at EOF; an offset
-  /// at or past EOF returns an empty buffer.
+  /// at or past EOF returns an empty buffer. Materializes an owning
+  /// vector; read_ref() is the zero-copy form.
   Result<std::vector<std::uint8_t>> read(const FileMeta& meta, Bytes offset, Bytes length) const;
+
+  /// Zero-copy read: an extent on one strip returns the data server's
+  /// arena slab ref directly; striped or sparse extents fall back to the
+  /// gather path (one staging copy, recorded in the ledger) and adopt it.
+  Result<BufferRef> read_ref(const FileMeta& meta, Bytes offset, Bytes length) const;
 
   /// Read the whole file.
   Result<std::vector<std::uint8_t>> read_all(const FileMeta& meta) const {

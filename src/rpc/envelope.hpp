@@ -8,10 +8,11 @@
 // concerns (retry, fault injection, byte charging, tracing) can act on the
 // message without knowing which layer produced it.
 //
-// The payload is deliberately a pair of plain members rather than a
-// variant: exactly two operations cross this boundary today (paper Fig. 3:
-// active I/O and the unmodified PFS path), and call sites switch on `kind`
-// the same way the server switches on the wire opcode.
+// The payload is deliberately a set of plain members rather than a
+// variant: exactly three operations cross this boundary today (paper
+// Fig. 3: active I/O and the unmodified PFS read/write path), and call
+// sites switch on `kind` the same way the server switches on the wire
+// opcode.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +31,7 @@ namespace dosas::rpc {
 enum class OpKind {
   kActiveIo,  ///< run a kernel server-side (ActiveIoRequest -> ActiveIoResponse)
   kRead,      ///< normal I/O: read a server-local object extent
+  kWrite,     ///< normal I/O: write a server-local object extent
 };
 
 const char* op_kind_name(OpKind k);
@@ -51,6 +53,23 @@ struct ReadResponse {
   BufferRef data;   ///< may be short / empty at object end
 };
 
+/// Normal-I/O write of one contiguous extent of the target server's
+/// object. `data` is a ref-counted view of the caller's buffer (usually a
+/// slice of one slab covering the whole striped write), so the fan-out to
+/// N servers shares the payload instead of cutting N owning copies. The
+/// bytes are copied exactly once, by the data server's terminal store.
+struct WriteRequest {
+  pfs::FileHandle handle = 0;
+  Bytes object_offset = 0;
+  BufferRef data;
+};
+
+/// Reply payload for OpKind::kWrite.
+struct WriteResponse {
+  Status status;       ///< OK iff the extent was stored
+  Bytes written = 0;   ///< bytes accepted (== request data.size() on OK)
+};
+
 /// One request on the wire.
 struct Envelope {
   std::uint64_t rpc_id = 0;   ///< assigned by the transport at submission
@@ -58,6 +77,7 @@ struct Envelope {
   OpKind kind = OpKind::kActiveIo;
   server::ActiveIoRequest active;  ///< kActiveIo payload
   ReadRequest read;                ///< kRead payload
+  WriteRequest write;              ///< kWrite payload
   /// Per-request deadline in seconds (0 = none). Enforced by the
   /// transport: an unanswered request is cancelled server-side and fails
   /// kTimedOut, whether the caller is blocked in wait() or purely async.
@@ -82,11 +102,17 @@ struct Reply {
   OpKind kind = OpKind::kActiveIo;
   server::ActiveIoResponse active;  ///< kActiveIo payload
   ReadResponse read;                ///< kRead payload
+  WriteResponse write;              ///< kWrite payload
 
   /// The failure/OK status regardless of kind (kActiveIo: the response
-  /// status; kRead: the read status).
+  /// status; kRead/kWrite: the operation status).
   const Status& status() const {
-    return kind == OpKind::kActiveIo ? active.status : read.status;
+    switch (kind) {
+      case OpKind::kActiveIo: return active.status;
+      case OpKind::kRead: return read.status;
+      case OpKind::kWrite: return write.status;
+    }
+    return active.status;
   }
 };
 

@@ -119,6 +119,20 @@ void InProcessTransport::dispatch_read(Envelope& env, PendingReply& reply) {
   reply.complete(std::move(r));
 }
 
+void InProcessTransport::dispatch_write(Envelope& env, PendingReply& reply) {
+  server::StorageServer& server = *servers_.at(env.target);
+  Reply r;
+  r.kind = OpKind::kWrite;
+  auto st =
+      server.serve_write(env.write.handle, env.write.object_offset, env.write.data);
+  if (st.is_ok()) {
+    r.write.written = env.write.data.size();
+  } else {
+    r.write.status = std::move(st);
+  }
+  reply.complete(std::move(r));
+}
+
 PendingReply InProcessTransport::submit(Envelope env) {
   {
     std::lock_guard lock(mu_);
@@ -134,8 +148,10 @@ PendingReply InProcessTransport::submit(Envelope env) {
   auto reply = track(env);
   if (env.kind == OpKind::kActiveIo) {
     dispatch_active(env, reply);
-  } else {
+  } else if (env.kind == OpKind::kRead) {
     dispatch_read(env, reply);
+  } else {
+    dispatch_write(env, reply);
   }
   return reply;
 }

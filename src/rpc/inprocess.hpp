@@ -54,6 +54,10 @@ class InProcessTransport : public Transport {
   /// plain object reads; a socket backend would).
   void dispatch_read(Envelope& env, PendingReply& reply);
 
+  /// Serve one kWrite synchronously. The envelope's BufferRef payload is
+  /// consumed in place — the data server's terminal store is the only copy.
+  void dispatch_write(Envelope& env, PendingReply& reply);
+
   /// Register `reply` for cancellation at now + env.deadline seconds.
   void arm_deadline(PendingReply reply, const Envelope& env);
 

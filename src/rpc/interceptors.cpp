@@ -406,8 +406,13 @@ void NetChargeTransport::charge(PendingReply& reply, std::uint32_t target) {
         case server::ActiveOutcome::kInterrupted: payload = r.active.checkpoint.size(); break;
         default: break;
       }
-    } else if (r.read.status.is_ok()) {
-      payload = r.read.data.size();
+    } else if (r.kind == OpKind::kRead) {
+      if (r.read.status.is_ok()) payload = r.read.data.size();
+    } else if (r.write.status.is_ok()) {
+      // Request-direction bytes: the extent the client shipped, echoed back
+      // as `written`. Charged here — once, at the single completion — so a
+      // striped write pays the link model exactly what the read path does.
+      payload = r.write.written;
     }
     if (payload == 0) return;
     TokenBucket* bucket = bucket_for(target);

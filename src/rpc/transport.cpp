@@ -12,6 +12,7 @@ const char* op_kind_name(OpKind k) {
   switch (k) {
     case OpKind::kActiveIo: return "active";
     case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
   }
   return "?";
 }
@@ -22,8 +23,10 @@ Reply failure_reply(OpKind kind, Status status) {
   if (kind == OpKind::kActiveIo) {
     r.active.outcome = server::ActiveOutcome::kFailed;
     r.active.status = std::move(status);
-  } else {
+  } else if (kind == OpKind::kRead) {
     r.read.status = std::move(status);
+  } else {
+    r.write.status = std::move(status);
   }
   return r;
 }
@@ -85,12 +88,21 @@ void PendingReply::on_complete(Callback cb) {
 
 bool PendingReply::complete(Reply r) {
   std::vector<Callback> callbacks;
+  // The canceller is dropped at completion: cancel() is a no-op once
+  // `claimed` is set, and interceptor cancellers close over session state
+  // that itself holds this State (RetryTransport's Session, the hedge
+  // twin) — keeping the closure alive past completion is a reference
+  // cycle that leaks the whole retry session. Destroyed outside the lock;
+  // a racing cancel() already copied its own reference.
+  Canceller canceller;
   {
     std::lock_guard lock(state_->mu);
     if (state_->claimed) return false;
     state_->reply = std::move(r);
     state_->claimed = true;
     callbacks.swap(state_->callbacks);
+    canceller = std::move(state_->canceller);
+    state_->canceller = nullptr;
   }
   // Callbacks run outside the lock: they may submit further RPCs (retry
   // resubmission, cooperative re-offload) or take unrelated locks. Waiters
@@ -106,6 +118,9 @@ bool PendingReply::complete(Reply r) {
 
 void PendingReply::set_canceller(Canceller c) {
   std::lock_guard lock(state_->mu);
+  // A completed reply will never invoke its canceller; storing one would
+  // only pin the closure's captures (see complete()).
+  if (state_->claimed) return;
   state_->canceller = std::move(c);
 }
 

@@ -169,10 +169,14 @@ ScaleReport run_scale(const ScaleScenario& scenario, const Schedule& schedule) {
     // generator never blocks on a queue hop: a delayed send would distort
     // the arrival process the scenario exists to model.
     const std::size_t ring_cap = std::max<std::size_t>(2, schedule.ops.size());
-    std::vector<std::unique_ptr<Ring<PendingItem>>> queues;
+    // Each per-completer queue has exactly one producer (the open-loop
+    // generator below) and one consumer (completer i), so the SPSC ring
+    // specialization applies: plain releases on the cursors, no CAS claim
+    // loop to retry under contention.
+    std::vector<std::unique_ptr<SpscRing<PendingItem>>> queues;
     queues.reserve(pool);
     for (std::size_t i = 0; i < pool; ++i) {
-      queues.push_back(std::make_unique<Ring<PendingItem>>(ring_cap));
+      queues.push_back(std::make_unique<SpscRing<PendingItem>>(ring_cap));
     }
     Ring<std::uint8_t> completions(ring_cap);  // one token per resolved request
     std::vector<std::thread> completers;
@@ -183,7 +187,7 @@ ScaleReport run_scale(const ScaleScenario& scenario, const Schedule& schedule) {
       clock().add_participant();
       completers.emplace_back([&, i] {
         ClockParticipant worker(ClockParticipant::kAdoptPreRegistered);
-        Ring<PendingItem>& queue = *queues[i];
+        SpscRing<PendingItem>& queue = *queues[i];
         while (auto item = queue.receive()) {
           auto result = item->pending.wait();
           RequestRecord& rec = report.records[item->index];

@@ -60,7 +60,11 @@ const char* outcome_name(ActiveOutcome o);
 
 struct ActiveIoResponse {
   ActiveOutcome outcome = ActiveOutcome::kFailed;
-  std::vector<std::uint8_t> result;      ///< kCompleted: encoded kernel result
+  /// kCompleted: encoded kernel result, as a ref-counted view of the slab
+  /// the server finalized into. Copying the response (coalesced-waiter
+  /// fan-out, retry layers, the result cache) shares the slab; decode call
+  /// sites consume it through BufferRef's span conversion.
+  BufferRef result;
   std::vector<std::uint8_t> checkpoint;  ///< kInterrupted: encoded Checkpoint
   Bytes resume_offset = 0;               ///< kInterrupted: object offset to continue from
   Status status;                         ///< kFailed: the error

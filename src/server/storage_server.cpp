@@ -135,6 +135,25 @@ Result<BufferRef> StorageServer::serve_normal(pfs::FileHandle handle,
   return data;
 }
 
+Status StorageServer::serve_write(pfs::FileHandle handle, Bytes object_offset,
+                                  const BufferRef& data) {
+  {
+    std::lock_guard lock(mu_);
+    ++normal_inflight_;
+    ++stats_.normal_requests;
+  }
+  if (obs::metrics_enabled()) obs::count(obs_name_ + ".normal_requests");
+  // The data server's store is the write path's single copy; `data` is a
+  // view of the client's buffer all the way down to here.
+  Status st = fs_.data_server(server_id_).write_object(handle, object_offset, data.span());
+  {
+    std::lock_guard lock(mu_);
+    --normal_inflight_;
+    if (st.is_ok()) stats_.normal_bytes_written += data.size();
+  }
+  return st;
+}
+
 std::shared_ptr<StorageServer::Entry> StorageServer::find_coalesce_locked(
     const ActiveIoRequest& request) {
   if (!config_.coalesce_identical) return nullptr;
@@ -235,8 +254,10 @@ void StorageServer::complete_entry(sched::RequestId id, const std::shared_ptr<En
   // Deliver outside mu_: completions may submit follow-up work (the
   // client's cooperative resubmission path) or take unrelated locks. All
   // but the last waiter get a copy; the last takes the response by move.
+  // Copying the response shares the result slab by reference — only the
+  // checkpoint vector (interrupted runs) still duplicates per waiter.
   for (std::size_t i = 0; i + 1 < waiters.size(); ++i) {
-    note_bytes_copied(response.result.size() + response.checkpoint.size());
+    note_bytes_copied(response.checkpoint.size(), CopySite::kWaiterFanout);
     if (waiters[i].done) waiters[i].done(response);
   }
   if (!waiters.empty() && waiters.back().done) waiters.back().done(std::move(response));
@@ -278,21 +299,31 @@ std::optional<ActiveIoResponse> StorageServer::cache_lookup(const ActiveIoReques
   std::lock_guard lock(mu_);
   auto it = result_cache_.find(
       CacheKey{request.handle, request.object_offset, request.length, request.operation});
-  if (it == result_cache_.end() || it->second.version != version) {
+  if (it == result_cache_.end()) {
     ++stats_.cache_misses;
+    return std::nullopt;
+  }
+  if (it->second.version != version) {
+    // The object mutated since the result was computed: the entry can
+    // never hit again (versions are monotonic), so drop it now instead of
+    // letting it squat in the LRU until eviction.
+    result_cache_.erase(it);
+    ++stats_.cache_invalidations;
+    ++stats_.cache_misses;
+    if (obs::metrics_enabled()) obs::count("arena.cache_invalidations");
     return std::nullopt;
   }
   it->second.last_use = ++cache_tick_;
   ++stats_.cache_hits;
+  if (obs::metrics_enabled()) obs::count("arena.cache_hits");
   ActiveIoResponse resp;
   resp.outcome = ActiveOutcome::kCompleted;
-  resp.result = it->second.result;  // owning copy out of the cache
-  note_bytes_copied(resp.result.size());
+  resp.result = it->second.result;  // another view of the cached slab: no copy
   return resp;
 }
 
 void StorageServer::cache_insert(const ActiveIoRequest& request, std::uint64_t version,
-                                 const std::vector<std::uint8_t>& result) {
+                                 const BufferRef& result) {
   if (config_.result_cache_entries == 0) return;
   // Skip if the object changed while the kernel ran (stale result).
   if (fs_.data_server(server_id_).object_version(request.handle) != version) return;
@@ -303,8 +334,11 @@ void StorageServer::cache_insert(const ActiveIoRequest& request, std::uint64_t v
       if (it->second.last_use < victim->second.last_use) victim = it;
     }
     result_cache_.erase(victim);
+    ++stats_.cache_evictions;
+    if (obs::metrics_enabled()) obs::count("arena.cache_evictions");
   }
-  note_bytes_copied(result.size());  // owning copy into the cache
+  // The entry shares the response's slab (ref-counted view): inserting is
+  // free, and the slab lives as long as any hit still holds a view.
   result_cache_[CacheKey{request.handle, request.object_offset, request.length,
                          request.operation}] = CacheEntry{version, result, ++cache_tick_};
 }
@@ -889,7 +923,7 @@ void StorageServer::run_kernel(sched::RequestId id) {
         }
 
         resp.outcome = ActiveOutcome::kCompleted;
-        resp.result = kernel->finalize();
+        resp.result = BufferRef::adopt(kernel->finalize());
         // Resumed results are not cacheable: part of the scan predates
         // version_at_start, so freshness cannot be vouched for.
         if (!request.is_resumption()) cache_insert(request, version_at_start, resp.result);

@@ -113,10 +113,13 @@ class StorageServer {
     std::uint64_t active_interrupted = 0;
     std::uint64_t active_failed = 0;
     Bytes active_bytes_processed = 0;  ///< bytes streamed through kernels here
-    Bytes normal_bytes_served = 0;     ///< bytes served as normal I/O
+    Bytes normal_bytes_served = 0;     ///< bytes served as normal I/O reads
+    Bytes normal_bytes_written = 0;    ///< bytes accepted as normal I/O writes
     std::uint64_t normal_requests = 0;
     std::uint64_t cache_hits = 0;      ///< active requests served from the result cache
     std::uint64_t cache_misses = 0;    ///< cache-enabled requests that ran a kernel
+    std::uint64_t cache_evictions = 0;      ///< LRU victims displaced by inserts
+    std::uint64_t cache_invalidations = 0;  ///< entries dropped: object version moved
     std::uint64_t active_timed_out = 0;   ///< requests abandoned at their deadline
     std::uint64_t active_cancelled = 0;   ///< waiters withdrawn before completion
     std::uint64_t active_coalesced = 0;   ///< submissions merged onto an in-flight twin
@@ -140,6 +143,11 @@ class StorageServer {
   /// this data path's.)
   Result<BufferRef> serve_normal(pfs::FileHandle handle, Bytes object_offset,
                                  Bytes length);
+
+  /// Normal I/O: write a byte extent of this server's object for `handle`.
+  /// `data` is a ref-counted view of the client's buffer; the data server's
+  /// terminal store is the single copy on the write path.
+  Status serve_write(pfs::FileHandle handle, Bytes object_offset, const BufferRef& data);
 
   /// Async active I/O: enqueue the request under the CE policy and return.
   /// `done` fires exactly once with the outcome (completion, rejection,
@@ -240,9 +248,10 @@ class StorageServer {
   /// Result-cache lookup; nullopt on miss/disabled/stale. Updates stats.
   std::optional<ActiveIoResponse> cache_lookup(const ActiveIoRequest& request);
 
-  /// Insert a completed result if the object is still at `version`.
+  /// Insert a completed result if the object is still at `version`. The
+  /// cache shares `result`'s slab (ref-counted); no owning copy is cut.
   void cache_insert(const ActiveIoRequest& request, std::uint64_t version,
-                    const std::vector<std::uint8_t>& result);
+                    const BufferRef& result);
 
   /// Worker-pool body for one request.
   void run_kernel(sched::RequestId id);
@@ -293,9 +302,14 @@ class StorageServer {
     std::string operation;
     auto operator<=>(const CacheKey&) const = default;
   };
+  /// Slab-backed cache entry: `result` is a ref-counted view of the arena
+  /// slab the kernel finalized into. Hits hand out another view of the
+  /// same slab — a cache hit never copies the payload. `version` pins the
+  /// per-object mutation counter (data_server.hpp) the result was computed
+  /// at; a lookup observing a newer version drops the entry.
   struct CacheEntry {
     std::uint64_t version = 0;
-    std::vector<std::uint8_t> result;
+    BufferRef result;
     std::uint64_t last_use = 0;
   };
   std::map<CacheKey, CacheEntry> result_cache_;

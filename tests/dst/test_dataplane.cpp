@@ -167,5 +167,80 @@ TEST(DataPlaneDst, ClusterCopyLedgerIsDeterministic) {
   EXPECT_EQ(a, b);
 }
 
+// A mixed read/write workload over the full stack with the result cache
+// on: BufferRef writes race cached reads of the same object, so the
+// fingerprint covers kWrite dispatch, version invalidation, cache
+// hits/misses, and the per-site ledger attribution — all of which must
+// reproduce bit-identically for a fixed seed.
+std::string run_mixed_ledger(std::uint64_t seed) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  std::ostringstream fp;
+  {
+    ClockParticipant me;
+    core::ClusterConfig cfg;
+    cfg.storage_nodes = 1;
+    cfg.cores_per_node = 1;
+    cfg.server_chunk_size = 8_KiB;
+    cfg.client_chunk_size = 64_KiB;
+    cfg.scheme = core::SchemeKind::kActive;
+    cfg.optimizer_override = "all-active";
+    cfg.result_cache_entries = 4;
+    core::Cluster cluster(cfg);
+
+    auto meta = pfs::write_doubles(
+        cluster.pfs_client(), "/mixed", 8'192,
+        [seed](std::size_t i) { return static_cast<double>((i + seed) % 5); });
+    EXPECT_TRUE(meta.is_ok());
+
+    const std::uint64_t before_total = data_bytes_copied();
+    std::uint64_t before_site[static_cast<std::size_t>(CopySite::kCount)];
+    for (std::size_t s = 0; s < static_cast<std::size_t>(CopySite::kCount); ++s) {
+      before_site[s] = data_bytes_copied(static_cast<CopySite>(s));
+    }
+
+    for (int r = 0; r < 6; ++r) {
+      if (r % 2 == 1) {
+        // Odd rounds overwrite item r through the zero-copy write path,
+        // invalidating the cached result from the previous read.
+        const double v = static_cast<double>(seed + r) * 3.25;
+        const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+        auto w = cluster.asc().write(
+            meta.value(), static_cast<Bytes>(r) * sizeof(double),
+            BufferRef::adopt(std::vector<std::uint8_t>(p, p + sizeof(v))));
+        EXPECT_TRUE(w.is_ok()) << w.status().to_string();
+        fp << "write@" << r << '\n';
+      }
+      auto res = cluster.asc().read_ex(meta.value(), 0, meta.value().size, "sum");
+      EXPECT_TRUE(res.is_ok()) << res.status().to_string();
+      fp << "result_bytes=" << (res.is_ok() ? res.value().size() : 0) << '\n';
+    }
+
+    const auto ss = cluster.storage_server(0).stats();
+    fp << "cache hits=" << ss.cache_hits << " misses=" << ss.cache_misses
+       << " invalidations=" << ss.cache_invalidations
+       << " written=" << ss.normal_bytes_written << '\n';
+    fp << "ledger_delta=" << (data_bytes_copied() - before_total) << '\n';
+    for (std::size_t s = 0; s < static_cast<std::size_t>(CopySite::kCount); ++s) {
+      const auto site = static_cast<CopySite>(s);
+      fp << "  " << copy_site_name(site) << '='
+         << (data_bytes_copied(site) - before_site[s]) << '\n';
+    }
+    fp << "clock now=" << std::fixed << std::setprecision(9) << vc.now() << '\n';
+  }
+  return fp.str();
+}
+
+TEST(DataPlaneDst, MixedReadWriteFingerprintIsDeterministic) {
+  const std::string a = run_mixed_ledger(11);
+  const std::string b = run_mixed_ledger(11);
+  EXPECT_EQ(a, b);
+  // Writes must never be copied en route: the write path contributes no
+  // ledger bytes (the sites that do appear are the client's h(d)-sized
+  // result materializations).
+  EXPECT_NE(a.find("waiter_fanout=0"), std::string::npos) << a;
+  EXPECT_NE(a.find("read_gather=0"), std::string::npos) << a;
+}
+
 }  // namespace
 }  // namespace dosas

@@ -143,6 +143,30 @@ TEST(BufferArena, AdoptDoesNotChargeLedgerButToVectorDoes) {
   EXPECT_EQ(ref, copy);
 }
 
+TEST(BufferArena, BorrowViewsCallerMemoryWithoutCopyOrOwnership) {
+  const auto payload = pattern(321);
+  BufferRef ref = BufferRef::borrow(payload);
+  EXPECT_EQ(ref.data(), payload.data());  // the caller's bytes, not a duplicate
+  EXPECT_EQ(ref, payload);
+  BufferRef view = ref.slice(10, 50);
+  EXPECT_EQ(view.data(), payload.data() + 10);
+  EXPECT_EQ(view.size(), 50u);
+}
+
+TEST(BufferArena, LedgerAttributesCopiesToSites) {
+  const std::uint64_t total = data_bytes_copied();
+  const std::uint64_t to_vec = data_bytes_copied(CopySite::kToVector);
+  const std::uint64_t staged = data_bytes_copied(CopySite::kKernelStage);
+
+  BufferRef ref = BufferRef::adopt(pattern(100));
+  (void)ref.to_vector();
+  note_bytes_copied(25, CopySite::kKernelStage);
+
+  EXPECT_EQ(data_bytes_copied(CopySite::kToVector) - to_vec, 100u);
+  EXPECT_EQ(data_bytes_copied(CopySite::kKernelStage) - staged, 25u);
+  EXPECT_EQ(data_bytes_copied() - total, 125u);  // sites sum into the total
+}
+
 TEST(BufferArena, EmptyRefIsSafe) {
   BufferRef ref;
   EXPECT_TRUE(ref.empty());

@@ -207,6 +207,109 @@ TEST(Ring, EverySuccessfulSendIsDrainedAcrossConcurrentClose) {
   EXPECT_LE(accepted.load(), kProducers * kAttemptsPerProducer);
 }
 
+// ------------------------------------------------------------ SPSC variant
+//
+// SpscRing shares the MPMC ring's storage, parking, and close-then-drain
+// machinery; what changes is cursor claiming (plain release stores, no CAS
+// loop). These tests pin the shared contracts on the specialized code path
+// and the one new invariant: no CAS retries, ever.
+
+TEST(SpscRing, OrderCloseDrainAndPollContractsHold) {
+  SpscRing<int> ring(4);
+  ring.send(1);
+  ring.send(2);
+  EXPECT_EQ(ring.receive().value(), 1);
+
+  std::optional<int> out;
+  EXPECT_EQ(ring.poll(out), QueuePoll::kItem);
+  EXPECT_EQ(out.value(), 2);
+  EXPECT_EQ(ring.poll(out), QueuePoll::kEmpty);
+
+  ring.send(3);
+  ring.close();
+  EXPECT_FALSE(ring.send(4));
+  EXPECT_EQ(ring.poll(out), QueuePoll::kItem);  // drain continues past close
+  EXPECT_EQ(out.value(), 3);
+  EXPECT_EQ(ring.poll(out), QueuePoll::kClosed);
+}
+
+TEST(SpscRing, StressDeliversEveryItemInOrderWithoutCasRetries) {
+  constexpr int kItems = 200'000;
+  SpscRing<int> ring(64);  // small: exercises the full/park paths
+  std::atomic<long> sum{0};
+  std::thread consumer([&] {
+    int expected = 0;
+    while (auto v = ring.receive()) {
+      ASSERT_EQ(*v, expected);  // strict FIFO, nothing lost or reordered
+      ++expected;
+      sum.fetch_add(*v);
+    }
+  });
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(ring.send(i));
+  ring.close();
+  consumer.join();
+
+  EXPECT_EQ(sum.load(), static_cast<long>(kItems) * (kItems - 1) / 2);
+  const RingStats stats = ring.stats();
+  EXPECT_GE(stats.push_attempts, static_cast<std::uint64_t>(kItems));
+  // The whole point of the specialization: single producer and single
+  // consumer never contend on a cursor, so the CAS claim loop is gone.
+  EXPECT_EQ(stats.push_cas_retries, 0u);
+  EXPECT_EQ(stats.pop_cas_retries, 0u);
+}
+
+TEST(SpscRing, ParkedConsumerIsQuiescentUnderVirtualClock) {
+  // The scale harness parks completer threads in SPSC receive() under a
+  // VirtualClock; a parked consumer must count as quiescent or virtual
+  // time stalls (the DST property test_scale leans on).
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  SpscRing<int> ring(4);
+  std::thread consumer([&] {
+    ClockParticipant participant;
+    auto v = ring.receive();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+  });
+  while (vc.status().blocked < 1) std::this_thread::yield();
+  {
+    ClockParticipant me;
+    const Seconds before = vc.now();
+    clock().sleep(5.0);
+    EXPECT_GE(vc.now(), before + 5.0);
+  }
+  ring.send(42);
+  consumer.join();
+}
+
+TEST(SpscRing, CloseWakesBlockedConsumerAndFullProducer) {
+  VirtualClock vc;
+  ScopedClockOverride override_clock(vc);
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.try_send(1));
+  ASSERT_TRUE(ring.try_send(2));
+  std::atomic<int> send_result{-1};
+  std::thread producer([&] {
+    ClockParticipant participant;
+    send_result.store(ring.send(3) ? 1 : 0);
+  });
+  while (vc.status().blocked < 1) std::this_thread::yield();
+  ring.close();
+  producer.join();
+  EXPECT_EQ(send_result.load(), 0);
+  EXPECT_EQ(ring.receive().value(), 1);
+  EXPECT_EQ(ring.receive().value(), 2);
+  EXPECT_FALSE(ring.receive().has_value());
+}
+
+TEST(SpscRing, MoveOnlyItemsFlowThrough) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  ring.send(std::make_unique<int>(5));
+  auto v = ring.receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
 TEST(Ring, MoveOnlyItemsFlowThrough) {
   Ring<std::unique_ptr<int>> ring(4);
   ring.send(std::make_unique<int>(5));

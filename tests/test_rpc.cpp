@@ -79,7 +79,7 @@ TEST(PendingReply, FirstCompletionWinsAndCallbacksFireInOrder) {
   Reply first;
   first.kind = OpKind::kActiveIo;
   first.active.outcome = server::ActiveOutcome::kCompleted;
-  first.active.result = {1, 2, 3};
+  first.active.result = BufferRef::adopt({1, 2, 3});
   EXPECT_TRUE(reply.complete(std::move(first)));
   EXPECT_TRUE(reply.ready());
 
@@ -110,6 +110,32 @@ TEST(PendingReply, CancelInvokesCancellerAndCompletesWithReason) {
   auto r = reply.wait();
   EXPECT_EQ(r.active.outcome, server::ActiveOutcome::kFailed);
   EXPECT_EQ(r.status().code(), ErrorCode::kCancelled);
+}
+
+TEST(PendingReply, CompletionReleasesCancellerCaptures) {
+  // Interceptor cancellers close over session state (RetryTransport's
+  // Session, the hedge twin) that itself holds the reply's State — if the
+  // canceller outlived completion, the whole retry session would leak as a
+  // shared_ptr cycle. Completion must drop it, and a canceller installed
+  // after completion (it can never fire) must not be stored either.
+  auto reply = PendingReply::make(OpKind::kActiveIo);
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = sentinel;
+  reply.set_canceller([sentinel](const Status&) { return false; });
+  sentinel.reset();
+  EXPECT_FALSE(watch.expired());  // held by the installed canceller
+
+  Reply r;
+  r.kind = OpKind::kActiveIo;
+  r.active.outcome = server::ActiveOutcome::kCompleted;
+  EXPECT_TRUE(reply.complete(std::move(r)));
+  EXPECT_TRUE(watch.expired());  // completion released the closure
+
+  auto late = std::make_shared<int>(8);
+  std::weak_ptr<int> late_watch = late;
+  reply.set_canceller([late](const Status&) { return false; });
+  late.reset();
+  EXPECT_TRUE(late_watch.expired());  // post-completion install is dropped
 }
 
 TEST(PendingReply, CancelAfterCompletionFailsAndKeepsReply) {
@@ -399,6 +425,60 @@ TEST(Rpc, TokenBucketChargesExtentBytesExactlyOnce) {
   auto reply2 = chain.head->submit(env).wait();
   ASSERT_TRUE(reply2.read.status.is_ok());
   EXPECT_EQ(stats_of(*chain.head).bytes_charged, 2 * n);
+}
+
+TEST(Rpc, WriteChargesExtentBytesExactlyOnceAndCopiesNothing) {
+  Fixture fx(4096);  // 32 KiB object on the single data server
+
+  ChainOptions options;
+  options.network = std::make_shared<TokenBucket>(mb_per_sec(100.0), 64_MiB);
+  // A retry layer in the chain: kWrite must pass through it exactly once
+  // (retries act only on active I/O), so the charge below stays single.
+  options.retry.max_attempts = 3;
+  auto chain = make_chain({fx.server.get()}, options);
+
+  std::vector<std::uint8_t> bytes(8_KiB);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<std::uint8_t>(i * 31);
+  const BufferRef payload = BufferRef::adopt(std::move(bytes));
+
+  const std::uint64_t copied_before = data_bytes_copied();
+
+  Envelope env;
+  env.target = 0;
+  env.kind = OpKind::kWrite;
+  env.write.handle = fx.meta.handle;
+  env.write.object_offset = 0;
+  env.write.data = payload.slice(0, payload.size());  // a view: shares, never copies
+
+  auto reply = chain.head->submit(std::move(env)).wait();
+  ASSERT_TRUE(reply.write.status.is_ok());
+  EXPECT_EQ(reply.write.written, 8_KiB);
+
+  // Request-direction bytes hit the link model exactly once, mirroring
+  // the read path's single completion-time charge.
+  EXPECT_EQ(stats_of(*chain.head).bytes_charged, 8_KiB);
+
+  // Zero copies between submission and the store: the envelope carried a
+  // view and serve_write handed its span straight to the data server (the
+  // terminal store memcpy is the materialization, not a duplication).
+  EXPECT_EQ(data_bytes_copied() - copied_before, 0u);
+
+  // The bytes actually landed — read back through the zero-copy path.
+  auto back = fx.client.read_ref(fx.meta, 0, 8_KiB);
+  ASSERT_TRUE(back.is_ok());
+  ASSERT_EQ(back.value().size(), 8_KiB);
+  EXPECT_TRUE(std::memcmp(back.value().data(), payload.data(), 8_KiB) == 0);
+
+  // Exactly once per completed RPC: a second write doubles the total.
+  Envelope again;
+  again.target = 0;
+  again.kind = OpKind::kWrite;
+  again.write.handle = fx.meta.handle;
+  again.write.object_offset = 8_KiB;
+  again.write.data = payload.slice(0, payload.size());
+  auto reply2 = chain.head->submit(std::move(again)).wait();
+  ASSERT_TRUE(reply2.write.status.is_ok());
+  EXPECT_EQ(stats_of(*chain.head).bytes_charged, 2 * 8_KiB);
 }
 
 }  // namespace

@@ -114,6 +114,12 @@ else:
         for key in ("bytes_copied_per_req", "cas_retries_per_req"):
             if not isinstance(metrics.get(key), numbers.Real):
                 err(f"'metrics.{key}' missing or not a number (data-plane telemetry)")
+    # Write-path + result-cache zero-copy telemetry: rpc_async must keep
+    # proving the request direction and the cache hit copy nothing.
+    if doc.get("name") == "rpc_async" and isinstance(metrics, dict):
+        for key in ("write_bytes_copied_per_req", "cache_hit_bytes_copied_per_req"):
+            if not isinstance(metrics.get(key), numbers.Real):
+                err(f"'metrics.{key}' missing or not a number (write/cache telemetry)")
 
 if errors:
     for e in errors:

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# check_channel.sh — enforce the Channel deprecation (src/common/channel.hpp).
+#
+# Channel is the repo's first-generation queue: a mutex around a deque,
+# with lock handoffs on every send/receive. The data plane replaced it
+# with the lock-free Ring (src/common/ring.hpp) — MPMC by default,
+# SpscRing where a queue has exactly one producer and one consumer — so
+# queue hops no longer serialize on a lock the paper's contention story
+# is about avoiding. New runtime code must not reintroduce Channel.
+#
+# Banned in src/ outside src/common/channel.hpp itself:
+#   * Channel< instantiations
+#   * #include of common/channel.hpp
+#
+# tests/ may keep Channel's own unit tests, and bench/ keeps the
+# BM_ChannelThroughput row as the deprecation-delta baseline against
+# Ring; neither is runtime code.
+#
+# Usage: tools/check_channel.sh [repo-root]   (exit 0 = clean, 1 = violation)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+pattern='Channel<|#include[[:space:]]*["<].*channel\.hpp'
+
+hits=$(grep -rnE "$pattern" src \
+  --include='*.cpp' --include='*.hpp' 2>/dev/null \
+  | grep -v '^src/common/channel\.hpp:')
+
+if [ -n "$hits" ]; then
+  echo "check_channel: deprecated Channel usage in runtime code:" >&2
+  echo "$hits" >&2
+  echo "use Ring / SpscRing (src/common/ring.hpp) instead (see channel.hpp's deprecation note)" >&2
+  exit 1
+fi
+
+echo "check_channel: no Channel usage outside its own header"
+exit 0

@@ -83,10 +83,13 @@ if [ -f docs/OBSERVABILITY.md ]; then
   # Data-plane telemetry: the ring/arena contention gauges, the zero-copy
   # ledger, and the per-request bench metrics the regression gate reads.
   for token in 'ring.cas_retries.push' 'ring.cas_retries.pop' \
-               'ring.lock_fast' 'ring.lock_contended' \
+               'ring.lock_fast' 'ring.lock_contended' 'ring.spsc' \
                'arena.slabs_in_use' 'arena.slabs_recycled' \
-               'data.bytes_copied' \
-               'bytes_copied_per_req' 'cas_retries_per_req'; do
+               'arena.cache_hits' 'arena.cache_evictions' \
+               'arena.cache_invalidations' \
+               'data.bytes_copied' 'data.bytes_copied.<site>' \
+               'bytes_copied_per_req' 'cas_retries_per_req' \
+               'write_bytes_copied_per_req' 'cache_hit_bytes_copied_per_req'; do
     if ! grep -q "$token" docs/OBSERVABILITY.md; then
       echo "undocumented data-plane metric: '$token' (docs/OBSERVABILITY.md)" >&2
       fail=1
@@ -99,7 +102,8 @@ fi
 if [ -f docs/ARCHITECTURE.md ]; then
   for token in hedge_reads hedge_min_delay hedge_max_per_read node_latency \
                BufferRef BufferArena QueuePoll read_object_ref \
-               close-then-drain; do
+               close-then-drain SpscRing serve_write cache_lookup \
+               CopySite; do
     if ! grep -q "$token" docs/ARCHITECTURE.md; then
       echo "architecture doc no longer documents '$token' (docs/ARCHITECTURE.md)" >&2
       fail=1

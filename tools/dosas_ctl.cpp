@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/clock.hpp"
 
 #include "core/cluster.hpp"
@@ -370,6 +371,47 @@ int cmd_runtime(const Args& args) {
       static_cast<unsigned long long>(tst.coalesced),
       static_cast<unsigned long long>(tst.inflight_hwm),
       tst.active_latency_p50_us, tst.active_latency_p99_us);
+  // Data-plane ledger: the zero-copy story's receipts. Owning copies by
+  // charge site name the layer that duplicated bytes; arena totals show
+  // slab recycling doing the allocation work; dispatch-ring CAS retries
+  // show what the lock-free queues absorbed instead of a mutex.
+  {
+    std::printf("data plane: %llu byte(s) copied",
+                static_cast<unsigned long long>(data_bytes_copied()));
+    const char* sep = " (";
+    for (std::size_t i = 0; i < static_cast<std::size_t>(CopySite::kCount); ++i) {
+      const auto site = static_cast<CopySite>(i);
+      const auto n = data_bytes_copied(site);
+      if (n == 0) continue;
+      std::printf("%s%s %llu", sep, copy_site_name(site),
+                  static_cast<unsigned long long>(n));
+      sep = ", ";
+    }
+    if (std::strcmp(sep, ", ") == 0) std::printf(")");
+    BufferArena::Stats arena{};
+    for (std::uint32_t s = 0; s < cluster.storage_node_count(); ++s) {
+      const auto a = cluster.fs().data_server(s).arena_stats();
+      arena.slabs_created += a.slabs_created;
+      arena.slabs_recycled += a.slabs_recycled;
+      arena.slabs_in_use += a.slabs_in_use;
+      arena.bytes_in_use += a.bytes_in_use;
+    }
+    RingStats rings{};
+    for (std::uint32_t s = 0; s < cluster.storage_node_count(); ++s) {
+      const auto r = cluster.storage_server(s).dispatch_ring_stats();
+      rings.push_cas_retries += r.push_cas_retries;
+      rings.pop_cas_retries += r.pop_cas_retries;
+    }
+    std::printf(
+        "\n  arenas: %llu slab(s) created, %llu recycled, %llu in use "
+        "(%llu byte(s));  dispatch rings: %llu push / %llu pop CAS retries\n",
+        static_cast<unsigned long long>(arena.slabs_created),
+        static_cast<unsigned long long>(arena.slabs_recycled),
+        static_cast<unsigned long long>(arena.slabs_in_use),
+        static_cast<unsigned long long>(arena.bytes_in_use),
+        static_cast<unsigned long long>(rings.push_cas_retries),
+        static_cast<unsigned long long>(rings.pop_cas_retries));
+  }
   if (cluster.fault_injector() != nullptr) {
     const auto fst = cluster.fault_injector()->stats();
     std::printf(
